@@ -1,0 +1,233 @@
+// Command experiments regenerates the paper's figures and the
+// repository's extension studies.
+//
+// Usage:
+//
+//	experiments [flags] fig1|fig2|fig3|fig4|fig5|fig6|all
+//	experiments [flags] ablate        # VC count / buffer depth / selection policy
+//	experiments [flags] model         # analytic model vs. simulator
+//	experiments [flags] saturation    # per-algorithm saturation points
+//	experiments [flags] adaptivity    # routing freedom per decision
+//	experiments [flags] scale         # larger meshes on the parallel engine
+//
+// Each target prints an ASCII chart plus the underlying data table;
+// -csv DIR additionally writes the table as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wormmesh/internal/experiments"
+	"wormmesh/internal/report"
+)
+
+func main() {
+	opt := experiments.Paper()
+	var quick bool
+	var csvDir string
+	var algs string
+	flag.BoolVar(&quick, "quick", false, "reduced cycle counts (CI scale)")
+	flag.IntVar(&opt.FaultSets, "sets", opt.FaultSets, "fault sets per case")
+	flag.Int64Var(&opt.WarmupCycles, "warmup", opt.WarmupCycles, "warm-up cycles")
+	flag.Int64Var(&opt.MeasureCycles, "cycles", opt.MeasureCycles, "measured cycles")
+	flag.IntVar(&opt.Workers, "workers", 0, "parallel workers (0 = NumCPU)")
+	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "base seed")
+	flag.StringVar(&csvDir, "csv", "", "directory for CSV output")
+	flag.StringVar(&algs, "algs", "", "comma-separated algorithm subset")
+	flag.Parse()
+	if quick {
+		q := experiments.Quick()
+		opt.WarmupCycles, opt.MeasureCycles, opt.FaultSets = q.WarmupCycles, q.MeasureCycles, q.FaultSets
+	}
+	opt.Progress = os.Stderr
+
+	var algorithms []string
+	if algs != "" {
+		algorithms = strings.Split(algs, ",")
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		if t == "all" {
+			for _, f := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
+				want[f] = true
+			}
+			continue
+		}
+		want[t] = true
+	}
+
+	saveCSV := func(name string, t *report.Table) {
+		if csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := t.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(csvDir, name+".csv"))
+	}
+
+	if want["fig1"] || want["fig2"] {
+		res, err := experiments.TrafficSweep(opt, algorithms, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if want["fig1"] {
+			must(res.ThroughputChart().Write(os.Stdout))
+			fmt.Println()
+		}
+		if want["fig2"] {
+			must(res.LatencyChart().Write(os.Stdout))
+			fmt.Println()
+		}
+		must(res.Table().Write(os.Stdout))
+		saveCSV("fig1_fig2_traffic_sweep", res.Table())
+		fmt.Println()
+	}
+	if want["fig3"] {
+		res, err := experiments.VCUsage(opt, algorithms, 5)
+		if err != nil {
+			fatal(err)
+		}
+		for _, alg := range res.Algorithms {
+			must(res.Chart(alg).Write(os.Stdout))
+			fmt.Println()
+		}
+		must(res.Table().Write(os.Stdout))
+		saveCSV("fig3_vc_usage", res.Table())
+		fmt.Println()
+	}
+	if want["fig4"] || want["fig5"] {
+		res, err := experiments.FaultSweep(opt, algorithms, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if want["fig4"] {
+			must(res.ThroughputChart().Write(os.Stdout))
+			fmt.Println()
+		}
+		if want["fig5"] {
+			must(res.LatencyChart().Write(os.Stdout))
+			fmt.Println()
+		}
+		must(res.Table().Write(os.Stdout))
+		saveCSV("fig4_fig5_fault_sweep", res.Table())
+		fmt.Println()
+	}
+	if want["fig6"] {
+		res, err := experiments.RingLoad(opt, algorithms)
+		if err != nil {
+			fatal(err)
+		}
+		must(res.Chart().Write(os.Stdout))
+		fmt.Println()
+		must(res.Table().Write(os.Stdout))
+		saveCSV("fig6_ring_load", res.Table())
+		fmt.Println()
+	}
+	if want["ablate"] {
+		alg := "Duato-Nbc"
+		if len(algorithms) > 0 {
+			alg = algorithms[0]
+		}
+		vcs, err := opt.AblateVCs(alg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ablation: virtual channels (%s)\n", alg)
+		must(vcs.Table().Write(os.Stdout))
+		saveCSV("ablate_vcs", vcs.Table())
+		fmt.Println()
+		buf, err := opt.AblateBufDepth(alg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ablation: VC buffer depth (%s)\n", alg)
+		must(buf.Table().Write(os.Stdout))
+		saveCSV("ablate_bufdepth", buf.Table())
+		fmt.Println()
+		sel, err := opt.AblateSelection(alg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ablation: selection policy (%s)\n", alg)
+		must(sel.Table().Write(os.Stdout))
+		saveCSV("ablate_selection", sel.Table())
+		fmt.Println()
+		msg, err := opt.AblateMessageLength(alg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ablation: message length at constant flit load (%s)\n", alg)
+		must(msg.Table().Write(os.Stdout))
+		saveCSV("ablate_msglength", msg.Table())
+		fmt.Println()
+	}
+	if want["model"] {
+		res, err := opt.ModelValidation(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("analytic model vs. simulator (contention gain fitted at the first rate: %.2f)\n", res.Gain)
+		must(res.Table().Write(os.Stdout))
+		saveCSV("model_validation", res.Table())
+		fmt.Println()
+	}
+	if want["adaptivity"] {
+		res, err := experiments.Adaptivity(opt, algorithms, 5, 400)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("routing freedom per decision (5% faults)")
+		must(res.Table().Write(os.Stdout))
+		saveCSV("adaptivity", res.Table())
+		fmt.Println()
+	}
+	if want["scale"] {
+		res, err := experiments.Scale(opt, algorithms, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("scaling study (5% faults, 0.1 flits/node/cycle offered)")
+		must(res.Table().Write(os.Stdout))
+		saveCSV("scale", res.Table())
+		fmt.Println()
+	}
+	if want["saturation"] {
+		res, err := opt.SaturationPoints(algorithms)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("measured saturation points (fault-free)")
+		must(res.Table().Write(os.Stdout))
+		saveCSV("saturation_points", res.Table())
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

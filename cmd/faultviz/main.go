@@ -1,0 +1,119 @@
+// Command faultviz renders a fault pattern as ASCII art: seed faults,
+// deactivated nodes, block regions, f-ring membership, and the
+// Boura–Das unsafe labeling.
+//
+// Usage:
+//
+//	faultviz -faults 10 -seed 3
+//	faultviz -nodes 23,24,33,34       # explicit failed nodes
+//	faultviz -fig6                    # the paper's Figure 6 pattern
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wormmesh"
+	"wormmesh/internal/experiments"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+func main() {
+	var width, height, faults int
+	var seed int64
+	var nodes, pattern string
+	var fig6 bool
+	flag.IntVar(&width, "width", 10, "mesh width")
+	flag.IntVar(&height, "height", 10, "mesh height")
+	flag.IntVar(&faults, "faults", 10, "number of random node faults")
+	flag.Int64Var(&seed, "seed", 1, "fault pattern seed")
+	flag.StringVar(&nodes, "nodes", "", "comma-separated failed node IDs (overrides -faults)")
+	flag.BoolVar(&fig6, "fig6", false, "use the paper's Figure 6 canned pattern")
+	flag.StringVar(&pattern, "pattern", "", "canned pattern name: "+strings.Join(fault.PatternNames(), "|"))
+	flag.Parse()
+
+	mesh := wormmesh.NewMesh(width, height)
+	var model *fault.Model
+	var err error
+	switch {
+	case pattern != "":
+		var ids []topology.NodeID
+		ids, err = fault.NamedPattern(pattern, mesh)
+		if err == nil {
+			model, err = wormmesh.NewFaultModel(mesh, ids)
+		}
+	case fig6:
+		opt := experiments.Paper()
+		opt.Width, opt.Height = width, height
+		model, err = wormmesh.NewFaultModel(mesh, opt.Fig6FaultNodes())
+	case nodes != "":
+		var ids []topology.NodeID
+		for _, s := range strings.Split(nodes, ",") {
+			v, convErr := strconv.Atoi(strings.TrimSpace(s))
+			if convErr != nil {
+				fmt.Fprintln(os.Stderr, "faultviz: bad node id:", s)
+				os.Exit(2)
+			}
+			ids = append(ids, topology.NodeID(v))
+		}
+		model, err = wormmesh.NewFaultModel(mesh, ids)
+	default:
+		model, err = wormmesh.GenerateFaults(mesh, faults, seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultviz:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%v: %d seed faults, %d deactivated, %d block regions, %d rings (%d chains)\n",
+		mesh, model.SeedCount(), model.DeactivatedCount(), len(model.Regions()), len(model.Rings()), chains(model))
+	fmt.Println("legend: X seed fault, x deactivated (= Boura-unsafe), o f-ring node, . healthy")
+	fmt.Println()
+	// +Y is drawn upward, matching the paper's coordinates.
+	for y := height - 1; y >= 0; y-- {
+		fmt.Printf("%3d  ", y)
+		for x := 0; x < width; x++ {
+			id := mesh.ID(topology.Coord{X: x, Y: y})
+			switch {
+			case model.IsSeedFault(id):
+				fmt.Print("X ")
+			case model.IsFaulty(id):
+				fmt.Print("x ")
+			case model.OnAnyRing(id):
+				fmt.Print("o ")
+			default:
+				fmt.Print(". ")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Print("     ")
+	for x := 0; x < width; x++ {
+		fmt.Printf("%-2d", x%10)
+	}
+	fmt.Println()
+	fmt.Println()
+	for i, r := range model.Regions() {
+		ring := model.Rings()[i]
+		kind := "ring"
+		if ring.Chain {
+			kind = "chain"
+		}
+		fmt.Printf("region %d: %v (%dx%d), %s of %d nodes\n",
+			i, r, r.Width(), r.Height(), kind, ring.Len())
+	}
+}
+
+func chains(m *fault.Model) int {
+	n := 0
+	for _, r := range m.Rings() {
+		if r.Chain {
+			n++
+		}
+	}
+	return n
+}

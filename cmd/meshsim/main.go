@@ -1,0 +1,177 @@
+// Command meshsim runs a single wormhole-mesh simulation and prints
+// the measured statistics.
+//
+// Usage:
+//
+//	meshsim -alg Duato-Nbc -rate 0.002 -faults 5 -cycles 30000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"wormmesh"
+	"wormmesh/internal/report"
+	"wormmesh/internal/sweep"
+)
+
+func main() {
+	p := wormmesh.DefaultParams()
+	var total int64
+	var list, heat, traceFlits bool
+	var windows int64
+	var traceFile string
+	var engineWorkers, reps int
+	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
+	flag.IntVar(&p.Width, "width", p.Width, "mesh width")
+	flag.IntVar(&p.Height, "height", p.Height, "mesh height")
+	flag.Float64Var(&p.Rate, "rate", p.Rate, "traffic rate (messages/node/cycle)")
+	flag.IntVar(&p.MessageLength, "len", p.MessageLength, "message length in flits")
+	flag.IntVar(&p.Faults, "faults", p.Faults, "number of random node faults")
+	flag.Int64Var(&p.Seed, "seed", p.Seed, "traffic/arbitration seed")
+	flag.Int64Var(&p.FaultSeed, "fault-seed", p.FaultSeed, "fault pattern seed")
+	flag.IntVar(&p.Config.NumVCs, "vcs", p.Config.NumVCs, "virtual channels per physical channel")
+	flag.IntVar(&p.Config.BufDepth, "buf", p.Config.BufDepth, "VC buffer depth in flits")
+	flag.StringVar(&p.Pattern, "pattern", p.Pattern, "traffic pattern: uniform|transpose|bit-complement|bit-reverse|tornado|hotspot")
+	flag.Int64Var(&p.WarmupCycles, "warmup", p.WarmupCycles, "warm-up cycles (not measured)")
+	flag.Int64Var(&total, "cycles", p.WarmupCycles+p.MeasureCycles, "total cycles including warm-up")
+	flag.BoolVar(&list, "list", false, "list algorithms and exit")
+	flag.BoolVar(&heat, "heatmap", false, "print the per-node traffic load heatmap")
+	flag.Int64Var(&windows, "windows", 0, "collect time-series windows of this many cycles")
+	flag.StringVar(&traceFile, "trace", "", "write the event stream as JSON lines to this file")
+	flag.BoolVar(&traceFlits, "trace-flits", false, "include per-flit hops in the trace")
+	flag.IntVar(&engineWorkers, "engine-workers", 0, "use the deterministic parallel engine with this many workers")
+	flag.IntVar(&reps, "reps", 1, "replications over fault sets/seeds, reported as mean ± 95% CI")
+	flag.Parse()
+
+	if list {
+		for _, name := range wormmesh.Algorithms() {
+			fmt.Printf("  %-18s %s\n", name, wormmesh.DescribeAlgorithm(name))
+		}
+		return
+	}
+	p.MeasureCycles = total - p.WarmupCycles
+	if p.MeasureCycles <= 0 {
+		fmt.Fprintln(os.Stderr, "meshsim: -cycles must exceed -warmup")
+		os.Exit(2)
+	}
+	p.WindowCycles = windows
+	p.EngineWorkers = engineWorkers
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p.TraceWriter = f
+		p.TraceFlits = traceFlits
+	}
+
+	if reps > 1 {
+		runReplications(p, reps)
+		return
+	}
+
+	res, err := wormmesh.Run(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+	st := res.Stats
+
+	fmt.Printf("%dx%d mesh, %s, %s traffic, rate %g msg/node/cycle, %d-flit messages, %d VCs\n",
+		p.Width, p.Height, p.Algorithm, p.Pattern, p.Rate, p.MessageLength, p.Config.NumVCs)
+	if res.FaultCount > 0 {
+		fmt.Printf("faults: %d seed (+%d deactivated) in %d block regions, %d f-ring nodes\n",
+			res.SeedFaults, res.FaultCount-res.SeedFaults, res.Regions, res.RingNodes)
+	}
+	fmt.Printf("measured %d cycles after %d warm-up (%.2fs wall)\n\n",
+		p.MeasureCycles, p.WarmupCycles, res.Elapsed.Seconds())
+
+	t := report.NewTable("metric", "value")
+	t.AddRow("generated messages", st.Generated)
+	t.AddRow("delivered messages", st.Delivered)
+	t.AddRow("refused offers", st.Refused)
+	t.AddRow("avg latency (cycles)", st.AvgLatency())
+	t.AddRow("latency std dev", st.LatencyStdDev())
+	t.AddRow("max latency", st.LatencyMax)
+	t.AddRow("avg network latency", st.AvgNetLatency())
+	t.AddRow("throughput (flits/node/cycle)", st.Throughput())
+	t.AddRow("normalized throughput", res.NormalizedThroughput())
+	t.AddRow("avg hops", st.AvgHops())
+	t.AddRow("avg detour hops", st.AvgDetour())
+	t.AddRow("killed (recovery)", st.Killed)
+	t.AddRow("deadlock events", st.DeadlockEvents)
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	util := st.VCUtilization()
+	var b strings.Builder
+	b.WriteString("per-VC utilization:")
+	for v, u := range util {
+		if v%8 == 0 {
+			b.WriteString("\n  ")
+		}
+		fmt.Fprintf(&b, "vc%-2d %.3f  ", v, u)
+	}
+	fmt.Println(b.String())
+
+	if windows > 0 {
+		fmt.Println("\ntime series (per window):")
+		for _, w := range res.Windows {
+			fmt.Printf("  %v thr=%.4f\n", w, w.Throughput(st.HealthyNodes))
+		}
+	}
+	if heat {
+		values := make([]float64, len(st.NodeCrossings))
+		for id, c := range st.NodeCrossings {
+			if res.Faults.IsFaulty(wormmesh.NodeID(id)) {
+				values[id] = math.NaN()
+			} else {
+				values[id] = float64(c) / float64(st.Cycles)
+			}
+		}
+		hm := report.Heatmap{
+			Title:  "\nper-node traffic load (crossbar flits/cycle):",
+			Width:  p.Width,
+			Height: p.Height,
+			Values: values,
+			Legend: true,
+		}
+		if err := hm.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runReplications runs the configuration over several fault sets and
+// seeds in parallel and reports mean and 95% confidence intervals.
+func runReplications(p wormmesh.Params, reps int) {
+	points := sweep.FaultReplicas("rep", p, reps)
+	outcomes := wormmesh.RunBatch(points, 0)
+	if err := sweep.FirstError(outcomes); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+	cells := sweep.Aggregate(outcomes)
+	c := cells[0]
+	fmt.Printf("%d replications of %s (rate %g, %d faults):\n", c.N, p.Algorithm, p.Rate, p.Faults)
+	t := report.NewTable("metric", "mean", "ci95", "std")
+	t.AddRow("latency (cycles)", c.Latency.Mean(), c.Latency.CI95(), c.Latency.Std())
+	t.AddRow("throughput (flits/node/cycle)", c.Throughput.Mean(), c.Throughput.CI95(), c.Throughput.Std())
+	t.AddRow("normalized throughput", c.Normalized.Mean(), c.Normalized.CI95(), c.Normalized.Std())
+	t.AddRow("detour hops", c.Detour.Mean(), c.Detour.CI95(), c.Detour.Std())
+	t.AddRow("killed fraction", c.KilledFraction.Mean(), c.KilledFraction.CI95(), c.KilledFraction.Std())
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+}

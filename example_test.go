@@ -1,0 +1,69 @@
+package wormmesh_test
+
+import (
+	"fmt"
+
+	"wormmesh"
+)
+
+// ExampleRun simulates one load point deterministically: the same
+// parameters always reproduce the same numbers.
+func ExampleRun() {
+	p := wormmesh.DefaultParams()
+	p.Algorithm = "NHop"
+	p.Rate = 0.0005
+	p.WarmupCycles = 1000
+	p.MeasureCycles = 4000
+	res, err := wormmesh.Run(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered %d messages, detour %.2f hops\n", res.Stats.Delivered, res.Stats.AvgDetour())
+	// Output: delivered 221 messages, detour 0.00 hops
+}
+
+// ExampleGenerateFaults builds a random block-fault pattern and
+// inspects its f-rings.
+func ExampleGenerateFaults() {
+	mesh := wormmesh.NewMesh(10, 10)
+	model, err := wormmesh.GenerateFaults(mesh, 5, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d seed faults -> %d block regions\n", model.SeedCount(), len(model.Regions()))
+	for _, ring := range model.Rings() {
+		fmt.Printf("  region %v ringed by %d nodes\n", ring.Region, ring.Len())
+	}
+	// Output:
+	// 5 seed faults -> 4 block regions
+	//   region [(0,0)..(0,0)] ringed by 3 nodes
+	//   region [(5,0)..(5,1)] ringed by 7 nodes
+	//   region [(6,5)..(6,5)] ringed by 8 nodes
+	//   region [(3,7)..(3,7)] ringed by 8 nodes
+}
+
+// ExampleAlgorithms lists the evaluated configurations.
+func ExampleAlgorithms() {
+	for _, name := range wormmesh.Algorithms()[:4] {
+		fmt.Println(name)
+	}
+	// Output:
+	// PHop
+	// NHop
+	// Pbc
+	// Nbc
+}
+
+// ExampleMinVCs shows how the virtual-channel requirement of the
+// hop-based class ladders grows with the mesh diameter.
+func ExampleMinVCs() {
+	for _, size := range []int{10, 16} {
+		m := wormmesh.NewMesh(size, size)
+		phop, _ := wormmesh.MinVCs("PHop", m)
+		nhop, _ := wormmesh.MinVCs("NHop", m)
+		fmt.Printf("%dx%d: PHop needs %d VCs, NHop %d\n", size, size, phop, nhop)
+	}
+	// Output:
+	// 10x10: PHop needs 23 VCs, NHop 14
+	// 16x16: PHop needs 35 VCs, NHop 20
+}

@@ -1,0 +1,56 @@
+// Analytic demonstrates the closed-form latency model (the paper's
+// stated future work) against the flit-level simulator: it measures
+// one operating point, calibrates the model's contention gain on it,
+// and then predicts the rest of the load range without further
+// simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wormmesh"
+	"wormmesh/internal/analytic"
+	"wormmesh/internal/report"
+)
+
+func main() {
+	model := analytic.Default()
+	fmt.Printf("10x10 mesh, 100-flit messages: mean distance %.2f hops, %d channels\n",
+		analytic.MeanDistance(model.Mesh), analytic.ChannelCount(model.Mesh))
+	fmt.Printf("model saturation estimate: %.4f messages/node/cycle\n\n", model.SaturationRate())
+
+	// One simulator measurement to anchor the model.
+	anchorRate := 0.001
+	p := wormmesh.DefaultParams()
+	p.Algorithm = "Minimal-Adaptive"
+	p.Rate = anchorRate
+	p.WarmupCycles = 3000
+	p.MeasureCycles = 9000
+	res, err := wormmesh.Run(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := res.Stats.AvgLatency()
+	calibrated, err := model.Calibrate(anchorRate, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated at rate %g: simulator %.1f cycles, contention gain %.2f\n\n",
+		anchorRate, measured, calibrated.ContentionGain)
+
+	t := report.NewTable("rate", "model latency", "blocking prob", "stretch", "source wait")
+	for _, rate := range []float64{0.0005, 0.001, 0.0015, 0.002, 0.0025} {
+		pred, err := calibrated.Predict(rate)
+		if err != nil {
+			t.AddRow(rate, "saturated", "-", "-", "-")
+			continue
+		}
+		t.AddRow(rate, pred.Latency, pred.BlockingProb, pred.MeanStretch, pred.SourceWait)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(one simulation calibrated the model; every other row is closed-form)")
+}

@@ -1,0 +1,51 @@
+// Comparison runs every routing algorithm at a medium load on a
+// fault-free and a 10%-faulty 10×10 mesh and prints a side-by-side
+// table — a miniature of the paper's Figures 4 and 5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wormmesh"
+	"wormmesh/internal/report"
+)
+
+func main() {
+	base := wormmesh.DefaultParams()
+	base.Rate = 0.003
+	base.WarmupCycles = 3000
+	base.MeasureCycles = 9000
+
+	var points []wormmesh.SweepPoint
+	for _, alg := range wormmesh.Algorithms() {
+		for _, faults := range []int{0, 10} {
+			p := base
+			p.Algorithm = alg
+			p.Faults = faults
+			points = append(points, wormmesh.SweepPoint{
+				Key:    fmt.Sprintf("%s/%d", alg, faults),
+				Params: p,
+			})
+		}
+	}
+	fmt.Printf("running %d simulations in parallel...\n\n", len(points))
+	outcomes := wormmesh.RunBatch(points, 0)
+
+	t := report.NewTable("algorithm", "faults", "latency", "throughput", "normalized", "detour", "killed")
+	for _, o := range outcomes {
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+		st := o.Result.Stats
+		t.AddRow(o.Result.Params.Algorithm, o.Result.Params.Faults,
+			st.AvgLatency(), st.Throughput(), o.Result.NormalizedThroughput(),
+			st.AvgDetour(), st.Killed)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlatency in cycles; throughput in flits/node/cycle;")
+	fmt.Println("normalized = fraction of fault-free bisection capacity.")
+}

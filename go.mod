@@ -1,0 +1,3 @@
+module wormmesh
+
+go 1.22

@@ -1,0 +1,320 @@
+// Package analytic implements a performance model of adaptive wormhole
+// routing in 2-D meshes under uniform traffic — the paper's stated
+// future work ("driving an analytical modeling approach to investigate
+// the performance behavior of these routing algorithms"). It follows
+// the M/G/1-style wormhole models of Draper–Ghosh and Ould-Khaoua,
+// with two refinements that matter on small radix meshes:
+//
+//   - channel loads are computed exactly per bisection cut (minimal
+//     routing fixes which cuts a message crosses, so cut loads are
+//     routing-independent), rather than averaged over all channels;
+//   - serialization is evaluated against each source-destination
+//     pair's bottleneck cut, enumerated exactly over all pairs.
+//
+// Mean-field models of this family track simulation qualitatively —
+// monotone latency growth, saturation location, virtual-channel
+// effects — but systematically underestimate contention from transient
+// load bursts. The model therefore carries a single contention-gain
+// parameter γ (default 1) and a Calibrate method that fits γ to one
+// measured latency; model_test.go validates the uncalibrated shape and
+// the calibrated transfer to other loads.
+package analytic
+
+import (
+	"errors"
+	"math"
+
+	"wormmesh/internal/topology"
+)
+
+// Model parameterizes the prediction.
+type Model struct {
+	Mesh topology.Mesh
+	// MessageLength in flits.
+	MessageLength int
+	// VirtualChannels usable per physical channel by the modeled
+	// algorithm (e.g. 18 for Duato's class I, 20 for the free pools).
+	VirtualChannels int
+	// Adaptivity is the mean number of permitted output directions
+	// while both offsets are non-zero (2 for fully adaptive minimal
+	// routing, 1 for deterministic).
+	Adaptivity float64
+	// ServiceCV is the coefficient of variation of channel holding
+	// time used in the M/G/1 residual terms; 0.5 is customary.
+	ServiceCV float64
+	// ContentionGain γ scales the model's contention delta — the
+	// latency in excess of the zero-load bound d̄+L — absorbing the
+	// burstiness mean-field analysis misses. Validation shows the
+	// model's delta tracks the simulator's at a near-constant ratio
+	// throughout the stable region, so a single γ calibrated at one
+	// load transfers to others. 1 = pure model; Calibrate fits it.
+	ContentionGain float64
+	// EjectBandwidth in flits/cycle/node (the simulator's EjectBW).
+	EjectBandwidth float64
+}
+
+// Default returns the model configured like the paper's baseline: a
+// 10×10 mesh, 100-flit messages, a 20-channel adaptive pool.
+func Default() Model {
+	return Model{
+		Mesh:            topology.New(10, 10),
+		MessageLength:   100,
+		VirtualChannels: 20,
+		Adaptivity:      2,
+		ServiceCV:       0.5,
+		ContentionGain:  1,
+		EjectBandwidth:  1,
+	}
+}
+
+// ErrSaturated is returned when the offered load drives any resource
+// in the model beyond unit utilization.
+var ErrSaturated = errors.New("analytic: offered load beyond saturation")
+
+// MeanDistance returns the exact mean minimal hop count between
+// distinct nodes under uniform traffic.
+func MeanDistance(m topology.Mesh) float64 {
+	n := float64(m.NodeCount())
+	dx := meanAbsDiff(m.Width)
+	dy := meanAbsDiff(m.Height)
+	// dx+dy averages over ordered pairs with repetition (including
+	// distance-0 self pairs); rescale to distinct pairs.
+	return (dx + dy) * n / (n - 1)
+}
+
+// meanAbsDiff is E|i-j| for i,j uniform on 0..k-1 (with repetition):
+// (k²-1)/(3k).
+func meanAbsDiff(k int) float64 {
+	f := float64(k)
+	return (f*f - 1) / (3 * f)
+}
+
+// ChannelCount returns the number of directed physical channels in the
+// fault-free mesh.
+func ChannelCount(m topology.Mesh) int {
+	return 2*(m.Width-1)*m.Height + 2*(m.Height-1)*m.Width
+}
+
+// cutLoads returns the per-channel flit utilization of the directed
+// X-cuts (east- or westward, symmetric) and Y-cuts for a given
+// accepted flit rate per node. Every minimal path from x1 to x2 > x1
+// crosses each eastward cut i with x1 <= i < x2 exactly once, so the
+// loads hold for any minimal routing algorithm.
+func cutLoads(m topology.Mesh, flitRate float64) (x []float64, y []float64) {
+	nodes := float64(m.NodeCount())
+	x = make([]float64, m.Width-1)
+	for i := range x {
+		// P(x1 <= i < x2) over uniform ordered coordinate pairs.
+		p := float64(i+1) * float64(m.Width-1-i) / float64(m.Width*m.Width)
+		// Total eastward flits/cycle over the cut, spread over Height
+		// channels.
+		x[i] = flitRate * nodes * p / float64(m.Height)
+	}
+	y = make([]float64, m.Height-1)
+	for j := range y {
+		p := float64(j+1) * float64(m.Height-1-j) / float64(m.Height*m.Height)
+		y[j] = flitRate * nodes * p / float64(m.Width)
+	}
+	return x, y
+}
+
+// Prediction is the model output at one offered load.
+type Prediction struct {
+	Rate           float64 // messages/node/cycle (input)
+	MeanDistance   float64
+	PeakCutLoad    float64 // utilization of the busiest channel
+	MeanStretch    float64 // serialization stretch from bandwidth sharing
+	VCOccupancy    float64 // mean per-VC holding probability
+	BlockingProb   float64 // per-hop probability of finding no channel
+	NetworkLatency float64 // injection to tail delivery
+	SourceWait     float64 // queueing before injection
+	EjectWait      float64 // contention at the destination port
+	Latency        float64 // total
+}
+
+// Predict evaluates the model at a traffic generation rate in
+// messages/node/cycle. It returns ErrSaturated beyond the model's
+// stability region.
+func (mo Model) Predict(rate float64) (Prediction, error) {
+	if rate <= 0 {
+		return Prediction{}, errors.New("analytic: rate must be positive")
+	}
+	gamma := mo.ContentionGain
+	if gamma == 0 {
+		gamma = 1
+	}
+	mesh := mo.Mesh
+	l := float64(mo.MessageLength)
+	dbar := MeanDistance(mesh)
+	p := Prediction{Rate: rate, MeanDistance: dbar}
+
+	flitRate := rate * l
+	xs, ys := cutLoads(mesh, flitRate)
+	for _, u := range append(append([]float64{}, xs...), ys...) {
+		if u > p.PeakCutLoad {
+			p.PeakCutLoad = u
+		}
+	}
+	if p.PeakCutLoad >= 1 {
+		p.Latency = math.Inf(1)
+		return p, ErrSaturated
+	}
+
+	// Serialization stretch: each pair's flits drain at the residual
+	// bandwidth of the path's bottleneck cut; enumerate all coordinate
+	// pairs exactly. The X and Y dimensions are independent under
+	// uniform traffic, so enumerate each dimension's bottleneck and
+	// combine with max.
+	p.MeanStretch = meanBottleneckStretch(mesh, xs, ys)
+	serialization := l * p.MeanStretch
+
+	// Channel holding: fixed point on the network latency. A message
+	// holds each channel on its path for roughly its whole network
+	// residence.
+	msgPerChannel := rate * float64(mesh.NodeCount()) * dbar / float64(ChannelCount(mesh))
+	v := float64(mo.VirtualChannels)
+	cv2 := mo.ServiceCV * mo.ServiceCV
+	tNet := dbar + serialization
+	for iter := 0; iter < 100; iter++ {
+		hold := tNet
+		occ := msgPerChannel * hold / v
+		if occ > 0.99 {
+			occ = 0.99
+		}
+		p.VCOccupancy = occ
+		// Header blocks when all V VCs of all permitted directions are
+		// held; waits for the first of them to free (residual of the
+		// minimum of a·V busy holders).
+		p.BlockingProb = math.Pow(occ, v*mo.Adaptivity)
+		blockWait := hold * (1 + cv2) / 2 / (v * mo.Adaptivity)
+		next := dbar + serialization + dbar*p.BlockingProb*blockWait
+		if math.Abs(next-tNet) < 1e-9 {
+			tNet = next
+			break
+		}
+		tNet = next
+	}
+
+	// Ejection port: each node consumes rate*N/N messages per cycle of
+	// length L at EjectBandwidth flits/cycle.
+	ejService := l / mo.EjectBandwidth
+	rhoEj := rate * ejService
+	if rhoEj >= 1 {
+		p.Latency = math.Inf(1)
+		return p, ErrSaturated
+	}
+	p.EjectWait = rhoEj * ejService * (1 + cv2) / (2 * (1 - rhoEj))
+
+	p.NetworkLatency = tNet + p.EjectWait
+
+	// Source queue: M/G/1 at the injection port; the port is held for
+	// the larger of the serialization time and the header's transit.
+	srcService := math.Max(serialization, p.NetworkLatency-l)
+	rhoSrc := rate * srcService
+	if rhoSrc >= 1 {
+		p.Latency = math.Inf(1)
+		return p, ErrSaturated
+	}
+	p.SourceWait = rate * srcService * srcService * (1 + cv2) / (2 * (1 - rhoSrc))
+
+	raw := p.SourceWait + p.NetworkLatency
+	// Calibrated output: scale the contention delta above the
+	// zero-load bound.
+	zeroLoad := dbar + l
+	p.Latency = zeroLoad + gamma*(raw-zeroLoad)
+	return p, nil
+}
+
+// meanBottleneckStretch enumerates all (src, dst) coordinate pairs and
+// averages 1/(1-rho_max) over each pair's bottleneck cut.
+func meanBottleneckStretch(m topology.Mesh, xs, ys []float64) float64 {
+	w, h := m.Width, m.Height
+	total, count := 0.0, 0
+	for x1 := 0; x1 < w; x1++ {
+		for x2 := 0; x2 < w; x2++ {
+			// Bottleneck among crossed X cuts.
+			bx := 0.0
+			lo, hi := x1, x2
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for i := lo; i < hi; i++ {
+				if xs[i] > bx {
+					bx = xs[i]
+				}
+			}
+			for y1 := 0; y1 < h; y1++ {
+				for y2 := 0; y2 < h; y2++ {
+					if x1 == x2 && y1 == y2 {
+						continue
+					}
+					b := bx
+					lo, hi := y1, y2
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					for j := lo; j < hi; j++ {
+						if ys[j] > b {
+							b = ys[j]
+						}
+					}
+					if b >= 1 {
+						b = 0.999999
+					}
+					total += 1 / (1 - b)
+					count++
+				}
+			}
+		}
+	}
+	return total / float64(count)
+}
+
+// SaturationRate estimates the offered rate at which the model
+// saturates (bisection over Predict's stability region).
+func (mo Model) SaturationRate() float64 {
+	lo, hi := 1e-7, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if _, err := mo.Predict(mid); err == nil {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Calibrate fits the contention gain γ so that the model reproduces a
+// measured latency at one rate, returning the calibrated model. It
+// fails when no γ in (0.1, 20] matches (e.g. a measurement below the
+// zero-load bound).
+func (mo Model) Calibrate(rate, measuredLatency float64) (Model, error) {
+	lo, hi := 0.1, 20.0
+	eval := func(g float64) float64 {
+		m := mo
+		m.ContentionGain = g
+		p, err := m.Predict(rate)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return p.Latency
+	}
+	if eval(lo) > measuredLatency {
+		return mo, errors.New("analytic: measured latency below the model's zero-contention bound")
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if eval(mid) < measuredLatency {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out := mo
+	out.ContentionGain = (lo + hi) / 2
+	if eval(out.ContentionGain) == math.Inf(1) {
+		return mo, errors.New("analytic: calibration did not converge")
+	}
+	return out, nil
+}

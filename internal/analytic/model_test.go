@@ -1,0 +1,219 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"wormmesh/internal/sim"
+	"wormmesh/internal/topology"
+)
+
+func TestMeanDistanceExact(t *testing.T) {
+	// Brute force over all distinct pairs.
+	for _, dims := range [][2]int{{4, 4}, {10, 10}, {5, 8}} {
+		m := topology.New(dims[0], dims[1])
+		sum, n := 0, 0
+		for a := topology.NodeID(0); int(a) < m.NodeCount(); a++ {
+			for b := topology.NodeID(0); int(b) < m.NodeCount(); b++ {
+				if a != b {
+					sum += m.Distance(m.CoordOf(a), m.CoordOf(b))
+					n++
+				}
+			}
+		}
+		want := float64(sum) / float64(n)
+		if got := MeanDistance(m); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: MeanDistance = %v, brute force %v", m, got, want)
+		}
+	}
+}
+
+func TestChannelCount(t *testing.T) {
+	if got := ChannelCount(topology.New(10, 10)); got != 360 {
+		t.Errorf("10x10 channels = %d, want 360", got)
+	}
+	if got := ChannelCount(topology.New(2, 2)); got != 8 {
+		t.Errorf("2x2 channels = %d, want 8", got)
+	}
+}
+
+func TestCutLoadsConserveTraffic(t *testing.T) {
+	m := topology.New(10, 10)
+	flitRate := 0.1
+	xs, ys := cutLoads(m, flitRate)
+	// Summing per-channel loads times channels per cut over all four
+	// directions must equal the total flit-hops generated per cycle:
+	// rate * N * meanDistance(ordered pairs with repetition).
+	total := 0.0
+	for _, u := range xs {
+		total += 2 * u * float64(m.Height) // east + west symmetric
+	}
+	for _, u := range ys {
+		total += 2 * u * float64(m.Width)
+	}
+	want := flitRate * float64(m.NodeCount()) * (meanAbsDiff(m.Width) + meanAbsDiff(m.Height))
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("cut loads sum to %v, want %v", total, want)
+	}
+	// Center cuts are the busiest.
+	if xs[4] <= xs[0] || xs[4] <= xs[8] {
+		t.Errorf("center cut not the busiest: %v", xs)
+	}
+}
+
+func TestPredictMonotoneInLoad(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, rate := range []float64{0.0001, 0.0005, 0.001, 0.0015, 0.002} {
+		p, err := m.Predict(rate)
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		if p.Latency <= prev {
+			t.Errorf("latency not increasing: %v at rate %v", p.Latency, rate)
+		}
+		if p.Latency < p.MeanDistance+float64(m.MessageLength)-1 {
+			t.Errorf("latency %v below zero-load bound", p.Latency)
+		}
+		prev = p.Latency
+	}
+}
+
+func TestPredictSaturates(t *testing.T) {
+	m := Default()
+	if _, err := m.Predict(1.0); err != ErrSaturated {
+		t.Errorf("rate 1.0 err = %v, want ErrSaturated", err)
+	}
+	if _, err := m.Predict(-1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	sat := m.SaturationRate()
+	if sat <= 0.001 || sat > 0.01 {
+		t.Errorf("saturation rate = %v, expected a few thousandths for 100-flit messages", sat)
+	}
+	if _, err := m.Predict(sat * 0.9); err != nil {
+		t.Errorf("below saturation errored: %v", err)
+	}
+	if _, err := m.Predict(sat * 1.2); err == nil {
+		t.Error("above saturation accepted")
+	}
+}
+
+func TestFewerVCsRaiseBlocking(t *testing.T) {
+	wide := Default()
+	narrow := Default()
+	narrow.VirtualChannels = 2
+	rate := 0.002
+	pw, err := wide.Predict(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := narrow.Predict(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.BlockingProb <= pw.BlockingProb {
+		t.Errorf("narrow blocking %v not above wide %v", pn.BlockingProb, pw.BlockingProb)
+	}
+	if pn.Latency < pw.Latency {
+		t.Errorf("narrow latency %v below wide %v", pn.Latency, pw.Latency)
+	}
+}
+
+func TestContentionGainMonotone(t *testing.T) {
+	m := Default()
+	m.ContentionGain = 1
+	a, err := m.Predict(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ContentionGain = 2
+	b, err := m.Predict(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Latency <= a.Latency {
+		t.Errorf("gain 2 latency %v not above gain 1 %v", b.Latency, a.Latency)
+	}
+}
+
+func TestCalibrateRejectsImpossible(t *testing.T) {
+	m := Default()
+	if _, err := m.Calibrate(0.001, 50); err == nil {
+		t.Error("calibration to a latency below the zero-load bound succeeded")
+	}
+}
+
+// TestModelShapeAgainstSimulator validates the uncalibrated model
+// qualitatively against the flit-level simulator: same zero-load
+// anchor, monotone growth in the same band, saturation at the right
+// order of magnitude.
+func TestModelShapeAgainstSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed validation")
+	}
+	model := Default()
+	measure := func(rate float64) float64 {
+		p := sim.DefaultParams()
+		p.Algorithm = "Minimal-Adaptive"
+		p.Rate = rate
+		p.WarmupCycles = 3000
+		p.MeasureCycles = 9000
+		res, err := sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.AvgLatency()
+	}
+	for _, rate := range []float64{0.0005, 0.001} {
+		pred, err := model.Predict(rate)
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		measured := measure(rate)
+		// Uncalibrated mean-field models understate bursty contention;
+		// demand the right band (within a factor of 2) and the right
+		// side of the zero-load bound.
+		if pred.Latency > measured {
+			t.Errorf("rate %v: uncalibrated model %.0f above simulator %.0f — the mean-field bound should be optimistic",
+				rate, pred.Latency, measured)
+		}
+		if pred.Latency < measured/2 {
+			t.Errorf("rate %v: model %.0f below half the simulator's %.0f", rate, pred.Latency, measured)
+		}
+	}
+}
+
+// TestCalibratedModelTransfers calibrates γ at one load and requires
+// the calibrated model to predict a different load within 30%.
+func TestCalibratedModelTransfers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed validation")
+	}
+	measure := func(rate float64) float64 {
+		p := sim.DefaultParams()
+		p.Algorithm = "Minimal-Adaptive"
+		p.Rate = rate
+		p.WarmupCycles = 3000
+		p.MeasureCycles = 9000
+		res, err := sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.AvgLatency()
+	}
+	anchorRate, testRate := 0.001, 0.0015
+	calibrated, err := Default().Calibrate(anchorRate, measure(anchorRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := calibrated.Predict(testRate)
+	if err != nil {
+		t.Fatalf("calibrated model saturated at %v: %v", testRate, err)
+	}
+	measured := measure(testRate)
+	if rel := math.Abs(pred.Latency-measured) / measured; rel > 0.30 {
+		t.Errorf("calibrated transfer: model %.0f vs simulator %.0f (%.0f%% off, gain %.2f)",
+			pred.Latency, measured, 100*rel, calibrated.ContentionGain)
+	}
+}

@@ -1,0 +1,77 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wormmesh/internal/topology"
+)
+
+// TestQuickCutLoadsConserve checks flit-hop conservation for random
+// mesh shapes and rates.
+func TestQuickCutLoadsConserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		w := 2 + rng.Intn(14)
+		h := 2 + rng.Intn(14)
+		rate := rng.Float64() * 0.5
+		m := topology.New(w, h)
+		xs, ys := cutLoads(m, rate)
+		total := 0.0
+		for _, u := range xs {
+			total += 2 * u * float64(h)
+		}
+		for _, u := range ys {
+			total += 2 * u * float64(w)
+		}
+		want := rate * float64(m.NodeCount()) * (meanAbsDiff(w) + meanAbsDiff(h))
+		return math.Abs(total-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPredictionOrdering: for any pair of rates below saturation,
+// the higher rate never yields lower latency or lower blocking.
+func TestQuickPredictionOrdering(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a := 0.0001 + rng.Float64()*0.002
+		b := 0.0001 + rng.Float64()*0.002
+		if a > b {
+			a, b = b, a
+		}
+		pa, errA := m.Predict(a)
+		pb, errB := m.Predict(b)
+		if errA != nil {
+			return errB != nil || a > b // saturation is monotone too
+		}
+		if errB != nil {
+			return true
+		}
+		return pb.Latency >= pa.Latency-1e-9 && pb.BlockingProb >= pa.BlockingProb-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMeanDistanceBounds: the closed form stays within the
+// trivial bounds for random mesh shapes.
+func TestQuickMeanDistanceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		w := 2 + rng.Intn(20)
+		h := 2 + rng.Intn(20)
+		m := topology.New(w, h)
+		d := MeanDistance(m)
+		return d > 0 && d <= float64(m.Diameter())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

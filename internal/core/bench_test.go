@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+// BenchmarkStepIdle measures the per-cycle cost of an empty network
+// (the sweep harness spends warm-up tails here at low loads).
+func BenchmarkStepIdle(b *testing.B) {
+	mesh := topology.New(10, 10)
+	cfg := DefaultConfig()
+	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkStepLoaded measures the per-cycle cost with live traffic.
+func BenchmarkStepLoaded(b *testing.B) {
+	mesh := topology.New(10, 10)
+	cfg := DefaultConfig()
+	cfg.MaxSourceQueue = 4
+	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	id := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// ~0.3 messages per cycle network-wide: a busy mesh.
+		if rng.Float64() < 0.3 {
+			src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			if src != dst {
+				id++
+				m := NewMessage(id, src, dst, 16)
+				m.GenTime = n.Cycle()
+				n.Offer(m)
+			}
+		}
+		n.Step()
+	}
+	b.ReportMetric(float64(n.Snapshot().DeliveredFlits)/float64(b.N), "flits/cycle")
+}
+
+// BenchmarkStepParallel measures the parallel request–grant engine on
+// a large mesh across worker counts (run with -cpu to vary GOMAXPROCS
+// as well).
+func BenchmarkStepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			mesh := topology.New(24, 24)
+			cfg := DefaultConfig()
+			cfg.NumVCs = 8
+			cfg.MaxSourceQueue = 4
+			n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 8}, cfg, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			clones := make([]Algorithm, workers)
+			for i := range clones {
+				clones[i] = xyAlg{mesh: mesh, vcs: 8}
+			}
+			if err := n.EnableParallel(workers, clones); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			id := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < 4; k++ { // busy network
+					src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+					dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+					if src != dst {
+						id++
+						m := NewMessage(id, src, dst, 16)
+						m.GenTime = n.Cycle()
+						n.Offer(m)
+					}
+				}
+				n.Step()
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return "workers-" + string(rune('0'+workers))
+}
+
+// BenchmarkValidate measures the invariant checker used by the tests.
+func BenchmarkValidate(b *testing.B) {
+	mesh := topology.New(10, 10)
+	cfg := DefaultConfig()
+	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m := NewMessage(int64(i+1), topology.NodeID(i), topology.NodeID(99-i), 16)
+		m.GenTime = 0
+		n.Offer(m)
+	}
+	for i := 0; i < 20; i++ {
+		n.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// KillPolicy selects what the deadlock watchdog does with its victim.
+type KillPolicy uint8
+
+// Kill policies.
+const (
+	// KillDrop tears the victim down and counts it; its flits are lost.
+	KillDrop KillPolicy = iota
+	// KillReinject tears the victim down and re-enqueues a fresh copy
+	// at its source, preserving the original generation time so the
+	// recovery stall shows up as latency.
+	KillReinject
+)
+
+// Config holds the router micro-architecture parameters the paper does
+// not vary (but also does not always state); defaults follow the
+// values common in the fault-tolerant wormhole literature.
+type Config struct {
+	// NumVCs is the number of virtual channels per physical channel.
+	// The paper uses 24 for the 10×10 mesh.
+	NumVCs int
+	// BufDepth is the flit capacity of each virtual-channel buffer.
+	BufDepth int
+	// EjectBW is the number of flits a node can consume per cycle.
+	EjectBW int
+	// DeadlockCycles is the watchdog threshold: if no flit in the whole
+	// network moves for this many cycles, the watchdog triggers.
+	DeadlockCycles int64
+	// MessageStallCycles additionally triggers recovery for a single
+	// message whose flits have not moved for this many cycles while the
+	// rest of the network is making progress (catches local deadlock
+	// cycles that global motion masks). Zero disables the per-message
+	// check.
+	MessageStallCycles int64
+	// MaxHops is the livelock guard: a message that exceeds this many
+	// hops (possible only through misrouting or pathological f-ring
+	// circling) is torn down and counted. Zero disables the guard.
+	MaxHops int32
+	// Kill selects the recovery action.
+	Kill KillPolicy
+	// Selection picks among free candidate channels.
+	Selection SelectionPolicy
+	// MaxSourceQueue bounds the per-node source queue; when full, newly
+	// generated messages are refused (counted as rejected offers).
+	// Zero means unbounded.
+	MaxSourceQueue int
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments: 24 VCs per physical channel, 2-flit VC buffers, one
+// ejection flit per cycle.
+func DefaultConfig() Config {
+	return Config{
+		NumVCs:             24,
+		BufDepth:           2,
+		EjectBW:            1,
+		DeadlockCycles:     3000,
+		MessageStallCycles: 5000,
+		MaxHops:            0, // set per-mesh by the sim layer
+		Kill:               KillDrop,
+		Selection:          SelectRandomChannel,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumVCs < 1 || c.NumVCs > 255 {
+		return fmt.Errorf("core: NumVCs %d out of range [1,255]", c.NumVCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("core: BufDepth %d < 1", c.BufDepth)
+	}
+	if c.EjectBW < 1 {
+		return fmt.Errorf("core: EjectBW %d < 1", c.EjectBW)
+	}
+	if c.DeadlockCycles < 1 {
+		return fmt.Errorf("core: DeadlockCycles %d < 1", c.DeadlockCycles)
+	}
+	if c.MaxSourceQueue < 0 {
+		return fmt.Errorf("core: MaxSourceQueue %d < 0", c.MaxSourceQueue)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"wormmesh/internal/topology"
+)
+
+// Message is one wormhole message: a fixed-length train of flits led by
+// a header that carries all routing state. The engine moves flits; the
+// routing algorithm reads and writes the routing-state fields.
+type Message struct {
+	ID     int64
+	Src    topology.NodeID
+	Dst    topology.NodeID
+	Length int // flits, header and tail included
+
+	// Timestamps, in cycles. -1 means "not yet".
+	GenTime     int64 // generation (enqueue at the source)
+	InjectTime  int64 // header flit leaves the source queue
+	DeliverTime int64 // tail flit ejected at the destination
+
+	// Routing state maintained by the algorithms via Advance.
+	Hops       int32           // hops taken so far
+	NegHops    int32           // negative (high→low color) hops taken
+	Class      int32           // buffer class used by the last hop
+	Cards      int32           // remaining bonus cards
+	CardsSpent int32           // cumulative bonus cards spent
+	Misroutes  int32           // non-minimal hops taken (Fully-Adaptive budget)
+	DirClass   DirClass        // WE/EW/NS/SN, fixed at generation
+	Subnet     uint8           // virtual subnetwork (Boura double-y discipline)
+	Prev       topology.NodeID // node the header last came from
+
+	// Boppana–Chalasani f-ring traversal state. RingIdx indexes the
+	// fault model's Rings(); -1 when the message is routing normally.
+	RingIdx int32
+	RingCW  bool
+
+	// Engine bookkeeping.
+	flitsInjected int   // flits that have left the source queue
+	lastMove      int64 // cycle of the message's last flit movement
+	Killed        bool  // torn down by deadlock recovery
+}
+
+// NewMessage builds a message with timestamps and routing state
+// cleared. The caller (traffic generator) sets GenTime; the routing
+// algorithm's InitMessage fills the routing state.
+func NewMessage(id int64, src, dst topology.NodeID, length int) *Message {
+	if length < 1 {
+		panic(fmt.Sprintf("core: message length %d < 1", length))
+	}
+	return &Message{
+		ID:          id,
+		Src:         src,
+		Dst:         dst,
+		Length:      length,
+		GenTime:     -1,
+		InjectTime:  -1,
+		DeliverTime: -1,
+		RingIdx:     -1,
+		Prev:        topology.Invalid,
+	}
+}
+
+// Delivered reports whether the tail has reached the destination.
+func (m *Message) Delivered() bool { return m.DeliverTime >= 0 }
+
+// Latency returns the message latency in cycles from generation to
+// tail delivery (the paper's "average message latency" includes source
+// queueing). It panics when the message is not yet delivered.
+func (m *Message) Latency() int64 {
+	if !m.Delivered() {
+		panic("core: Latency on undelivered message")
+	}
+	return m.DeliverTime - m.GenTime
+}
+
+// NetworkLatency returns the cycles spent inside the network, from
+// header injection to tail delivery.
+func (m *Message) NetworkLatency() int64 {
+	if !m.Delivered() || m.InjectTime < 0 {
+		panic("core: NetworkLatency on undelivered message")
+	}
+	return m.DeliverTime - m.InjectTime
+}
+
+// String renders a compact description for traces and tests.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d %d->%d len=%d hops=%d class=%d", m.ID, m.Src, m.Dst, m.Length, m.Hops, m.Class)
+}
+
+// Flit is one flow-control unit of a message. Index 0 is the header;
+// Index == Length-1 is the tail. A one-flit message's single flit is
+// both header and tail.
+type Flit struct {
+	Msg   *Message
+	Index int32
+}
+
+// Head reports whether this is the header flit.
+func (f Flit) Head() bool { return f.Index == 0 }
+
+// Tail reports whether this is the tail flit.
+func (f Flit) Tail() bool { return int(f.Index) == f.Msg.Length-1 }

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// Network is one simulated wormhole-switched mesh: routers, link state,
+// in-flight messages, and measurement counters. A Network instance is
+// not safe for concurrent use; run independent simulations in parallel
+// instead (see internal/sweep).
+type Network struct {
+	Mesh   topology.Mesh
+	Faults *fault.Model
+	Alg    Algorithm
+	Cfg    Config
+
+	rng     *rand.Rand
+	routers []router
+	cycle   int64
+
+	lastGlobalMove int64
+	lastStallScan  int64
+	active         map[*Message]struct{}
+
+	stats      Stats
+	statsStart int64
+	tracer     Tracer
+	par        *parallelEngine
+
+	// Reused scratch buffers (inner-loop allocation avoidance).
+	cands    CandidateSet
+	freeCh   []Channel
+	requests []request
+	moves    []move
+	senders  []sender
+	outOrder [NumPorts]topology.Direction
+	dirBuf   []topology.Direction
+	msgSeq   int64
+}
+
+// request identifies a header awaiting an output channel: either an
+// input VC (port < InjectPort) or the head of the source queue.
+type request struct {
+	node topology.NodeID
+	port int8 // 0..3 = input port, InjectPort = source queue head
+	vc   uint8
+}
+
+type moveKind uint8
+
+const (
+	moveLink moveKind = iota
+	moveInject
+	moveEject
+)
+
+// move is a staged flit transfer, committed at end of cycle so that all
+// decisions within one cycle observe the same start-of-cycle state.
+type move struct {
+	kind moveKind
+	node topology.NodeID // router whose crossbar the flit traverses
+	port int8            // source input port (moveLink/moveEject)
+	vc   uint8
+}
+
+// sender is a switch-allocation candidate for one output.
+type sender struct {
+	port int8 // InjectPort for the injection slot
+	vc   uint8
+}
+
+// NumPorts re-exported locally for loop bounds.
+const NumPorts = topology.NumPorts
+
+// InjectPort aliases topology.InjectPort for readability inside core.
+const InjectPort = topology.InjectPort
+
+// NewNetwork assembles a network over the given mesh, fault pattern and
+// routing algorithm. The algorithm's NumVCs must not exceed
+// cfg.NumVCs; the surplus channels, if any, simply stay idle so that
+// hardware cost comparisons remain fair.
+func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng *rand.Rand) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		f = fault.None(m)
+	}
+	if f.Mesh != m {
+		return nil, fmt.Errorf("core: fault model built for %v, network is %v", f.Mesh, m)
+	}
+	if alg.NumVCs() > cfg.NumVCs {
+		return nil, fmt.Errorf("core: algorithm %s needs %d VCs, config provides %d", alg.Name(), alg.NumVCs(), cfg.NumVCs)
+	}
+	n := &Network{
+		Mesh:           m,
+		Faults:         f,
+		Alg:            alg,
+		Cfg:            cfg,
+		rng:            rng,
+		routers:        make([]router, m.NodeCount()),
+		active:         make(map[*Message]struct{}),
+		lastGlobalMove: 0,
+	}
+	for i := range n.routers {
+		r := &n.routers[i]
+		r.id = topology.NodeID(i)
+		for p := 0; p < topology.NumDirs; p++ {
+			r.in[p] = make([]vcState, cfg.NumVCs)
+			for v := range r.in[p] {
+				s := &r.in[p][v]
+				s.buf = make([]Flit, 0, cfg.BufDepth)
+				s.activeIdx = -1
+				s.stagedIn = -1
+				s.stagedOut = -1
+				s.port = int8(p)
+				s.idx = uint8(v)
+			}
+		}
+	}
+	n.stats.init(cfg.NumVCs, m.NodeCount())
+	return n, nil
+}
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// InFlight returns the number of messages generated but not yet
+// delivered or killed.
+func (n *Network) InFlight() int { return len(n.active) }
+
+// QueueLen returns the source-queue length at a node.
+func (n *Network) QueueLen(id topology.NodeID) int { return len(n.routers[id].srcQ) }
+
+// NextMessageID hands out engine-unique message identifiers for
+// drivers that do not keep their own counter.
+func (n *Network) NextMessageID() int64 {
+	n.msgSeq++
+	return n.msgSeq
+}
+
+// Offer enqueues a freshly generated message at its source node. The
+// caller must have set GenTime; Offer runs the routing algorithm's
+// InitMessage. It returns false (counting a refused offer) when the
+// source queue is bounded and full. Offering traffic at or to a faulty
+// node is a driver bug and panics.
+func (n *Network) Offer(m *Message) bool {
+	if n.Faults.IsFaulty(m.Src) || n.Faults.IsFaulty(m.Dst) {
+		panic(fmt.Sprintf("core: traffic at faulty node: %v", m))
+	}
+	if m.Src == m.Dst {
+		panic(fmt.Sprintf("core: message to self: %v", m))
+	}
+	r := &n.routers[m.Src]
+	if n.Cfg.MaxSourceQueue > 0 && len(r.srcQ) >= n.Cfg.MaxSourceQueue {
+		if m.GenTime >= n.statsStart {
+			n.stats.Refused++
+		}
+		return false
+	}
+	n.Alg.InitMessage(m)
+	m.lastMove = n.cycle
+	r.srcQ = append(r.srcQ, m)
+	n.active[m] = struct{}{}
+	if m.GenTime >= n.statsStart {
+		n.stats.Generated++
+	}
+	return true
+}
+
+// Step advances the network one cycle: routing + VC allocation, then
+// switch allocation and flit traversal, then watchdog checks. With
+// EnableParallel, the parallel request–grant engine runs instead.
+func (n *Network) Step() {
+	if n.par != nil {
+		n.stepParallel()
+		return
+	}
+	n.routingPhase()
+	n.switchPhase()
+	n.watchdog()
+	n.cycle++
+}
+
+// downstream resolves the input VC that output channel ch of node id
+// feeds. ok is false when the neighbor does not exist or is faulty.
+func (n *Network) downstream(id topology.NodeID, ch Channel) (*router, *vcState, bool) {
+	nb := n.Mesh.NeighborID(id, ch.Dir)
+	if nb == topology.Invalid || n.Faults.IsFaulty(nb) {
+		return nil, nil, false
+	}
+	r := &n.routers[nb]
+	return r, &r.in[ch.Dir.Opposite()][ch.VC], true
+}
+
+// routingPhase finds every header that needs an output channel, asks
+// the routing algorithm for candidates, and performs VC allocation
+// with random conflict resolution.
+func (n *Network) routingPhase() {
+	n.requests = n.requests[:0]
+	for i := range n.routers {
+		r := &n.routers[i]
+		if r.inj.msg == nil && len(r.srcQ) > 0 {
+			n.requests = append(n.requests, request{node: r.id, port: InjectPort})
+		}
+		for _, code := range r.active {
+			s := r.vcAt(code, n.Cfg.NumVCs)
+			if s.routed || len(s.buf) == 0 {
+				continue // body VC, or claimed with header still in flight
+			}
+			if !s.buf[0].Head() {
+				panic("core: unrouted VC with non-header at head")
+			}
+			if s.owner.Dst == r.id {
+				s.routed = true
+				s.out = Channel{Dir: topology.Local}
+				continue
+			}
+			n.requests = append(n.requests, request{node: r.id, port: int8(code / int32(n.Cfg.NumVCs)), vc: uint8(code % int32(n.Cfg.NumVCs))})
+		}
+	}
+	// Random service order = random conflict resolution among headers
+	// competing for the same downstream VCs.
+	n.rng.Shuffle(len(n.requests), func(i, j int) {
+		n.requests[i], n.requests[j] = n.requests[j], n.requests[i]
+	})
+	for _, req := range n.requests {
+		r := &n.routers[req.node]
+		var m *Message
+		if req.port == InjectPort {
+			if r.inj.msg != nil || len(r.srcQ) == 0 {
+				continue
+			}
+			m = r.srcQ[0]
+		} else {
+			s := &r.in[req.port][req.vc]
+			if s.owner == nil || s.routed || len(s.buf) == 0 {
+				continue
+			}
+			m = s.owner
+		}
+		n.cands.Reset()
+		n.Alg.Candidates(m, req.node, &n.cands)
+		ch, ok := n.allocate(req.node, &n.cands)
+		if !ok {
+			continue
+		}
+		dr, dvc, ok := n.downstream(req.node, ch)
+		if !ok || dvc.owner != nil {
+			panic("core: allocate returned unusable channel")
+		}
+		dr.claim(ch.Dir.Opposite(), int(ch.VC), m, n.cycle, n.Cfg.NumVCs)
+		if req.port == InjectPort {
+			r.inj = injState{msg: m, out: ch}
+			m.lastMove = n.cycle
+		} else {
+			s := &r.in[req.port][req.vc]
+			s.routed = true
+			s.out = ch
+		}
+		ringBefore := m.RingIdx
+		n.Alg.Advance(m, req.node, ch)
+		if ringBefore < 0 && m.RingIdx >= 0 && n.cycle >= n.statsStart {
+			n.stats.RingEntries++
+		}
+		if n.tracer != nil {
+			n.tracer.HeaderRouted(m, req.node, ch, n.cycle)
+		}
+	}
+}
+
+// allocate picks one free channel from the earliest preference tier
+// that has any, applying the configured selection policy.
+func (n *Network) allocate(node topology.NodeID, cands *CandidateSet) (Channel, bool) {
+	for t := 0; t < MaxTiers; t++ {
+		tier := cands.Tier(t)
+		if len(tier) == 0 {
+			continue
+		}
+		n.freeCh = n.freeCh[:0]
+		for _, ch := range tier {
+			if _, dvc, ok := n.downstream(node, ch); ok && dvc.owner == nil {
+				n.freeCh = append(n.freeCh, ch)
+			}
+		}
+		if len(n.freeCh) == 0 {
+			continue
+		}
+		switch n.Cfg.Selection {
+		case SelectRandomChannel:
+			return n.freeCh[n.rng.Intn(len(n.freeCh))], true
+		case SelectRandomDir:
+			n.dirBuf = n.dirBuf[:0]
+			for _, ch := range n.freeCh {
+				seen := false
+				for _, d := range n.dirBuf {
+					if d == ch.Dir {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					n.dirBuf = append(n.dirBuf, ch.Dir)
+				}
+			}
+			d := n.dirBuf[n.rng.Intn(len(n.dirBuf))]
+			same := n.freeCh[:0:0]
+			for _, ch := range n.freeCh {
+				if ch.Dir == d {
+					same = append(same, ch)
+				}
+			}
+			return same[n.rng.Intn(len(same))], true
+		case SelectLowestVC:
+			best := n.freeCh[0]
+			for _, ch := range n.freeCh[1:] {
+				if ch.VC < best.VC || (ch.VC == best.VC && ch.Dir < best.Dir) {
+					best = ch
+				}
+			}
+			return best, true
+		}
+	}
+	return Channel{}, false
+}
+
+// switchPhase performs switch allocation (one flit per input port and
+// per output physical channel per cycle; EjectBW flits on the local
+// output) and commits the staged flit moves.
+func (n *Network) switchPhase() {
+	n.moves = n.moves[:0]
+	for i := range n.routers {
+		r := &n.routers[i]
+		if len(r.active) == 0 && r.inj.msg == nil {
+			continue
+		}
+		var portUsed [NumPorts]bool
+		// Random output service order for fairness between outputs that
+		// contend for the same input ports.
+		n.outOrder = [NumPorts]topology.Direction{topology.East, topology.West, topology.North, topology.South, topology.Local}
+		for k := NumPorts - 1; k > 0; k-- {
+			j := n.rng.Intn(k + 1)
+			n.outOrder[k], n.outOrder[j] = n.outOrder[j], n.outOrder[k]
+		}
+		for _, out := range n.outOrder {
+			capacity := 1
+			if out == topology.Local {
+				capacity = n.Cfg.EjectBW
+			}
+			for capacity > 0 {
+				n.senders = n.senders[:0]
+				for _, code := range r.active {
+					port := int8(code / int32(n.Cfg.NumVCs))
+					if portUsed[port] {
+						continue
+					}
+					s := r.vcAt(code, n.Cfg.NumVCs)
+					if !s.routed || s.out.Dir != out || len(s.buf) == 0 || s.stagedOut == n.cycle {
+						continue
+					}
+					if out != topology.Local {
+						_, dvc, ok := n.downstream(r.id, s.out)
+						if !ok {
+							panic("core: routed VC towards missing neighbor")
+						}
+						if !n.hasCredit(dvc) {
+							continue
+						}
+					}
+					n.senders = append(n.senders, sender{port: port, vc: uint8(code % int32(n.Cfg.NumVCs))})
+				}
+				if out != topology.Local && r.inj.msg != nil && r.inj.out.Dir == out && !portUsed[InjectPort] {
+					m := r.inj.msg
+					if m.flitsInjected < m.Length {
+						if _, dvc, ok := n.downstream(r.id, r.inj.out); ok && n.hasCredit(dvc) {
+							n.senders = append(n.senders, sender{port: InjectPort})
+						}
+					}
+				}
+				if len(n.senders) == 0 {
+					break
+				}
+				w := n.senders[n.rng.Intn(len(n.senders))]
+				portUsed[w.port] = true
+				switch {
+				case w.port == InjectPort:
+					_, dvc, _ := n.downstream(r.id, r.inj.out)
+					dvc.stagedIn = n.cycle
+					n.moves = append(n.moves, move{kind: moveInject, node: r.id})
+				case out == topology.Local:
+					s := &r.in[w.port][w.vc]
+					s.stagedOut = n.cycle
+					n.moves = append(n.moves, move{kind: moveEject, node: r.id, port: w.port, vc: w.vc})
+				default:
+					s := &r.in[w.port][w.vc]
+					s.stagedOut = n.cycle
+					_, dvc, _ := n.downstream(r.id, s.out)
+					dvc.stagedIn = n.cycle
+					n.moves = append(n.moves, move{kind: moveLink, node: r.id, port: w.port, vc: w.vc})
+				}
+				capacity--
+			}
+		}
+	}
+	n.commit()
+}
+
+// hasCredit reports whether a downstream VC can accept one more flit
+// this cycle (start-of-cycle occupancy plus any staged arrival).
+func (n *Network) hasCredit(dvc *vcState) bool {
+	occ := len(dvc.buf)
+	if dvc.stagedIn == n.cycle {
+		occ++
+	}
+	return occ < n.Cfg.BufDepth
+}
+
+// commit applies the staged moves simultaneously.
+func (n *Network) commit() {
+	measuring := n.cycle >= n.statsStart
+	for _, mv := range n.moves {
+		r := &n.routers[mv.node]
+		switch mv.kind {
+		case moveInject:
+			m := r.inj.msg
+			idx := m.flitsInjected
+			m.flitsInjected++
+			_, dvc, _ := n.downstream(r.id, r.inj.out)
+			dvc.buf = append(dvc.buf, Flit{Msg: m, Index: int32(idx)})
+			if idx == 0 {
+				m.InjectTime = n.cycle
+				if measuring {
+					n.stats.Injected++
+				}
+				if n.tracer != nil {
+					n.tracer.MessageInjected(m, n.cycle)
+				}
+			}
+			if n.tracer != nil {
+				n.tracer.FlitMoved(Flit{Msg: m, Index: int32(idx)}, r.id, r.inj.out, n.cycle)
+			}
+			if idx == m.Length-1 {
+				r.srcQ = r.srcQ[1:]
+				r.inj.msg = nil
+			}
+			m.lastMove = n.cycle
+			n.lastGlobalMove = n.cycle
+			if measuring {
+				r.crossings++
+				n.stats.FlitHops++
+			}
+		case moveLink:
+			s := &r.in[mv.port][mv.vc]
+			f := s.popFront()
+			_, dvc, _ := n.downstream(r.id, s.out)
+			dvc.buf = append(dvc.buf, f)
+			if f.Tail() {
+				n.releaseVC(r, s)
+			}
+			f.Msg.lastMove = n.cycle
+			n.lastGlobalMove = n.cycle
+			if n.tracer != nil {
+				n.tracer.FlitMoved(f, r.id, s.out, n.cycle)
+			}
+			if measuring {
+				r.crossings++
+				n.stats.FlitHops++
+			}
+		case moveEject:
+			s := &r.in[mv.port][mv.vc]
+			f := s.popFront()
+			m := f.Msg
+			if f.Tail() {
+				n.releaseVC(r, s)
+				m.DeliverTime = n.cycle
+				delete(n.active, m)
+				if n.tracer != nil {
+					n.tracer.MessageDelivered(m, n.cycle)
+				}
+				if measuring {
+					n.stats.recordDelivery(m, n.statsStart, n.Mesh.Distance(n.Mesh.CoordOf(m.Src), n.Mesh.CoordOf(m.Dst)))
+				}
+			}
+			m.lastMove = n.cycle
+			n.lastGlobalMove = n.cycle
+			if measuring {
+				r.crossings++
+				n.stats.DeliveredFlits++
+			}
+		}
+	}
+}
+
+func (s *vcState) popFront() Flit {
+	f := s.buf[0]
+	copy(s.buf, s.buf[1:])
+	s.buf = s.buf[:len(s.buf)-1]
+	return f
+}
+
+// releaseVC accumulates the VC's busy time and frees it.
+func (n *Network) releaseVC(r *router, s *vcState) {
+	start := s.acquired
+	if start < n.statsStart {
+		start = n.statsStart
+	}
+	if n.cycle >= n.statsStart {
+		n.stats.VCBusy[s.idx] += n.cycle - start + 1
+		n.stats.VCAcquired[s.idx]++
+	}
+	r.release(s, n.Cfg.NumVCs)
+}

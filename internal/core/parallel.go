@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"wormmesh/internal/topology"
+)
+
+// Parallel stepping. The serial engine resolves conflicts by a global
+// random service order, which is inherently sequential. The parallel
+// engine replaces it with a single-round request–grant handshake (the
+// structure of real virtual-channel allocators):
+//
+//	P1 (parallel over nodes)  every header picks ONE free candidate
+//	                          channel using a per-(cycle, node) hashed
+//	                          random stream;
+//	P2 (serial, cheap)        each contested downstream VC grants one
+//	                          requester by a hash tournament; losers
+//	                          retry next cycle;
+//	P3 (parallel over nodes)  switch allocation stages flit moves;
+//	P4 (serial, cheap)        staged moves commit in node order.
+//
+// All random choices derive from splitmix64 hashes of (seed, cycle,
+// node), so a run is bit-identical for ANY worker count, including 1 —
+// results differ from the serial engine (a different, but equally
+// legitimate, arbitration model) yet are reproducible everywhere.
+//
+// Routing algorithms keep per-instance scratch buffers, so each worker
+// needs its own clone; EnableParallel receives them from the caller
+// (the registry lives above core).
+
+// parallelEngine holds the parallel-mode state.
+type parallelEngine struct {
+	workers int
+	algs    []Algorithm // one clone per worker
+	hashKey uint64
+
+	reqs  [][]pRequest // staged requests, per node
+	moved [][]move     // staged flit moves, per node
+	grant map[int64]pGrant
+	cands []CandidateSet // per-worker scratch
+
+	wg sync.WaitGroup
+}
+
+// pRequest is one header's selected channel for this cycle.
+type pRequest struct {
+	port   int8 // InjectPort for the source queue head
+	vc     uint8
+	msg    *Message
+	choice Channel
+}
+
+// pGrant marks the winning requester of one downstream VC.
+type pGrant struct {
+	node topology.NodeID
+	idx  int // index into reqs[node]
+}
+
+// EnableParallel switches the network to parallel stepping with the
+// given worker count and per-worker routing algorithm clones (workers
+// entries; they must be built over the same mesh and fault model).
+// Pass workers <= 1 with a single clone to get the parallel
+// ARBITRATION semantics on one thread (useful to pin determinism).
+func (n *Network) EnableParallel(workers int, algs []Algorithm) error {
+	if workers < 1 {
+		return fmt.Errorf("core: workers %d < 1", workers)
+	}
+	if len(algs) != workers {
+		return fmt.Errorf("core: need %d algorithm clones, got %d", workers, len(algs))
+	}
+	for i, a := range algs {
+		if a.NumVCs() != n.Alg.NumVCs() {
+			return fmt.Errorf("core: clone %d has %d VCs, network algorithm has %d", i, a.NumVCs(), n.Alg.NumVCs())
+		}
+	}
+	n.par = &parallelEngine{
+		workers: workers,
+		algs:    algs,
+		hashKey: uint64(n.rng.Int63()),
+		reqs:    make([][]pRequest, n.Mesh.NodeCount()),
+		moved:   make([][]move, n.Mesh.NodeCount()),
+		grant:   make(map[int64]pGrant),
+		cands:   make([]CandidateSet, workers),
+	}
+	return nil
+}
+
+// DisableParallel returns to serial stepping.
+func (n *Network) DisableParallel() { n.par = nil }
+
+// splitmix64 is the standard splitmix64 finalizer, used to derive
+// deterministic per-(cycle, node) random streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// prng is a tiny deterministic stream seeded from hashes.
+type prng struct{ state uint64 }
+
+func newPRNG(key, cycle uint64, node topology.NodeID, salt uint64) prng {
+	return prng{state: splitmix64(key ^ splitmix64(cycle) ^ splitmix64(uint64(node)+salt*0x517cc1b727220a95))}
+}
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	return splitmix64(p.state)
+}
+
+func (p *prng) intn(n int) int {
+	return int(p.next() % uint64(n))
+}
+
+// forEachNode runs fn over all node indices, sharded across the
+// configured workers.
+func (pe *parallelEngine) forEachNode(nodes int, fn func(worker, node int)) {
+	if pe.workers == 1 {
+		for i := 0; i < nodes; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	pe.wg.Add(pe.workers)
+	for w := 0; w < pe.workers; w++ {
+		go func(w int) {
+			defer pe.wg.Done()
+			for i := w; i < nodes; i += pe.workers {
+				fn(w, i)
+			}
+		}(w)
+	}
+	pe.wg.Wait()
+}
+
+// stepParallel is Step's parallel-mode body.
+func (n *Network) stepParallel() {
+	pe := n.par
+	nodes := n.Mesh.NodeCount()
+
+	// P1: every header selects one free candidate.
+	pe.forEachNode(nodes, func(worker, i int) {
+		r := &n.routers[i]
+		pe.reqs[i] = pe.reqs[i][:0]
+		alg := pe.algs[worker]
+		rng := newPRNG(pe.hashKey, uint64(n.cycle), r.id, 1)
+		cands := &pe.cands[worker]
+		consider := func(port int8, vc uint8, m *Message) {
+			cands.Reset()
+			alg.Candidates(m, r.id, cands)
+			ch, ok := n.selectFreeHashed(r.id, cands, &rng)
+			if !ok {
+				return
+			}
+			pe.reqs[i] = append(pe.reqs[i], pRequest{port: port, vc: vc, msg: m, choice: ch})
+		}
+		if r.inj.msg == nil && len(r.srcQ) > 0 {
+			consider(InjectPort, 0, r.srcQ[0])
+		}
+		for _, code := range r.active {
+			s := r.vcAt(code, n.Cfg.NumVCs)
+			if s.routed || len(s.buf) == 0 {
+				continue
+			}
+			if s.owner.Dst == r.id {
+				s.routed = true
+				s.out = Channel{Dir: topology.Local}
+				continue
+			}
+			consider(int8(code/int32(n.Cfg.NumVCs)), uint8(code%int32(n.Cfg.NumVCs)), s.owner)
+		}
+	})
+
+	// P2: grant each contested downstream VC to the hash-tournament
+	// winner; apply grants.
+	for k := range pe.grant {
+		delete(pe.grant, k)
+	}
+	keyOf := func(ch Channel, from topology.NodeID) int64 {
+		nb := n.Mesh.NeighborID(from, ch.Dir)
+		return int64(nb)*int64(NumPorts*256) + int64(ch.Dir.Opposite())*256 + int64(ch.VC)
+	}
+	for i := 0; i < nodes; i++ {
+		for ri, req := range pe.reqs[i] {
+			k := keyOf(req.choice, topology.NodeID(i))
+			cur, ok := pe.grant[k]
+			if !ok {
+				pe.grant[k] = pGrant{node: topology.NodeID(i), idx: ri}
+				continue
+			}
+			curReq := pe.reqs[cur.node][cur.idx]
+			if pe.tournament(k, req.msg.ID) < pe.tournament(k, curReq.msg.ID) {
+				pe.grant[k] = pGrant{node: topology.NodeID(i), idx: ri}
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		for ri, req := range pe.reqs[i] {
+			k := keyOf(req.choice, topology.NodeID(i))
+			if g := pe.grant[k]; g.node != topology.NodeID(i) || g.idx != ri {
+				continue
+			}
+			r := &n.routers[i]
+			dr, dvc, ok := n.downstream(r.id, req.choice)
+			if !ok || dvc.owner != nil {
+				continue // freshness double-check
+			}
+			dr.claim(req.choice.Dir.Opposite(), int(req.choice.VC), req.msg, n.cycle, n.Cfg.NumVCs)
+			if req.port == InjectPort {
+				r.inj = injState{msg: req.msg, out: req.choice}
+				req.msg.lastMove = n.cycle
+			} else {
+				s := &r.in[req.port][req.vc]
+				s.routed = true
+				s.out = req.choice
+			}
+			ringBefore := req.msg.RingIdx
+			n.Alg.Advance(req.msg, r.id, req.choice)
+			if ringBefore < 0 && req.msg.RingIdx >= 0 && n.cycle >= n.statsStart {
+				n.stats.RingEntries++
+			}
+			if n.tracer != nil {
+				n.tracer.HeaderRouted(req.msg, r.id, req.choice, n.cycle)
+			}
+		}
+	}
+
+	// P3: switch allocation, staged per node.
+	pe.forEachNode(nodes, func(worker, i int) {
+		pe.moved[i] = n.switchAllocateNode(i, pe.moved[i][:0], worker)
+	})
+
+	// P4: serial commit in node order.
+	n.moves = n.moves[:0]
+	for i := 0; i < nodes; i++ {
+		n.moves = append(n.moves, pe.moved[i]...)
+	}
+	n.commit()
+
+	n.watchdog()
+	n.cycle++
+}
+
+// tournament orders competing requesters deterministically.
+func (pe *parallelEngine) tournament(key int64, msgID int64) uint64 {
+	return splitmix64(pe.hashKey ^ splitmix64(uint64(key)) ^ splitmix64(uint64(msgID)))
+}
+
+// selectFreeHashed mirrors Network.allocate with a hashed stream
+// instead of the global RNG.
+func (n *Network) selectFreeHashed(node topology.NodeID, cands *CandidateSet, rng *prng) (Channel, bool) {
+	for t := 0; t < MaxTiers; t++ {
+		tier := cands.Tier(t)
+		if len(tier) == 0 {
+			continue
+		}
+		// Count free candidates, reservoir-pick per policy.
+		switch n.Cfg.Selection {
+		case SelectLowestVC:
+			var best Channel
+			found := false
+			for _, ch := range tier {
+				if _, dvc, ok := n.downstream(node, ch); !ok || dvc.owner != nil {
+					continue
+				}
+				if !found || ch.VC < best.VC || (ch.VC == best.VC && ch.Dir < best.Dir) {
+					best, found = ch, true
+				}
+			}
+			if found {
+				return best, true
+			}
+		default:
+			// Random among free channels via reservoir sampling (one
+			// pass, no allocation).
+			var pick Channel
+			seen := 0
+			for _, ch := range tier {
+				if _, dvc, ok := n.downstream(node, ch); !ok || dvc.owner != nil {
+					continue
+				}
+				seen++
+				if rng.intn(seen) == 0 {
+					pick = ch
+				}
+			}
+			if seen > 0 {
+				return pick, true
+			}
+		}
+	}
+	return Channel{}, false
+}
+
+// switchAllocateNode is the per-node body of the switch phase, shared
+// in spirit with switchPhase but using the hashed stream; it returns
+// the staged moves for the node.
+func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
+	r := &n.routers[i]
+	if len(r.active) == 0 && r.inj.msg == nil {
+		return out
+	}
+	rng := newPRNG(n.par.hashKey, uint64(n.cycle), r.id, 2)
+	var portUsed [NumPorts]bool
+	order := [NumPorts]topology.Direction{topology.East, topology.West, topology.North, topology.South, topology.Local}
+	for k := NumPorts - 1; k > 0; k-- {
+		j := rng.intn(k + 1)
+		order[k], order[j] = order[j], order[k]
+	}
+	var senders []sender
+	for _, outDir := range order {
+		capacity := 1
+		if outDir == topology.Local {
+			capacity = n.Cfg.EjectBW
+		}
+		for capacity > 0 {
+			senders = senders[:0]
+			for _, code := range r.active {
+				port := int8(code / int32(n.Cfg.NumVCs))
+				if portUsed[port] {
+					continue
+				}
+				s := r.vcAt(code, n.Cfg.NumVCs)
+				if !s.routed || s.out.Dir != outDir || len(s.buf) == 0 || s.stagedOut == n.cycle {
+					continue
+				}
+				if outDir != topology.Local {
+					_, dvc, ok := n.downstream(r.id, s.out)
+					if !ok || !n.hasCredit(dvc) {
+						continue
+					}
+				}
+				senders = append(senders, sender{port: port, vc: uint8(code % int32(n.Cfg.NumVCs))})
+			}
+			if outDir != topology.Local && r.inj.msg != nil && r.inj.out.Dir == outDir && !portUsed[InjectPort] {
+				m := r.inj.msg
+				if m.flitsInjected < m.Length {
+					if _, dvc, ok := n.downstream(r.id, r.inj.out); ok && n.hasCredit(dvc) {
+						senders = append(senders, sender{port: InjectPort})
+					}
+				}
+			}
+			if len(senders) == 0 {
+				break
+			}
+			w := senders[rng.intn(len(senders))]
+			portUsed[w.port] = true
+			switch {
+			case w.port == InjectPort:
+				_, dvc, _ := n.downstream(r.id, r.inj.out)
+				dvc.stagedIn = n.cycle
+				out = append(out, move{kind: moveInject, node: r.id})
+			case outDir == topology.Local:
+				s := &r.in[w.port][w.vc]
+				s.stagedOut = n.cycle
+				out = append(out, move{kind: moveEject, node: r.id, port: w.port, vc: w.vc})
+			default:
+				s := &r.in[w.port][w.vc]
+				s.stagedOut = n.cycle
+				_, dvc, _ := n.downstream(r.id, s.out)
+				dvc.stagedIn = n.cycle
+				out = append(out, move{kind: moveLink, node: r.id, port: w.port, vc: w.vc})
+			}
+			capacity--
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+// runParallel drives a fixed random workload through a network in
+// parallel mode and returns the final statistics.
+func runParallel(t *testing.T, workers int, cycles int, validateEvery int) Stats {
+	t.Helper()
+	mesh := topology.New(8, 8)
+	cfg := DefaultConfig()
+	cfg.NumVCs = 6
+	cfg.MaxSourceQueue = 4
+	alg := xyAlg{mesh: mesh, vcs: 6}
+	n, err := NewNetwork(mesh, nil, alg, cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clones := make([]Algorithm, workers)
+	for i := range clones {
+		clones[i] = xyAlg{mesh: mesh, vcs: 6}
+	}
+	if err := n.EnableParallel(workers, clones); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	id := int64(0)
+	for cycle := 0; cycle < cycles; cycle++ {
+		if rng.Float64() < 0.5 {
+			src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			if src != dst {
+				id++
+				m := NewMessage(id, src, dst, 8)
+				m.GenTime = n.Cycle()
+				n.Offer(m)
+			}
+		}
+		n.Step()
+		if validateEvery > 0 && cycle%validateEvery == 0 {
+			if err := n.Validate(); err != nil {
+				t.Fatalf("cycle %d: %v", cycle, err)
+			}
+		}
+	}
+	return n.Snapshot()
+}
+
+// TestParallelDeterministicAcrossWorkerCounts is the core guarantee:
+// results are bit-identical for any worker count.
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := runParallel(t, 1, 1200, 50)
+	if base.Delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+	for _, workers := range []int{2, 3, 4} {
+		got := runParallel(t, workers, 1200, 0)
+		if got.Delivered != base.Delivered ||
+			got.LatencySum != base.LatencySum ||
+			got.FlitHops != base.FlitHops ||
+			got.Generated != base.Generated {
+			t.Errorf("workers=%d diverged: delivered %d vs %d, latencySum %d vs %d, flitHops %d vs %d",
+				workers, got.Delivered, base.Delivered, got.LatencySum, base.LatencySum, got.FlitHops, base.FlitHops)
+		}
+	}
+}
+
+// TestParallelMatchesSerialStatistically: the request–grant arbitration
+// differs from the serial global-order arbitration, but aggregate
+// behavior must agree closely at a moderate load.
+func TestParallelMatchesSerialStatistically(t *testing.T) {
+	mesh := topology.New(8, 8)
+	run := func(parallel bool) Stats {
+		cfg := DefaultConfig()
+		cfg.NumVCs = 6
+		cfg.MaxSourceQueue = 4
+		n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 6}, cfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel {
+			if err := n.EnableParallel(2, []Algorithm{xyAlg{mesh: mesh, vcs: 6}, xyAlg{mesh: mesh, vcs: 6}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(3))
+		id := int64(0)
+		for cycle := 0; cycle < 3000; cycle++ {
+			if rng.Float64() < 0.3 {
+				src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+				dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+				if src != dst {
+					id++
+					m := NewMessage(id, src, dst, 8)
+					m.GenTime = n.Cycle()
+					n.Offer(m)
+				}
+			}
+			n.Step()
+		}
+		return n.Snapshot()
+	}
+	serial, par := run(false), run(true)
+	if par.Delivered == 0 {
+		t.Fatal("parallel mode delivered nothing")
+	}
+	relDelivered := float64(par.Delivered)/float64(serial.Delivered) - 1
+	if relDelivered > 0.1 || relDelivered < -0.1 {
+		t.Errorf("deliveries diverge: serial %d, parallel %d", serial.Delivered, par.Delivered)
+	}
+	relLatency := par.AvgLatency()/serial.AvgLatency() - 1
+	if relLatency > 0.25 || relLatency < -0.25 {
+		t.Errorf("latency diverges: serial %.1f, parallel %.1f", serial.AvgLatency(), par.AvgLatency())
+	}
+}
+
+func TestEnableParallelValidation(t *testing.T) {
+	mesh := topology.New(4, 4)
+	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 2}, func() Config {
+		c := DefaultConfig()
+		c.NumVCs = 2
+		return c
+	}(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EnableParallel(0, nil); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if err := n.EnableParallel(2, []Algorithm{xyAlg{mesh: mesh, vcs: 2}}); err == nil {
+		t.Error("clone count mismatch accepted")
+	}
+	if err := n.EnableParallel(1, []Algorithm{xyAlg{mesh: mesh, vcs: 1}}); err == nil {
+		t.Error("clone VC mismatch accepted")
+	}
+	if err := n.EnableParallel(1, []Algorithm{xyAlg{mesh: mesh, vcs: 2}}); err != nil {
+		t.Errorf("valid enable failed: %v", err)
+	}
+	n.DisableParallel()
+	n.Step() // back on the serial path
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a := newPRNG(1, 2, 3, 4)
+	b := newPRNG(1, 2, 3, 4)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("prng streams diverged")
+		}
+	}
+	c := newPRNG(1, 2, 4, 4)
+	same := 0
+	a = newPRNG(1, 2, 3, 4)
+	for i := 0; i < 100; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different nodes share %d of 100 outputs", same)
+	}
+	// intn stays in range.
+	for i := 0; i < 1000; i++ {
+		if v := c.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"wormmesh/internal/topology"
+)
+
+// TraceEvent is the JSON shape of one recorded engine event.
+type TraceEvent struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"` // inject | route | flit | deliver | kill
+	Msg   int64  `json:"msg"`
+	Src   int32  `json:"src"`
+	Dst   int32  `json:"dst"`
+	Node  int32  `json:"node,omitempty"`
+	Dir   string `json:"dir,omitempty"`
+	VC    uint8  `json:"vc,omitempty"`
+	Flit  int32  `json:"flit,omitempty"`
+}
+
+// Recorder is a Tracer that streams events as JSON lines, one object
+// per event, suitable for offline analysis. Flit-movement events are
+// optional (they dominate the volume); Close flushes the buffer.
+type Recorder struct {
+	w            *bufio.Writer
+	enc          *json.Encoder
+	IncludeFlits bool
+	err          error
+	events       int64
+}
+
+// NewRecorder wraps a writer. Set IncludeFlits to record every flit
+// hop in addition to the per-message events.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Events returns the number of events written.
+func (r *Recorder) Events() int64 { return r.events }
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Close flushes buffered events.
+func (r *Recorder) Close() error {
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+func (r *Recorder) emit(e TraceEvent) {
+	if r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(e); err != nil {
+		r.err = err
+		return
+	}
+	r.events++
+}
+
+// MessageInjected implements Tracer.
+func (r *Recorder) MessageInjected(m *Message, cycle int64) {
+	r.emit(TraceEvent{Cycle: cycle, Kind: "inject", Msg: m.ID, Src: int32(m.Src), Dst: int32(m.Dst)})
+}
+
+// HeaderRouted implements Tracer.
+func (r *Recorder) HeaderRouted(m *Message, node topology.NodeID, ch Channel, cycle int64) {
+	r.emit(TraceEvent{
+		Cycle: cycle, Kind: "route", Msg: m.ID, Src: int32(m.Src), Dst: int32(m.Dst),
+		Node: int32(node), Dir: ch.Dir.String(), VC: ch.VC,
+	})
+}
+
+// FlitMoved implements Tracer.
+func (r *Recorder) FlitMoved(f Flit, from topology.NodeID, ch Channel, cycle int64) {
+	if !r.IncludeFlits {
+		return
+	}
+	r.emit(TraceEvent{
+		Cycle: cycle, Kind: "flit", Msg: f.Msg.ID, Src: int32(f.Msg.Src), Dst: int32(f.Msg.Dst),
+		Node: int32(from), Dir: ch.Dir.String(), VC: ch.VC, Flit: f.Index,
+	})
+}
+
+// MessageDelivered implements Tracer.
+func (r *Recorder) MessageDelivered(m *Message, cycle int64) {
+	r.emit(TraceEvent{Cycle: cycle, Kind: "deliver", Msg: m.ID, Src: int32(m.Src), Dst: int32(m.Dst)})
+}
+
+// MessageKilled implements Tracer.
+func (r *Recorder) MessageKilled(m *Message, cycle int64) {
+	r.emit(TraceEvent{Cycle: cycle, Kind: "kill", Msg: m.ID, Src: int32(m.Src), Dst: int32(m.Dst)})
+}
+
+// ReadTrace parses a JSONL trace back into events (for tests and
+// analysis tools).
+func ReadTrace(rd io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	dec := json.NewDecoder(rd)
+	for dec.More() {
+		var e TraceEvent
+		if err := dec.Decode(&e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

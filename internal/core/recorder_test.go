@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	mesh := topology.New(4, 4)
+	n := newTestNetwork(t, mesh, nil, xyAlg{mesh: mesh, vcs: 4}, testConfig(), 1)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.IncludeFlits = true
+	n.SetTracer(rec)
+
+	m := offer(t, n, 42, topology.Coord{X: 0, Y: 0}, topology.Coord{X: 2, Y: 1}, 3)
+	stepUntilDelivered(t, n, m, 100)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(events)) != rec.Events() {
+		t.Fatalf("parsed %d events, recorder says %d", len(events), rec.Events())
+	}
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Msg != 42 {
+			t.Errorf("event for unexpected message %d", e.Msg)
+		}
+	}
+	if kinds["inject"] != 1 || kinds["deliver"] != 1 {
+		t.Errorf("kinds = %v, want one inject and one deliver", kinds)
+	}
+	if kinds["route"] != 3 {
+		t.Errorf("route events = %d, want 3 (3 hops)", kinds["route"])
+	}
+	// 3 links x 3 flits = 9 flit moves.
+	if kinds["flit"] != 9 {
+		t.Errorf("flit events = %d, want 9", kinds["flit"])
+	}
+	// Events are time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRecorderWithoutFlits(t *testing.T) {
+	mesh := topology.New(4, 4)
+	n := newTestNetwork(t, mesh, nil, xyAlg{mesh: mesh, vcs: 4}, testConfig(), 1)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	n.SetTracer(rec)
+	m := offer(t, n, 1, topology.Coord{X: 0, Y: 0}, topology.Coord{X: 3, Y: 0}, 5)
+	stepUntilDelivered(t, n, m, 100)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Kind == "flit" {
+			t.Fatal("flit event recorded despite IncludeFlits=false")
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 100000 {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestRecorderSurfacesWriteErrors(t *testing.T) {
+	mesh := topology.New(4, 4)
+	n := newTestNetwork(t, mesh, nil, xyAlg{mesh: mesh, vcs: 4}, testConfig(), 1)
+	rec := NewRecorder(&failWriter{})
+	rec.IncludeFlits = true
+	n.SetTracer(rec)
+	for i := 0; i < 3000; i++ {
+		if i%3 == 0 {
+			id := n.NextMessageID()
+			m := NewMessage(id, topology.NodeID(i%16), topology.NodeID((i+5)%16), 10)
+			m.GenTime = n.Cycle()
+			if m.Src != m.Dst {
+				n.Offer(m)
+			}
+		}
+		n.Step()
+	}
+	if rec.Close() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestSummarizeTrace(t *testing.T) {
+	mesh := topology.New(5, 5)
+	n := newTestNetwork(t, mesh, nil, xyAlg{mesh: mesh, vcs: 4}, testConfig(), 1)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.IncludeFlits = true
+	n.SetTracer(rec)
+	a := offer(t, n, 1, topology.Coord{X: 0, Y: 0}, topology.Coord{X: 4, Y: 0}, 5)
+	b := offer(t, n, 2, topology.Coord{X: 0, Y: 4}, topology.Coord{X: 4, Y: 4}, 5)
+	for !a.Delivered() || !b.Delivered() {
+		n.Step()
+		if n.Cycle() > 500 {
+			t.Fatal("not delivered")
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeTrace(events)
+	if s.Messages != 2 || s.Delivered != 2 || s.Killed != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Hops[1] != 4 || s.Hops[2] != 4 {
+		t.Errorf("hops = %v, want 4 each", s.Hops)
+	}
+	// Journey = deliver - inject = (H-1+L) - 0... both uncontended:
+	// tail delivered H+L-1 cycles after generation, header injected at
+	// cycle 0, so the journey equals the total latency.
+	for id, j := range s.Journeys {
+		if j != a.Latency() {
+			t.Errorf("journey[%d] = %d, want %d", id, j, a.Latency())
+		}
+	}
+	if s.FlitMoves != 2*4*5 {
+		t.Errorf("flit moves = %d, want 40 (2 msgs x 4 links x 5 flits)", s.FlitMoves)
+	}
+	if len(s.HotNodes) == 0 || s.HotNodes[0].Routed < 1 {
+		t.Errorf("hot nodes = %v", s.HotNodes)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}

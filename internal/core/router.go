@@ -1,0 +1,89 @@
+package core
+
+import (
+	"wormmesh/internal/topology"
+)
+
+// vcState is one input virtual channel of a router. A VC is owned by a
+// message from the moment the upstream router wins it in VC allocation
+// until the message's tail flit leaves the buffer; the buffer therefore
+// only ever holds flits of the owning message.
+type vcState struct {
+	owner  *Message
+	routed bool    // header has been assigned an output channel
+	out    Channel // valid when routed
+
+	buf []Flit // FIFO of at most Config.BufDepth flits
+
+	acquired  int64 // cycle ownership began (utilization accounting)
+	stagedIn  int64 // cycle a flit was staged to arrive (-1 never)
+	stagedOut int64 // cycle a flit was staged to leave (-1 never)
+
+	activeIdx int32 // position in the router's active list, -1 if free
+	port      int8  // which input port this VC belongs to
+	idx       uint8 // VC index within the port
+}
+
+// injState tracks the message currently streaming out of a node's
+// source queue, together with the first-hop channel it won.
+type injState struct {
+	msg *Message
+	out Channel
+}
+
+// router is the per-node switching element: four buffered input ports
+// (one per incoming physical channel) with Config.NumVCs virtual
+// channels each, a source queue on the injection port, and an
+// unbuffered ejection port.
+type router struct {
+	id topology.NodeID
+
+	// in[port][vc] for port = East..South. Input ports are named after
+	// the side of the router the link physically enters: a flit sent
+	// East by the western neighbor arrives on this router's West port,
+	// so a message sent through output channel ch of node u lands in
+	// in[ch.Dir.Opposite()][ch.VC] of the neighbor.
+	in [topology.NumDirs][]vcState
+
+	srcQ []*Message
+	inj  injState
+
+	// active lists the occupied input VCs as port*NumVCs+vc codes so
+	// the per-cycle loops skip idle channels.
+	active []int32
+
+	// crossings counts flits that traversed this router's crossbar
+	// inside the measurement window (the traffic-load metric).
+	crossings int64
+}
+
+func (r *router) vcAt(code int32, numVCs int) *vcState {
+	return &r.in[code/int32(numVCs)][code%int32(numVCs)]
+}
+
+// claim marks VC (port, vcIdx) owned by m and registers it active.
+func (r *router) claim(port topology.Direction, vcIdx int, m *Message, cycle int64, numVCs int) *vcState {
+	s := &r.in[port][vcIdx]
+	s.owner = m
+	s.routed = false
+	s.acquired = cycle
+	s.activeIdx = int32(len(r.active))
+	r.active = append(r.active, int32(port)*int32(numVCs)+int32(vcIdx))
+	return s
+}
+
+// release frees an owned VC and drops it from the active list.
+func (r *router) release(s *vcState, numVCs int) {
+	idx := s.activeIdx
+	last := int32(len(r.active) - 1)
+	if idx != last {
+		moved := r.active[last]
+		r.active[idx] = moved
+		r.vcAt(moved, numVCs).activeIdx = idx
+	}
+	r.active = r.active[:last]
+	s.owner = nil
+	s.routed = false
+	s.activeIdx = -1
+	s.buf = s.buf[:0]
+}

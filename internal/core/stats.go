@@ -1,0 +1,163 @@
+package core
+
+import "math"
+
+// Stats accumulates the measurements the paper reports: latency,
+// throughput, per-virtual-channel utilization, and per-node traffic
+// load, over one measurement window.
+type Stats struct {
+	Cycles       int64 // length of the measurement window
+	HealthyNodes int   // traffic-carrying nodes
+
+	Generated int64 // messages offered and accepted
+	Refused   int64 // offers rejected by a bounded source queue
+	Injected  int64 // headers that left their source queue
+	Delivered int64 // tails ejected at their destination
+
+	DeliveredFlits int64 // flits consumed at destinations
+	FlitHops       int64 // flit-link traversals (inject + link moves)
+
+	// Latency over messages generated inside the window and delivered.
+	LatencyCount  int64
+	LatencySum    int64
+	LatencySumSq  float64
+	LatencyMax    int64
+	NetLatencySum int64
+	HopsSum       int64 // header hops of those messages
+	MinHopsSum    int64 // their minimal distances (detour accounting)
+
+	Killed         int64 // messages torn down by recovery
+	DeadlockEvents int64 // global watchdog firings
+	RingEntries    int64 // headers that began an f-ring traversal
+
+	// VCBusy[v] is the total busy time of virtual channel v summed
+	// over every physical channel; VCAcquired[v] counts ownership
+	// periods. PhysicalChannels is the utilization denominator.
+	VCBusy           []int64
+	VCAcquired       []int64
+	PhysicalChannels int
+
+	// NodeCrossings[node] counts flits that traversed that node's
+	// crossbar inside the window.
+	NodeCrossings []int64
+}
+
+func (s *Stats) init(numVCs, nodes int) {
+	s.VCBusy = make([]int64, numVCs)
+	s.VCAcquired = make([]int64, numVCs)
+	s.NodeCrossings = make([]int64, nodes)
+}
+
+func (s *Stats) reset() {
+	numVCs, nodes := len(s.VCBusy), len(s.NodeCrossings)
+	*s = Stats{}
+	s.init(numVCs, nodes)
+}
+
+func (s *Stats) clone() Stats {
+	out := *s
+	out.VCBusy = append([]int64(nil), s.VCBusy...)
+	out.VCAcquired = append([]int64(nil), s.VCAcquired...)
+	out.NodeCrossings = append([]int64(nil), s.NodeCrossings...)
+	return out
+}
+
+// recordDelivery folds a delivered message into the statistics. Only
+// messages generated inside the window contribute to latency, so the
+// estimator is not biased by survivors of the warm-up period.
+func (s *Stats) recordDelivery(m *Message, statsStart int64, minHops int) {
+	s.Delivered++
+	if m.GenTime < statsStart {
+		return
+	}
+	lat := m.DeliverTime - m.GenTime
+	s.LatencyCount++
+	s.LatencySum += lat
+	s.LatencySumSq += float64(lat) * float64(lat)
+	if lat > s.LatencyMax {
+		s.LatencyMax = lat
+	}
+	s.NetLatencySum += m.DeliverTime - m.InjectTime
+	s.HopsSum += int64(m.Hops)
+	s.MinHopsSum += int64(minHops)
+}
+
+// AvgDetour returns the mean number of extra hops beyond the minimal
+// path (misrouting plus f-ring traversal overhead).
+func (s Stats) AvgDetour() float64 {
+	if s.LatencyCount == 0 {
+		return math.NaN()
+	}
+	return float64(s.HopsSum-s.MinHopsSum) / float64(s.LatencyCount)
+}
+
+// AvgLatency returns the mean message latency in cycles (generation to
+// tail delivery), or NaN when no message completed.
+func (s Stats) AvgLatency() float64 {
+	if s.LatencyCount == 0 {
+		return math.NaN()
+	}
+	return float64(s.LatencySum) / float64(s.LatencyCount)
+}
+
+// LatencyStdDev returns the sample standard deviation of latency.
+func (s Stats) LatencyStdDev() float64 {
+	if s.LatencyCount < 2 {
+		return 0
+	}
+	n := float64(s.LatencyCount)
+	mean := float64(s.LatencySum) / n
+	v := (s.LatencySumSq - n*mean*mean) / (n - 1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// AvgNetLatency returns the mean in-network latency in cycles.
+func (s Stats) AvgNetLatency() float64 {
+	if s.LatencyCount == 0 {
+		return math.NaN()
+	}
+	return float64(s.NetLatencySum) / float64(s.LatencyCount)
+}
+
+// Throughput returns accepted traffic in flits per node per cycle —
+// the paper's throughput measure before normalization.
+func (s Stats) Throughput() float64 {
+	if s.Cycles == 0 || s.HealthyNodes == 0 {
+		return 0
+	}
+	return float64(s.DeliveredFlits) / float64(s.Cycles) / float64(s.HealthyNodes)
+}
+
+// MessageThroughput returns delivered messages per node per cycle.
+func (s Stats) MessageThroughput() float64 {
+	if s.Cycles == 0 || s.HealthyNodes == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Cycles) / float64(s.HealthyNodes)
+}
+
+// VCUtilization returns, per VC index, the fraction of the window the
+// channel was owned, averaged over all physical channels (Figure 3's
+// per-VC usage, as a fraction of 1).
+func (s Stats) VCUtilization() []float64 {
+	out := make([]float64, len(s.VCBusy))
+	denom := float64(s.Cycles) * float64(s.PhysicalChannels)
+	if denom == 0 {
+		return out
+	}
+	for v, busy := range s.VCBusy {
+		out[v] = float64(busy) / denom
+	}
+	return out
+}
+
+// AvgHops returns the mean hop count of measured messages.
+func (s Stats) AvgHops() float64 {
+	if s.LatencyCount == 0 {
+		return math.NaN()
+	}
+	return float64(s.HopsSum) / float64(s.LatencyCount)
+}

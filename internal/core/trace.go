@@ -1,0 +1,46 @@
+package core
+
+import "wormmesh/internal/topology"
+
+// Tracer observes engine events. All callbacks run synchronously on
+// the simulation goroutine; implementations must be fast and must not
+// mutate the network. A nil tracer (the default) costs one branch per
+// event.
+type Tracer interface {
+	// MessageInjected fires when a header flit leaves its source
+	// queue.
+	MessageInjected(m *Message, cycle int64)
+	// HeaderRouted fires when a header wins an output channel at a
+	// node (including the injection grant at the source).
+	HeaderRouted(m *Message, node topology.NodeID, ch Channel, cycle int64)
+	// FlitMoved fires for every flit transfer across a link.
+	FlitMoved(f Flit, from topology.NodeID, ch Channel, cycle int64)
+	// MessageDelivered fires when the tail flit is consumed at the
+	// destination.
+	MessageDelivered(m *Message, cycle int64)
+	// MessageKilled fires when deadlock/livelock recovery tears a
+	// message down.
+	MessageKilled(m *Message, cycle int64)
+}
+
+// SetTracer installs (or, with nil, removes) the event observer.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// NopTracer implements Tracer with empty methods; embed it to observe
+// a subset of events.
+type NopTracer struct{}
+
+// MessageInjected implements Tracer.
+func (NopTracer) MessageInjected(*Message, int64) {}
+
+// HeaderRouted implements Tracer.
+func (NopTracer) HeaderRouted(*Message, topology.NodeID, Channel, int64) {}
+
+// FlitMoved implements Tracer.
+func (NopTracer) FlitMoved(Flit, topology.NodeID, Channel, int64) {}
+
+// MessageDelivered implements Tracer.
+func (NopTracer) MessageDelivered(*Message, int64) {}
+
+// MessageKilled implements Tracer.
+func (NopTracer) MessageKilled(*Message, int64) {}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+// orderTracer checks the wormhole discipline through the event stream:
+// per message and per link, flits move in strictly increasing index
+// order with no gaps; every hop of the header follows the previously
+// routed channel; deliveries and kills are mutually exclusive.
+type orderTracer struct {
+	NopTracer
+	t *testing.T
+	// lastIndex[msg][link] = last flit index seen on that link.
+	lastIndex map[*Message]map[linkKey]int32
+	delivered map[*Message]bool
+	injected  map[*Message]bool
+}
+
+type linkKey struct {
+	from topology.NodeID
+	dir  topology.Direction
+}
+
+func newOrderTracer(t *testing.T) *orderTracer {
+	return &orderTracer{
+		t:         t,
+		lastIndex: map[*Message]map[linkKey]int32{},
+		delivered: map[*Message]bool{},
+		injected:  map[*Message]bool{},
+	}
+}
+
+func (o *orderTracer) MessageInjected(m *Message, cycle int64) {
+	if o.injected[m] {
+		o.t.Errorf("message %d injected twice", m.ID)
+	}
+	o.injected[m] = true
+}
+
+func (o *orderTracer) FlitMoved(f Flit, from topology.NodeID, ch Channel, cycle int64) {
+	links, ok := o.lastIndex[f.Msg]
+	if !ok {
+		links = map[linkKey]int32{}
+		o.lastIndex[f.Msg] = links
+	}
+	k := linkKey{from: from, dir: ch.Dir}
+	last, seen := links[k]
+	if !seen {
+		if f.Index != 0 {
+			o.t.Errorf("msg %d: first flit on link %v has index %d", f.Msg.ID, k, f.Index)
+		}
+	} else if f.Index != last+1 {
+		o.t.Errorf("msg %d: link %v saw index %d after %d", f.Msg.ID, k, f.Index, last)
+	}
+	links[k] = f.Index
+}
+
+func (o *orderTracer) MessageDelivered(m *Message, cycle int64) {
+	if o.delivered[m] {
+		o.t.Errorf("message %d delivered twice", m.ID)
+	}
+	o.delivered[m] = true
+	// Every link the message used must have carried all of its flits.
+	for k, last := range o.lastIndex[m] {
+		if int(last) != m.Length-1 {
+			o.t.Errorf("msg %d delivered but link %v stopped at flit %d of %d", m.ID, k, last, m.Length)
+		}
+	}
+}
+
+func (o *orderTracer) MessageKilled(m *Message, cycle int64) {
+	if o.delivered[m] {
+		o.t.Errorf("message %d killed after delivery", m.ID)
+	}
+}
+
+func TestTracerObservesWormholeOrdering(t *testing.T) {
+	mesh := topology.New(6, 6)
+	cfg := testConfig()
+	cfg.NumVCs = 3
+	n := newTestNetwork(t, mesh, nil, xyAlg{mesh: mesh, vcs: 3}, cfg, 21)
+	tr := newOrderTracer(t)
+	n.SetTracer(tr)
+
+	rng := rand.New(rand.NewSource(9))
+	id := int64(0)
+	for cycle := 0; cycle < 1500; cycle++ {
+		if rng.Float64() < 0.4 {
+			src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			if src != dst {
+				id++
+				m := NewMessage(id, src, dst, 7)
+				m.GenTime = n.Cycle()
+				n.Offer(m)
+			}
+		}
+		n.Step()
+	}
+	if len(tr.delivered) == 0 {
+		t.Fatal("tracer saw no deliveries")
+	}
+	if len(tr.injected) < len(tr.delivered) {
+		t.Errorf("injections %d < deliveries %d", len(tr.injected), len(tr.delivered))
+	}
+}
+
+func TestTracerHeaderRoutedMatchesHops(t *testing.T) {
+	mesh := topology.New(5, 5)
+	n := newTestNetwork(t, mesh, nil, xyAlg{mesh: mesh, vcs: 4}, testConfig(), 1)
+	type hop struct {
+		node topology.NodeID
+		ch   Channel
+	}
+	var hops []hop
+	rec := &recordingTracer{}
+	n.SetTracer(rec)
+	m := offer(t, n, 1, topology.Coord{X: 0, Y: 0}, topology.Coord{X: 3, Y: 2}, 4)
+	stepUntilDelivered(t, n, m, 200)
+	hops = nil
+	for _, h := range rec.hops {
+		if h.m == m {
+			hops = append(hops, hop{node: h.node, ch: h.ch})
+		}
+	}
+	// 5 hops + injection grant: the XY path (0,0)->(3,2) has 5 links,
+	// each granted exactly once (injection grant is the first hop's).
+	if len(hops) != 5 {
+		t.Fatalf("HeaderRouted events = %d, want 5", len(hops))
+	}
+	// The recorded grant chain is connected: each grant's target is
+	// the next grant's node.
+	for i := 0; i+1 < len(hops); i++ {
+		next := mesh.NeighborID(hops[i].node, hops[i].ch.Dir)
+		if next != hops[i+1].node {
+			t.Errorf("grant %d targets %d but next grant is at %d", i, next, hops[i+1].node)
+		}
+	}
+	if int(m.Hops) != len(hops) {
+		t.Errorf("message hops %d != grants %d", m.Hops, len(hops))
+	}
+}
+
+type recordingTracer struct {
+	NopTracer
+	hops []struct {
+		m    *Message
+		node topology.NodeID
+		ch   Channel
+	}
+}
+
+func (r *recordingTracer) HeaderRouted(m *Message, node topology.NodeID, ch Channel, cycle int64) {
+	r.hops = append(r.hops, struct {
+		m    *Message
+		node topology.NodeID
+		ch   Channel
+	}{m, node, ch})
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TraceSummary aggregates a recorded event stream into per-message
+// journeys — the offline counterpart of the live statistics, useful
+// when digging into a single run's behavior from a `meshsim -trace`
+// file.
+type TraceSummary struct {
+	Messages  int
+	Delivered int
+	Killed    int
+	FlitMoves int64
+	// Hops[msg] counts route grants per message; Journeys maps each
+	// delivered message to its injection→delivery span in cycles.
+	Hops     map[int64]int
+	Journeys map[int64]int64
+	// HotNodes lists the nodes that routed the most headers, busiest
+	// first (ties by node id).
+	HotNodes []NodeActivity
+}
+
+// NodeActivity pairs a node with its header-routing count.
+type NodeActivity struct {
+	Node   int32
+	Routed int
+}
+
+// SummarizeTrace folds a parsed event stream (ReadTrace) into a
+// summary. Events may be partial (e.g. a run cut short): messages
+// without a deliver event simply stay undelivered in the counts.
+func SummarizeTrace(events []TraceEvent) TraceSummary {
+	s := TraceSummary{
+		Hops:     map[int64]int{},
+		Journeys: map[int64]int64{},
+	}
+	injected := map[int64]int64{}
+	routedBy := map[int32]int{}
+	seen := map[int64]bool{}
+	for _, e := range events {
+		if !seen[e.Msg] {
+			seen[e.Msg] = true
+			s.Messages++
+		}
+		switch e.Kind {
+		case "inject":
+			injected[e.Msg] = e.Cycle
+		case "route":
+			s.Hops[e.Msg]++
+			routedBy[e.Node]++
+		case "flit":
+			s.FlitMoves++
+		case "deliver":
+			s.Delivered++
+			if inj, ok := injected[e.Msg]; ok {
+				s.Journeys[e.Msg] = e.Cycle - inj
+			}
+		case "kill":
+			s.Killed++
+		}
+	}
+	for node, n := range routedBy {
+		s.HotNodes = append(s.HotNodes, NodeActivity{Node: node, Routed: n})
+	}
+	sort.Slice(s.HotNodes, func(i, j int) bool {
+		if s.HotNodes[i].Routed != s.HotNodes[j].Routed {
+			return s.HotNodes[i].Routed > s.HotNodes[j].Routed
+		}
+		return s.HotNodes[i].Node < s.HotNodes[j].Node
+	})
+	return s
+}
+
+// String renders the headline numbers.
+func (s TraceSummary) String() string {
+	return fmt.Sprintf("trace: %d messages (%d delivered, %d killed), %d flit moves",
+		s.Messages, s.Delivered, s.Killed, s.FlitMoves)
+}

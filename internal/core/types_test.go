@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+func TestCandidateSetBasics(t *testing.T) {
+	var cs CandidateSet
+	if !cs.Empty() {
+		t.Error("fresh set not empty")
+	}
+	cs.Add(0, Channel{Dir: topology.East, VC: 1})
+	cs.AddVCs(1, topology.North, 2, 4)
+	if cs.Empty() {
+		t.Error("populated set reported empty")
+	}
+	if got := cs.Total(); got != 4 {
+		t.Errorf("Total = %d, want 4", got)
+	}
+	if got := len(cs.Tier(0)); got != 1 {
+		t.Errorf("tier0 = %d, want 1", got)
+	}
+	if got := len(cs.Tier(1)); got != 3 {
+		t.Errorf("tier1 = %d, want 3", got)
+	}
+	for i, ch := range cs.Tier(1) {
+		if ch.Dir != topology.North || int(ch.VC) != 2+i {
+			t.Errorf("tier1[%d] = %v", i, ch)
+		}
+	}
+	cs.Reset()
+	if !cs.Empty() || cs.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCandidateSetFilter(t *testing.T) {
+	var cs CandidateSet
+	cs.AddVCs(0, topology.East, 0, 3)
+	cs.AddVCs(2, topology.West, 0, 1)
+	cs.Filter(func(ch Channel) bool { return ch.VC%2 == 0 })
+	if got := len(cs.Tier(0)); got != 2 {
+		t.Errorf("tier0 after filter = %d, want 2", got)
+	}
+	if got := len(cs.Tier(2)); got != 1 {
+		t.Errorf("tier2 after filter = %d, want 1", got)
+	}
+	cs.Filter(func(Channel) bool { return false })
+	if !cs.Empty() {
+		t.Error("filter-all did not empty the set")
+	}
+}
+
+func TestClassifyDir(t *testing.T) {
+	tests := []struct {
+		src, dst topology.Coord
+		want     DirClass
+	}{
+		{topology.Coord{X: 0, Y: 0}, topology.Coord{X: 5, Y: 3}, WE},
+		{topology.Coord{X: 5, Y: 0}, topology.Coord{X: 0, Y: 9}, EW},
+		{topology.Coord{X: 3, Y: 0}, topology.Coord{X: 3, Y: 7}, NS},
+		{topology.Coord{X: 3, Y: 7}, topology.Coord{X: 3, Y: 0}, SN},
+	}
+	for _, tc := range tests {
+		if got := ClassifyDir(tc.src, tc.dst); got != tc.want {
+			t.Errorf("ClassifyDir(%v,%v) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+func TestDirClassString(t *testing.T) {
+	for dc, want := range map[DirClass]string{WE: "WE", EW: "EW", NS: "NS", SN: "SN"} {
+		if dc.String() != want {
+			t.Errorf("%v.String() = %q", dc, dc.String())
+		}
+	}
+	if !strings.Contains(DirClass(9).String(), "9") {
+		t.Error("unknown DirClass string uninformative")
+	}
+}
+
+func TestMessageAccessors(t *testing.T) {
+	m := NewMessage(7, 3, 9, 5)
+	if m.Delivered() {
+		t.Error("fresh message delivered")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Latency on undelivered message did not panic")
+			}
+		}()
+		m.Latency()
+	}()
+	m.GenTime, m.InjectTime, m.DeliverTime = 10, 15, 40
+	if m.Latency() != 30 || m.NetworkLatency() != 25 {
+		t.Errorf("latencies = %d, %d", m.Latency(), m.NetworkLatency())
+	}
+	if s := m.String(); !strings.Contains(s, "msg#7") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNewMessagePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-length message did not panic")
+		}
+	}()
+	NewMessage(1, 0, 1, 0)
+}
+
+func TestFlitHeadTail(t *testing.T) {
+	m := NewMessage(1, 0, 1, 3)
+	if f := (Flit{Msg: m, Index: 0}); !f.Head() || f.Tail() {
+		t.Error("flit 0 classification wrong")
+	}
+	if f := (Flit{Msg: m, Index: 2}); f.Head() || !f.Tail() {
+		t.Error("tail flit classification wrong")
+	}
+	single := NewMessage(2, 0, 1, 1)
+	if f := (Flit{Msg: single, Index: 0}); !f.Head() || !f.Tail() {
+		t.Error("single-flit message should be both head and tail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NumVCs = 0 },
+		func(c *Config) { c.NumVCs = 300 },
+		func(c *Config) { c.BufDepth = 0 },
+		func(c *Config) { c.EjectBW = 0 },
+		func(c *Config) { c.DeadlockCycles = 0 },
+		func(c *Config) { c.MaxSourceQueue = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestStatsMath(t *testing.T) {
+	var s Stats
+	s.init(4, 9)
+	if !math.IsNaN(s.AvgLatency()) || !math.IsNaN(s.AvgHops()) || !math.IsNaN(s.AvgDetour()) {
+		t.Error("empty stats should be NaN")
+	}
+	if s.Throughput() != 0 {
+		t.Error("empty throughput nonzero")
+	}
+	m := NewMessage(1, 0, 8, 4)
+	m.GenTime, m.InjectTime, m.DeliverTime, m.Hops = 100, 110, 160, 6
+	s.recordDelivery(m, 50, 4)
+	m2 := NewMessage(2, 0, 8, 4)
+	m2.GenTime, m2.InjectTime, m2.DeliverTime, m2.Hops = 120, 125, 200, 4
+	s.recordDelivery(m2, 50, 4)
+	if got := s.AvgLatency(); got != 70 {
+		t.Errorf("AvgLatency = %v, want 70", got)
+	}
+	if got := s.LatencyMax; got != 80 {
+		t.Errorf("LatencyMax = %d, want 80", got)
+	}
+	if got := s.AvgHops(); got != 5 {
+		t.Errorf("AvgHops = %v, want 5", got)
+	}
+	if got := s.AvgDetour(); got != 1 {
+		t.Errorf("AvgDetour = %v, want 1", got)
+	}
+	if sd := s.LatencyStdDev(); math.Abs(sd-14.1421) > 0.01 {
+		t.Errorf("LatencyStdDev = %v", sd)
+	}
+	// Messages generated before the window count for throughput only.
+	m3 := NewMessage(3, 0, 8, 4)
+	m3.GenTime, m3.InjectTime, m3.DeliverTime = 10, 20, 90
+	s.recordDelivery(m3, 50, 4)
+	if s.LatencyCount != 2 || s.Delivered != 3 {
+		t.Errorf("window filtering wrong: latencyCount=%d delivered=%d", s.LatencyCount, s.Delivered)
+	}
+}
+
+func TestStatsThroughput(t *testing.T) {
+	var s Stats
+	s.init(1, 1)
+	s.Cycles = 1000
+	s.HealthyNodes = 100
+	s.DeliveredFlits = 5000
+	s.Delivered = 50
+	if got := s.Throughput(); got != 0.05 {
+		t.Errorf("Throughput = %v, want 0.05", got)
+	}
+	if got := s.MessageThroughput(); got != 0.0005 {
+		t.Errorf("MessageThroughput = %v", got)
+	}
+}
+
+func TestVCUtilizationComputation(t *testing.T) {
+	var s Stats
+	s.init(2, 4)
+	s.Cycles = 100
+	s.PhysicalChannels = 10
+	s.VCBusy[0] = 500 // 50% of 100 cycles x 10 channels
+	s.VCBusy[1] = 100
+	u := s.VCUtilization()
+	if u[0] != 0.5 || u[1] != 0.1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestSelectionPolicyString(t *testing.T) {
+	if SelectRandomChannel.String() != "random-channel" ||
+		SelectRandomDir.String() != "random-dir" ||
+		SelectLowestVC.String() != "lowest-vc" {
+		t.Error("selection policy names wrong")
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	ch := Channel{Dir: topology.East, VC: 3}
+	if got := ch.String(); got != "East/vc3" {
+		t.Errorf("Channel.String = %q", got)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"wormmesh/internal/topology"
+)
+
+// Validate checks the engine's structural invariants and returns the
+// first violation found. It is O(all channels) and intended for tests,
+// which typically call it every cycle on small configurations.
+//
+// Invariants:
+//   - a VC buffer only holds flits of the VC's owning message;
+//   - flit indices within a buffer are consecutive and increasing;
+//   - buffers never exceed the configured depth;
+//   - an unowned VC has an empty buffer and is not marked routed;
+//   - a routed VC's output channel targets an existing healthy node
+//     (or Local at the owner's destination);
+//   - the active list matches exactly the owned VCs;
+//   - faulty routers hold no traffic.
+func (n *Network) Validate() error {
+	for i := range n.routers {
+		r := &n.routers[i]
+		id := topology.NodeID(i)
+		faulty := n.Faults.IsFaulty(id)
+		activeSet := map[int32]bool{}
+		for _, code := range r.active {
+			if activeSet[code] {
+				return fmt.Errorf("node %d: duplicate active code %d", id, code)
+			}
+			activeSet[code] = true
+		}
+		if faulty && (len(r.active) > 0 || len(r.srcQ) > 0 || r.inj.msg != nil) {
+			return fmt.Errorf("faulty node %d holds traffic", id)
+		}
+		for p := 0; p < topology.NumDirs; p++ {
+			for v := range r.in[p] {
+				s := &r.in[p][v]
+				code := int32(p)*int32(n.Cfg.NumVCs) + int32(v)
+				if (s.owner != nil) != activeSet[code] {
+					return fmt.Errorf("node %d port %d vc %d: owner=%v but active=%v",
+						id, p, v, s.owner != nil, activeSet[code])
+				}
+				if len(s.buf) > n.Cfg.BufDepth {
+					return fmt.Errorf("node %d port %d vc %d: %d flits exceed depth %d",
+						id, p, v, len(s.buf), n.Cfg.BufDepth)
+				}
+				if s.owner == nil {
+					if len(s.buf) != 0 {
+						return fmt.Errorf("node %d port %d vc %d: unowned VC holds %d flits", id, p, v, len(s.buf))
+					}
+					if s.routed {
+						return fmt.Errorf("node %d port %d vc %d: unowned VC marked routed", id, p, v)
+					}
+					continue
+				}
+				for fi, f := range s.buf {
+					if f.Msg != s.owner {
+						return fmt.Errorf("node %d port %d vc %d: foreign flit (msg %d in VC owned by %d)",
+							id, p, v, f.Msg.ID, s.owner.ID)
+					}
+					if fi > 0 && f.Index != s.buf[fi-1].Index+1 {
+						return fmt.Errorf("node %d port %d vc %d: flit indices not consecutive (%d then %d)",
+							id, p, v, s.buf[fi-1].Index, f.Index)
+					}
+				}
+				if s.routed {
+					if s.out.Dir == topology.Local {
+						if s.owner.Dst != id {
+							return fmt.Errorf("node %d: VC routed Local but owner's dst is %d", id, s.owner.Dst)
+						}
+					} else {
+						nb := n.Mesh.NeighborID(id, s.out.Dir)
+						if nb == topology.Invalid {
+							return fmt.Errorf("node %d: VC routed off-mesh (%v)", id, s.out.Dir)
+						}
+						if n.Faults.IsFaulty(nb) {
+							return fmt.Errorf("node %d: VC routed into faulty node %d", id, nb)
+						}
+						if int(s.out.VC) >= n.Cfg.NumVCs {
+							return fmt.Errorf("node %d: VC routed to out-of-range vc %d", id, s.out.VC)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"wormmesh/internal/topology"
+)
+
+// watchdog detects global and per-message stalls and applies the
+// configured recovery. Minimal-Adaptive routing (and, under faults,
+// some BC corner cases) are not provably deadlock-free; the watchdog
+// makes such configurations simulable while keeping an honest count of
+// recoveries in the statistics.
+func (n *Network) watchdog() {
+	if len(n.active) == 0 {
+		n.lastGlobalMove = n.cycle
+		return
+	}
+	if n.cycle-n.lastGlobalMove > n.Cfg.DeadlockCycles {
+		n.recover()
+		n.lastGlobalMove = n.cycle
+		return
+	}
+	if (n.Cfg.MessageStallCycles > 0 || n.Cfg.MaxHops > 0) && n.cycle-n.lastStallScan >= 1024 {
+		n.lastStallScan = n.cycle
+		for m := range n.active {
+			stalled := n.Cfg.MessageStallCycles > 0 && n.holdsResources(m) &&
+				n.cycle-m.lastMove > n.Cfg.MessageStallCycles
+			livelocked := n.Cfg.MaxHops > 0 && m.Hops > n.Cfg.MaxHops
+			if stalled || livelocked {
+				n.kill(m)
+			}
+		}
+	}
+}
+
+// holdsResources reports whether the message owns network channels
+// (and therefore could be part of a deadlock cycle).
+func (m *Message) holdsResourcesIn(n *Network) bool {
+	return m.flitsInjected > 0 || n.routers[m.Src].inj.msg == m
+}
+
+func (n *Network) holdsResources(m *Message) bool { return m.holdsResourcesIn(n) }
+
+// recover picks the longest-stalled resource-holding message and tears
+// it down.
+func (n *Network) recover() {
+	var victim *Message
+	for m := range n.active {
+		if !n.holdsResources(m) {
+			continue
+		}
+		if victim == nil || m.lastMove < victim.lastMove ||
+			(m.lastMove == victim.lastMove && m.ID < victim.ID) {
+			victim = m
+		}
+	}
+	if victim == nil {
+		return
+	}
+	n.stats.DeadlockEvents++
+	n.kill(victim)
+}
+
+// kill removes every flit of m from the network, releases the virtual
+// channels it owns (including channels claimed but not yet entered),
+// and either drops or re-injects it per the kill policy.
+func (n *Network) kill(m *Message) {
+	for i := range n.routers {
+		r := &n.routers[i]
+		// Iterate a copy of the active list: release mutates it.
+		for j := len(r.active) - 1; j >= 0; j-- {
+			s := r.vcAt(r.active[j], n.Cfg.NumVCs)
+			if s.owner == m {
+				n.releaseVC(r, s)
+			}
+		}
+	}
+	src := &n.routers[m.Src]
+	if src.inj.msg == m {
+		src.inj.msg = nil
+	}
+	if len(src.srcQ) > 0 && src.srcQ[0] == m {
+		src.srcQ = src.srcQ[1:]
+	}
+	delete(n.active, m)
+	m.Killed = true
+	if n.tracer != nil {
+		n.tracer.MessageKilled(m, n.cycle)
+	}
+	if n.cycle >= n.statsStart {
+		n.stats.Killed++
+	}
+	if n.Cfg.Kill == KillReinject {
+		clone := NewMessage(n.NextMessageID(), m.Src, m.Dst, m.Length)
+		clone.GenTime = m.GenTime
+		// Push to the queue front so recovery does not reorder behind
+		// younger traffic.
+		n.Alg.InitMessage(clone)
+		clone.lastMove = n.cycle
+		src.srcQ = append([]*Message{clone}, src.srcQ...)
+		n.active[clone] = struct{}{}
+	}
+}
+
+// ResetStats starts a fresh measurement window at the current cycle
+// (the paper discards the first 10 000 of 30 000 cycles as warm-up).
+func (n *Network) ResetStats() {
+	n.stats.reset()
+	n.statsStart = n.cycle
+	for i := range n.routers {
+		n.routers[i].crossings = 0
+	}
+}
+
+// Snapshot finalizes and returns the statistics for the window from
+// the last ResetStats (or construction) to now. Busy time of channels
+// still owned is included up to the current cycle.
+func (n *Network) Snapshot() Stats {
+	s := n.stats.clone()
+	s.Cycles = n.cycle - n.statsStart
+	s.HealthyNodes = n.Faults.HealthyCount()
+	for i := range n.routers {
+		r := &n.routers[i]
+		s.NodeCrossings[i] = r.crossings
+		for _, code := range r.active {
+			vs := r.vcAt(code, n.Cfg.NumVCs)
+			start := vs.acquired
+			if start < n.statsStart {
+				start = n.statsStart
+			}
+			s.VCBusy[vs.idx] += n.cycle - start
+		}
+	}
+	s.PhysicalChannels = n.countPhysicalChannels()
+	return s
+}
+
+// countPhysicalChannels counts directed links between healthy nodes
+// (the denominator of per-VC utilization).
+func (n *Network) countPhysicalChannels() int {
+	count := 0
+	for i := range n.routers {
+		id := topology.NodeID(i)
+		if n.Faults.IsFaulty(id) {
+			continue
+		}
+		for d := topology.Direction(0); d < topology.NumDirs; d++ {
+			nb := n.Mesh.NeighborID(id, d)
+			if nb != topology.Invalid && !n.Faults.IsFaulty(nb) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateVCs(t *testing.T) {
+	o := tiny()
+	res, err := o.AblateVCs("Duato", []int{8, 16, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Fatalf("values = %v", res.Values)
+	}
+	for i, thr := range res.Throughput {
+		if thr <= 0 {
+			t.Errorf("VCs=%s: zero throughput", res.Values[i])
+		}
+	}
+	// More VCs must not collapse throughput (generous tolerance at
+	// tiny cycle counts).
+	if res.Throughput[2] < res.Throughput[0]*0.7 {
+		t.Errorf("24 VCs (%.3f) much worse than 8 (%.3f)", res.Throughput[2], res.Throughput[0])
+	}
+	var sb strings.Builder
+	if err := res.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblateVCsRespectsMinimum(t *testing.T) {
+	o := tiny()
+	// PHop needs 23 VCs on 10x10: the low counts must be skipped.
+	res, err := o.AblateVCs("PHop", []int{8, 16, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || res.Values[0] != "24" {
+		t.Fatalf("values = %v, want [24]", res.Values)
+	}
+	if _, err := o.AblateVCs("PHop", []int{4}); err == nil {
+		t.Error("all-below-minimum sweep accepted")
+	}
+	if _, err := o.AblateVCs("bogus", nil); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAblateBufDepthAndSelection(t *testing.T) {
+	o := tiny()
+	buf, err := o.AblateBufDepth("NHop", []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Values) != 2 || buf.Throughput[0] <= 0 || buf.Throughput[1] <= 0 {
+		t.Fatalf("buf ablation broken: %+v", buf)
+	}
+	sel, err := o.AblateSelection("Duato")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Values) != 3 {
+		t.Fatalf("selection values = %v", sel.Values)
+	}
+	for i := range sel.Values {
+		if sel.Throughput[i] <= 0 {
+			t.Errorf("policy %s: zero throughput", sel.Values[i])
+		}
+	}
+}
+
+func TestAblateMessageLength(t *testing.T) {
+	o := tiny()
+	res, err := o.AblateMessageLength("Duato", []int{32, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 2 {
+		t.Fatalf("values = %v", res.Values)
+	}
+	// Shorter messages at the same flit load have lower latency (less
+	// serialization).
+	if res.Latency[0] >= res.Latency[1] {
+		t.Errorf("32-flit latency %.0f not below 100-flit %.0f", res.Latency[0], res.Latency[1])
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	o := tiny()
+	res, err := o.ModelValidation([]float64{0.0005, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Simulated) != 2 || len(res.Calibrated) != 2 {
+		t.Fatalf("lengths wrong: %+v", res)
+	}
+	if res.Gain <= 0 {
+		t.Errorf("gain = %v", res.Gain)
+	}
+	// Calibration anchors the first point.
+	if rel := (res.Calibrated[0] - res.Simulated[0]) / res.Simulated[0]; rel > 0.02 || rel < -0.02 {
+		t.Errorf("calibrated anchor off by %.1f%%", 100*rel)
+	}
+	var sb strings.Builder
+	if err := res.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturationPoints(t *testing.T) {
+	o := tiny()
+	res, err := o.SaturationPoints([]string{"NHop", "PHop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, alg := range res.Algorithms {
+		if res.Throughput[i] <= 0 || res.Throughput[i] > 0.4 {
+			t.Errorf("%s: saturation throughput %v outside (0, 0.4]", alg, res.Throughput[i])
+		}
+		if res.Rate[i] < 0.0005 {
+			t.Errorf("%s: rate %v below search start", alg, res.Rate[i])
+		}
+	}
+	var sb strings.Builder
+	if err := res.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleStudy(t *testing.T) {
+	o := tiny()
+	res, err := Scale(o, []string{"Duato"}, []int{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latency["Duato"]) != 2 {
+		t.Fatalf("latency series = %v", res.Latency["Duato"])
+	}
+	// Bigger mesh, longer paths: latency must grow.
+	if res.Latency["Duato"][1] <= res.Latency["Duato"][0] {
+		t.Errorf("latency did not grow with mesh size: %v", res.Latency["Duato"])
+	}
+	var sb strings.Builder
+	if err := res.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

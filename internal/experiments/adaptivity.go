@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/report"
+	"wormmesh/internal/routing"
+	"wormmesh/internal/sim"
+	"wormmesh/internal/topology"
+)
+
+// AdaptivityResult quantifies each algorithm's routing freedom: the
+// average number of candidate channels (and distinct directions) its
+// headers are offered, sampled over random message states — the
+// structural quantity behind the paper's two-category split.
+type AdaptivityResult struct {
+	Algorithms []string
+	// Channels[alg] is the mean candidate-channel count per routing
+	// decision; Dirs[alg] the mean distinct-direction count.
+	Channels map[string]float64
+	Dirs     map[string]float64
+}
+
+// Adaptivity samples `samples` random (src, dst, progress) states per
+// algorithm on the fault pattern implied by the options' seed and
+// faultPercent, replaying each message's walk and recording the
+// candidate sets along it.
+func Adaptivity(o Options, algorithms []string, faultPercent, samples int) (*AdaptivityResult, error) {
+	if algorithms == nil {
+		algorithms = routing.AlgorithmNames
+	}
+	p := o.baseParams()
+	p.Faults = o.Width * o.Height * faultPercent / 100
+	f, err := sim.BuildFaults(p)
+	if err != nil {
+		return nil, err
+	}
+	healthy := f.HealthyNodes()
+	mesh := f.Mesh
+	res := &AdaptivityResult{
+		Algorithms: algorithms,
+		Channels:   map[string]float64{},
+		Dirs:       map[string]float64{},
+	}
+	for _, algName := range algorithms {
+		alg, err := routing.New(algName, f, p.Config.NumVCs)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(o.Seed))
+		var cands core.CandidateSet
+		decisions, chanSum, dirSum := 0, 0, 0
+		for s := 0; s < samples; s++ {
+			src := healthy[rng.Intn(len(healthy))]
+			dst := healthy[rng.Intn(len(healthy))]
+			if src == dst {
+				continue
+			}
+			m := core.NewMessage(int64(s+1), src, dst, 1)
+			alg.InitMessage(m)
+			cur := src
+			for steps := 0; cur != dst && steps < 8*mesh.Diameter(); steps++ {
+				cands.Reset()
+				alg.Candidates(m, cur, &cands)
+				// Record the winning tier's freedom.
+				var tier []core.Channel
+				for t := 0; t < core.MaxTiers; t++ {
+					if len(cands.Tier(t)) > 0 {
+						tier = cands.Tier(t)
+						break
+					}
+				}
+				if len(tier) == 0 {
+					break
+				}
+				decisions++
+				chanSum += len(tier)
+				dirs := map[topology.Direction]bool{}
+				for _, ch := range tier {
+					dirs[ch.Dir] = true
+				}
+				dirSum += len(dirs)
+				ch := tier[rng.Intn(len(tier))]
+				alg.Advance(m, cur, ch)
+				cur = mesh.NeighborID(cur, ch.Dir)
+			}
+		}
+		if decisions > 0 {
+			res.Channels[algName] = float64(chanSum) / float64(decisions)
+			res.Dirs[algName] = float64(dirSum) / float64(decisions)
+		}
+		o.logf("  %-18s %.1f channels, %.2f directions per decision",
+			algName, res.Channels[algName], res.Dirs[algName])
+	}
+	return res, nil
+}
+
+// Table renders the adaptivity comparison.
+func (r *AdaptivityResult) Table() *report.Table {
+	t := report.NewTable("algorithm", "mean_channels", "mean_directions")
+	for _, alg := range r.Algorithms {
+		t.AddRow(alg, r.Channels[alg], r.Dirs[alg])
+	}
+	return t
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptivityOrdersCategories(t *testing.T) {
+	o := tiny()
+	res, err := Adaptivity(o, []string{"PHop", "Nbc", "Duato", "Minimal-Adaptive"}, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's two categories in one number: free-choice pools
+	// offer many channels per decision, the strict ladders few.
+	if res.Channels["PHop"] >= res.Channels["Nbc"] {
+		t.Errorf("PHop %.1f >= Nbc %.1f channels", res.Channels["PHop"], res.Channels["Nbc"])
+	}
+	if res.Channels["Nbc"] >= res.Channels["Duato"] {
+		t.Errorf("Nbc %.1f >= Duato %.1f channels", res.Channels["Nbc"], res.Channels["Duato"])
+	}
+	if res.Channels["Duato"] >= res.Channels["Minimal-Adaptive"] {
+		t.Errorf("Duato %.1f >= Minimal-Adaptive %.1f channels", res.Channels["Duato"], res.Channels["Minimal-Adaptive"])
+	}
+	// Direction freedom is bounded by 2 for minimal routing.
+	for alg, d := range res.Dirs {
+		if d < 1 || d > 2.01 {
+			t.Errorf("%s: %.2f directions per decision out of [1,2]", alg, d)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptivityUnknownAlgorithm(t *testing.T) {
+	o := tiny()
+	if _, err := Adaptivity(o, []string{"bogus"}, 0, 10); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

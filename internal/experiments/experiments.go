@@ -1,0 +1,113 @@
+// Package experiments encodes the paper's six figures as runnable
+// experiment definitions, shared by cmd/experiments, the test suite,
+// and the benchmark harness. Each figure function returns structured
+// data plus renderers; EXPERIMENTS.md records the measured-vs-paper
+// comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"wormmesh/internal/sim"
+	"wormmesh/internal/topology"
+)
+
+// Options scales the experiments. Paper() reproduces the publication
+// parameters (within tractable replication counts); Quick() shrinks
+// cycle counts for tests and benchmarks while preserving shapes.
+type Options struct {
+	Width, Height int
+	MessageLength int
+	NumVCs        int
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	FaultSets     int // replications per fault case
+	Workers       int // 0 = NumCPU
+	Seed          int64
+
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Paper returns the publication-scale options: 10×10 mesh, 100-flit
+// messages, 24 VCs, 30 000 cycles with 10 000 warm-up. (The paper runs
+// 1 000 fault patterns for its fault-model statistics and 10 fault
+// sets for the performance figures; we default to the latter
+// everywhere and let callers raise it.)
+func Paper() Options {
+	return Options{
+		Width: 10, Height: 10,
+		MessageLength: 100,
+		NumVCs:        24,
+		WarmupCycles:  10000,
+		MeasureCycles: 20000,
+		FaultSets:     10,
+		Seed:          1,
+	}
+}
+
+// Quick returns CI-scale options (roughly 6× faster per run, 3 fault
+// sets).
+func Quick() Options {
+	o := Paper()
+	o.WarmupCycles = 1000
+	o.MeasureCycles = 4000
+	o.FaultSets = 3
+	return o
+}
+
+// baseParams builds the shared sim.Params for these options.
+func (o Options) baseParams() sim.Params {
+	p := sim.DefaultParams()
+	p.Width, p.Height = o.Width, o.Height
+	p.MessageLength = o.MessageLength
+	p.WarmupCycles = o.WarmupCycles
+	p.MeasureCycles = o.MeasureCycles
+	p.Seed = o.Seed
+	p.FaultSeed = o.Seed
+	if o.NumVCs != 0 {
+		p.Config.NumVCs = o.NumVCs
+	}
+	return p
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// SaturatingRate is the offered load used for the paper's "100%
+// traffic load" experiments: far above the mesh's bisection capacity,
+// so injection is limited only by the network's acceptance.
+func (o Options) SaturatingRate() float64 {
+	// One flit per node per cycle offered; capacity is ~0.4 for 10×10.
+	return 1.0 / float64(o.MessageLength)
+}
+
+// Fig6FaultNodes returns the canned fault pattern of Figure 6 scaled
+// to the mesh: one 2-wide × 3-high block plus two 1×1 regions in the
+// same row band, spaced so their f-rings overlap.
+func (o Options) Fig6FaultNodes() []topology.NodeID {
+	m := topology.New(o.Width, o.Height)
+	var ids []topology.NodeID
+	add := func(x, y int) {
+		c := topology.Coord{X: x, Y: y}
+		if m.Contains(c) {
+			ids = append(ids, m.ID(c))
+		}
+	}
+	// 2×3 block at columns 2-3, rows 3-5.
+	for y := 3; y <= 5; y++ {
+		for x := 2; x <= 3; x++ {
+			add(x, y)
+		}
+	}
+	// Two unit regions at Chebyshev distance 2 (distinct regions,
+	// overlapping f-rings).
+	add(5, 4)
+	add(7, 4)
+	return ids
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormmesh/internal/report"
+	"wormmesh/internal/routing"
+	"wormmesh/internal/sweep"
+)
+
+// TrafficSweepResult holds Figures 1 and 2: per-algorithm throughput
+// and latency curves against the traffic generation rate on the
+// fault-free mesh.
+type TrafficSweepResult struct {
+	Rates      []float64
+	Algorithms []string
+	// Normalized[alg][i] is accepted throughput at Rates[i] as a
+	// fraction of bisection capacity (Figure 1's y axis).
+	Normalized map[string][]float64
+	// Accepted[alg][i] is accepted flits per node per cycle.
+	Accepted map[string][]float64
+	// Latency[alg][i] is mean message latency in cycles (Figure 2).
+	Latency map[string][]float64
+}
+
+// DefaultRates spans the paper's x axis: 0.0001 to 0.0351 messages
+// per node per cycle.
+func DefaultRates() []float64 {
+	return []float64{0.0001, 0.0011, 0.0021, 0.0031, 0.0041, 0.0051,
+		0.0076, 0.0101, 0.0151, 0.0201, 0.0251, 0.0301, 0.0351}
+}
+
+// TrafficSweep runs the fault-free load sweep behind Figures 1 and 2.
+// A nil rates slice uses DefaultRates; a nil algorithms slice uses all
+// eleven configurations.
+func TrafficSweep(o Options, algorithms []string, rates []float64) (*TrafficSweepResult, error) {
+	if rates == nil {
+		rates = DefaultRates()
+	}
+	if algorithms == nil {
+		algorithms = routing.AlgorithmNames
+	}
+	var points []sweep.Point
+	for _, alg := range algorithms {
+		for _, rate := range rates {
+			p := o.baseParams()
+			p.Algorithm = alg
+			p.Rate = rate
+			p.Faults = 0
+			points = append(points, sweep.Point{
+				Key:    fmt.Sprintf("%s@%g", alg, rate),
+				Params: p,
+			})
+		}
+	}
+	o.logf("traffic sweep: %d runs (%d algorithms x %d rates)", len(points), len(algorithms), len(rates))
+	outcomes := sweep.Run(points, o.Workers, nil)
+	if err := sweep.FirstError(outcomes); err != nil {
+		return nil, err
+	}
+	res := &TrafficSweepResult{
+		Rates:      rates,
+		Algorithms: algorithms,
+		Normalized: map[string][]float64{},
+		Accepted:   map[string][]float64{},
+		Latency:    map[string][]float64{},
+	}
+	i := 0
+	for _, alg := range algorithms {
+		norm := make([]float64, len(rates))
+		acc := make([]float64, len(rates))
+		lat := make([]float64, len(rates))
+		for j := range rates {
+			r := outcomes[i].Result
+			norm[j] = r.NormalizedThroughput()
+			acc[j] = r.Stats.Throughput()
+			lat[j] = r.Stats.AvgLatency()
+			i++
+		}
+		res.Normalized[alg] = norm
+		res.Accepted[alg] = acc
+		res.Latency[alg] = lat
+		o.logf("  %-18s peak normalized throughput %.3f", alg, maxOf(norm))
+	}
+	return res, nil
+}
+
+// PeakThroughput returns an algorithm's best normalized throughput
+// across the sweep.
+func (r *TrafficSweepResult) PeakThroughput(alg string) float64 {
+	return maxOf(r.Normalized[alg])
+}
+
+// SaturationRate estimates where an algorithm saturates: the lowest
+// rate at which accepted throughput reaches 95% of its peak.
+func (r *TrafficSweepResult) SaturationRate(alg string) float64 {
+	acc := r.Accepted[alg]
+	peak := maxOf(acc)
+	for i, v := range acc {
+		if v >= 0.95*peak {
+			return r.Rates[i]
+		}
+	}
+	return r.Rates[len(r.Rates)-1]
+}
+
+// ThroughputChart renders Figure 1.
+func (r *TrafficSweepResult) ThroughputChart() *report.LineChart {
+	c := &report.LineChart{
+		Title:  "Figure 1: normalized accepted throughput vs. traffic generation rate (fault-free)",
+		XLabel: "messages/node/cycle",
+	}
+	for _, alg := range r.Algorithms {
+		c.Add(report.Series{Name: alg, X: r.Rates, Y: r.Normalized[alg]})
+	}
+	return c
+}
+
+// LatencyChart renders Figure 2.
+func (r *TrafficSweepResult) LatencyChart() *report.LineChart {
+	c := &report.LineChart{
+		Title:  "Figure 2: average message latency vs. traffic generation rate (fault-free)",
+		XLabel: "messages/node/cycle",
+	}
+	for _, alg := range r.Algorithms {
+		c.Add(report.Series{Name: alg, X: r.Rates, Y: r.Latency[alg]})
+	}
+	return c
+}
+
+// Table renders the raw series.
+func (r *TrafficSweepResult) Table() *report.Table {
+	t := report.NewTable("algorithm", "rate", "accepted_flits", "normalized_thr", "latency_cycles")
+	for _, alg := range r.Algorithms {
+		for i, rate := range r.Rates {
+			t.AddRow(alg, rate, r.Accepted[alg][i], r.Normalized[alg][i], r.Latency[alg][i])
+		}
+	}
+	return t
+}
+
+func maxOf(v []float64) float64 {
+	best := 0.0
+	for _, x := range v {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

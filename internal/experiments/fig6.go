@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormmesh/internal/report"
+	"wormmesh/internal/routing"
+	"wormmesh/internal/sim"
+	"wormmesh/internal/sweep"
+	"wormmesh/internal/topology"
+)
+
+// RingLoadResult holds Figure 6: the traffic load distribution over
+// f-ring nodes versus the remaining nodes, for a faulty run on the
+// canned three-region pattern and for the fault-free baseline scored
+// on the same node set.
+type RingLoadResult struct {
+	Algorithms []string
+	// Faulty[alg] and FaultFree[alg] hold the two bars per algorithm.
+	Faulty    map[string]sim.LoadDistribution
+	FaultFree map[string]sim.LoadDistribution
+	RingNodes int
+}
+
+// RingLoad runs Figure 6 at saturating load.
+func RingLoad(o Options, algorithms []string) (*RingLoadResult, error) {
+	if algorithms == nil {
+		algorithms = routing.AlgorithmNames
+	}
+	faultNodes := o.Fig6FaultNodes()
+	var points []sweep.Point
+	for _, alg := range algorithms {
+		p := o.baseParams()
+		p.Algorithm = alg
+		p.Rate = o.SaturatingRate()
+		p.FaultNodes = faultNodes
+		points = append(points, sweep.Point{Key: alg + "@faulty", Params: p})
+		p2 := p
+		p2.FaultNodes = nil
+		p2.Faults = 0
+		points = append(points, sweep.Point{Key: alg + "@free", Params: p2})
+	}
+	o.logf("ring load: %d runs (%d algorithms, canned pattern of %d faults + fault-free)",
+		len(points), len(algorithms), len(faultNodes))
+	outcomes := sweep.Run(points, o.Workers, nil)
+	if err := sweep.FirstError(outcomes); err != nil {
+		return nil, err
+	}
+	res := &RingLoadResult{
+		Algorithms: algorithms,
+		Faulty:     map[string]sim.LoadDistribution{},
+		FaultFree:  map[string]sim.LoadDistribution{},
+	}
+	for i := 0; i < len(outcomes); i += 2 {
+		alg := algorithms[i/2]
+		faulty := outcomes[i].Result
+		free := outcomes[i+1].Result
+		// Score the fault-free run on the nodes that ring the canned
+		// pattern in the faulty run.
+		ringSet := map[topology.NodeID]bool{}
+		for id := topology.NodeID(0); int(id) < faulty.Faults.Mesh.NodeCount(); id++ {
+			if !faulty.Faults.IsFaulty(id) && faulty.Faults.OnAnyRing(id) {
+				ringSet[id] = true
+			}
+		}
+		res.RingNodes = len(ringSet)
+		res.Faulty[alg] = faulty.LoadDistribution()
+		res.FaultFree[alg] = free.LoadDistributionFor(ringSet)
+		o.logf("  %-18s faulty ring/other %.1f%%/%.1f%%  fault-free %.1f%%/%.1f%%",
+			alg,
+			100*res.Faulty[alg].RingShare, 100*res.Faulty[alg].OtherShare,
+			100*res.FaultFree[alg].RingShare, 100*res.FaultFree[alg].OtherShare)
+	}
+	return res, nil
+}
+
+// Chart renders the grouped bars (ring share per algorithm and fault
+// case; the companion "other" values are in the table).
+func (r *RingLoadResult) Chart() *report.BarChart {
+	b := &report.BarChart{
+		Title: "Figure 6: mean node load as % of peak (f-ring nodes vs. others)",
+		Unit:  "",
+	}
+	for _, alg := range r.Algorithms {
+		b.Add(fmt.Sprintf("%s 0%% ring", alg), 100*r.FaultFree[alg].RingShare)
+		b.Add(fmt.Sprintf("%s 0%% other", alg), 100*r.FaultFree[alg].OtherShare)
+		b.Add(fmt.Sprintf("%s faulty ring", alg), 100*r.Faulty[alg].RingShare)
+		b.Add(fmt.Sprintf("%s faulty other", alg), 100*r.Faulty[alg].OtherShare)
+	}
+	return b
+}
+
+// Table renders the full distribution data.
+func (r *RingLoadResult) Table() *report.Table {
+	t := report.NewTable("algorithm", "case", "ring_share%", "other_share%", "peak_load", "peak_node_util%")
+	for _, alg := range r.Algorithms {
+		f := r.FaultFree[alg]
+		t.AddRow(alg, "0%", 100*f.RingShare, 100*f.OtherShare, f.PeakLoad, 100*f.PeakUtilization)
+		d := r.Faulty[alg]
+		t.AddRow(alg, "faulty", 100*d.RingShare, 100*d.OtherShare, d.PeakLoad, 100*d.PeakUtilization)
+	}
+	return t
+}

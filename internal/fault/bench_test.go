@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+// BenchmarkGenerate measures random fault-pattern generation with
+// convexification and connectivity checking (the per-replication setup
+// cost of every fault experiment).
+func BenchmarkGenerate(b *testing.B) {
+	m := topology.New(10, 10)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(m, 10, rng, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewModel measures model construction for a fixed pattern.
+func BenchmarkNewModel(b *testing.B) {
+	m := topology.New(10, 10)
+	ids, err := NamedPattern("paper-fig6", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(m, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingNext measures the per-hop cost of ring traversal
+// lookups (the inner loop of BC detours).
+func BenchmarkRingNext(b *testing.B) {
+	m := topology.New(10, 10)
+	ids, err := NamedPattern("center-block", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := New(m, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring := model.Rings()[0]
+	node := ring.Nodes[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, ok := ring.Next(node, i%2 == 0)
+		if !ok {
+			b.Fatal("ring broke")
+		}
+		node = next
+	}
+}

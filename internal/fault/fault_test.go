@@ -1,0 +1,456 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+func ids(m topology.Mesh, coords ...topology.Coord) []topology.NodeID {
+	out := make([]topology.NodeID, len(coords))
+	for i, c := range coords {
+		out[i] = m.ID(c)
+	}
+	return out
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := topology.New(6, 6)
+	f := None(m)
+	if f.FaultCount() != 0 || f.HealthyCount() != 36 || len(f.Regions()) != 0 {
+		t.Fatalf("empty model: faults=%d healthy=%d regions=%d", f.FaultCount(), f.HealthyCount(), len(f.Regions()))
+	}
+	for id := topology.NodeID(0); id < 36; id++ {
+		if f.IsFaulty(id) || f.OnAnyRing(id) || f.IsUnsafe(id) {
+			t.Fatalf("node %d flagged in empty model", id)
+		}
+	}
+}
+
+func TestSingleFaultRegionAndRing(t *testing.T) {
+	m := topology.New(6, 6)
+	f, err := New(m, ids(m, topology.Coord{X: 2, Y: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Regions()); got != 1 {
+		t.Fatalf("regions = %d, want 1", got)
+	}
+	r := f.Regions()[0]
+	if r.Min != (topology.Coord{X: 2, Y: 2}) || r.Max != (topology.Coord{X: 2, Y: 2}) {
+		t.Fatalf("region = %v", r)
+	}
+	ring := f.Rings()[0]
+	if ring.Chain {
+		t.Error("interior region produced a chain")
+	}
+	if ring.Len() != 8 {
+		t.Fatalf("ring length = %d, want 8", ring.Len())
+	}
+	// Every ring node is healthy and Chebyshev-adjacent to the region.
+	for _, id := range ring.Nodes {
+		if f.IsFaulty(id) {
+			t.Fatalf("ring node %d is faulty", id)
+		}
+		c := m.CoordOf(id)
+		if c.X < 1 || c.X > 3 || c.Y < 1 || c.Y > 3 {
+			t.Fatalf("ring node %v not adjacent to region", c)
+		}
+	}
+}
+
+func TestRingOrderingIsAdjacentCycle(t *testing.T) {
+	m := topology.New(10, 10)
+	f, err := New(m, ids(m,
+		topology.Coord{X: 4, Y: 4}, topology.Coord{X: 5, Y: 4},
+		topology.Coord{X: 4, Y: 5}, topology.Coord{X: 5, Y: 5},
+		topology.Coord{X: 4, Y: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Regions()) != 1 {
+		t.Fatalf("regions = %d, want 1 (coalesced)", len(f.Regions()))
+	}
+	ring := f.Rings()[0]
+	n := ring.Len()
+	for i, id := range ring.Nodes {
+		next := ring.Nodes[(i+1)%n]
+		if m.Distance(m.CoordOf(id), m.CoordOf(next)) != 1 {
+			t.Fatalf("ring nodes %v and %v not adjacent", m.CoordOf(id), m.CoordOf(next))
+		}
+		if p, ok := ring.Position(id); !ok || p != i {
+			t.Fatalf("Position(%d) = %d, %v; want %d", id, p, ok, i)
+		}
+	}
+	// Next is consistent with slice order in both orientations.
+	for i, id := range ring.Nodes {
+		cw, ok := ring.Next(id, true)
+		if !ok || cw != ring.Nodes[(i+1)%n] {
+			t.Fatalf("Next(cw) inconsistent at %d", i)
+		}
+		ccw, ok := ring.Next(id, false)
+		if !ok || ccw != ring.Nodes[(i-1+n)%n] {
+			t.Fatalf("Next(ccw) inconsistent at %d", i)
+		}
+	}
+	if _, ok := ring.Next(topology.NodeID(0), true); ok {
+		t.Error("Next for non-member returned ok")
+	}
+}
+
+func TestDiagonalFaultsCoalesce(t *testing.T) {
+	m := topology.New(8, 8)
+	f, err := New(m, ids(m, topology.Coord{X: 2, Y: 2}, topology.Coord{X: 3, Y: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Regions()) != 1 {
+		t.Fatalf("diagonal faults formed %d regions, want 1", len(f.Regions()))
+	}
+	r := f.Regions()[0]
+	if r.Size() != 4 {
+		t.Fatalf("region size = %d, want 4 (2x2 bounding box)", r.Size())
+	}
+	if f.DeactivatedCount() != 2 {
+		t.Fatalf("deactivated = %d, want 2", f.DeactivatedCount())
+	}
+	if f.SeedCount() != 2 {
+		t.Fatalf("seed count = %d, want 2", f.SeedCount())
+	}
+}
+
+func TestLShapeConvexified(t *testing.T) {
+	m := topology.New(8, 8)
+	// L-shaped group: (2,2),(2,3),(2,4),(3,2) -> bounding box 2x3.
+	f, err := New(m, ids(m,
+		topology.Coord{X: 2, Y: 2}, topology.Coord{X: 2, Y: 3},
+		topology.Coord{X: 2, Y: 4}, topology.Coord{X: 3, Y: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Regions()[0]
+	if r.Width() != 2 || r.Height() != 3 {
+		t.Fatalf("region %v, want 2x3", r)
+	}
+	for y := 2; y <= 4; y++ {
+		for x := 2; x <= 3; x++ {
+			if !f.IsFaulty(m.ID(topology.Coord{X: x, Y: y})) {
+				t.Fatalf("(%d,%d) not deactivated inside block", x, y)
+			}
+		}
+	}
+}
+
+func TestNearbyRegionsStayDistinctWithOverlappingRings(t *testing.T) {
+	m := topology.New(10, 10)
+	// Chebyshev distance exactly 2: distinct regions, shared ring nodes.
+	f, err := New(m, ids(m, topology.Coord{X: 3, Y: 4}, topology.Coord{X: 5, Y: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Regions()) != 2 {
+		t.Fatalf("regions = %d, want 2", len(f.Regions()))
+	}
+	shared := m.ID(topology.Coord{X: 4, Y: 4})
+	rings := f.RingsThrough(shared)
+	if len(rings) != 2 {
+		t.Fatalf("node between regions on %d rings, want 2", len(rings))
+	}
+}
+
+func TestBoundaryRegionFormsChain(t *testing.T) {
+	m := topology.New(8, 8)
+	f, err := New(m, ids(m, topology.Coord{X: 0, Y: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := f.Rings()[0]
+	if !ring.Chain {
+		t.Fatal("boundary region did not form a chain")
+	}
+	if ring.Len() != 5 {
+		t.Fatalf("chain length = %d, want 5", ring.Len())
+	}
+	// Chain ends have no successor in one orientation.
+	first, last := ring.Nodes[0], ring.Nodes[len(ring.Nodes)-1]
+	if _, ok := ring.Next(last, true); ok {
+		t.Error("chain end has clockwise successor")
+	}
+	if _, ok := ring.Next(first, false); ok {
+		t.Error("chain start has counter-clockwise successor")
+	}
+	// Interior chain nodes remain connected in order.
+	for i := 0; i+1 < len(ring.Nodes); i++ {
+		if m.Distance(m.CoordOf(ring.Nodes[i]), m.CoordOf(ring.Nodes[i+1])) != 1 {
+			t.Fatalf("chain nodes %d and %d not adjacent", i, i+1)
+		}
+	}
+}
+
+func TestCornerRegionChain(t *testing.T) {
+	m := topology.New(8, 8)
+	f, err := New(m, ids(m, topology.Coord{X: 0, Y: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := f.Rings()[0]
+	if !ring.Chain || ring.Len() != 3 {
+		t.Fatalf("corner chain: chain=%v len=%d, want chain of 3", ring.Chain, ring.Len())
+	}
+}
+
+func TestDisconnectingPatternRejected(t *testing.T) {
+	m := topology.New(6, 6)
+	// A full column of faults splits the mesh.
+	var wall []topology.NodeID
+	for y := 0; y < 6; y++ {
+		wall = append(wall, m.ID(topology.Coord{X: 3, Y: y}))
+	}
+	if _, err := New(m, wall); err != ErrDisconnected {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestAlmostAllFaultyRejected(t *testing.T) {
+	m := topology.New(3, 3)
+	var all []topology.NodeID
+	for id := topology.NodeID(0); id < 8; id++ {
+		all = append(all, id)
+	}
+	_, err := New(m, all)
+	if err == nil {
+		t.Fatal("expected error for 8 of 9 nodes faulty")
+	}
+}
+
+func TestOutOfRangeFaultRejected(t *testing.T) {
+	m := topology.New(4, 4)
+	if _, err := New(m, []topology.NodeID{99}); err == nil {
+		t.Fatal("expected error for out-of-range node")
+	}
+}
+
+// TestUnsafeEqualsDeactivated verifies the documented equivalence: the
+// Boura–Das unsafe label coincides with the nodes deactivated by block
+// convexification. The classic unsafe witness — a node with faulty
+// neighbors in two different dimensions — must therefore itself be
+// deactivated, never left healthy-but-labeled.
+func TestUnsafeEqualsDeactivated(t *testing.T) {
+	m := topology.New(10, 10)
+	// Faults east and north of (4,4): an L-trap. The two faults are
+	// diagonal neighbors, so they coalesce and (4,4) lands inside the
+	// bounding box.
+	f, err := New(m, ids(m, topology.Coord{X: 5, Y: 4}, topology.Coord{X: 4, Y: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := m.ID(topology.Coord{X: 4, Y: 4})
+	if !f.IsFaulty(trap) || f.IsSeedFault(trap) {
+		t.Error("(4,4) should be deactivated by convexification")
+	}
+	if !f.IsUnsafe(trap) {
+		t.Error("deactivated node not reported unsafe")
+	}
+	for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+		if f.IsUnsafe(id) != (f.IsFaulty(id) && !f.IsSeedFault(id)) {
+			t.Fatalf("node %d: unsafe label disagrees with deactivation", id)
+		}
+	}
+}
+
+// TestNoHealthyNodeHasTwoDimensionFaults is the structural theorem the
+// equivalence rests on: after convexification, no routable node can
+// have faulty neighbors in both dimensions (such a configuration
+// always coalesces and swallows the node).
+func TestNoHealthyNodeHasTwoDimensionFaults(t *testing.T) {
+	m := topology.New(10, 10)
+	for seed := int64(0); seed < 25; seed++ {
+		f, err := Generate(m, 12, rand.New(rand.NewSource(seed)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+			if f.IsFaulty(id) {
+				continue
+			}
+			c := m.CoordOf(id)
+			bad := func(d topology.Direction) bool {
+				nb, ok := m.Neighbor(c, d)
+				return ok && f.IsFaulty(m.ID(nb))
+			}
+			xBad := bad(topology.East) || bad(topology.West)
+			yBad := bad(topology.North) || bad(topology.South)
+			if xBad && yBad {
+				t.Fatalf("seed %d: healthy node %v has faulty neighbors in both dimensions", seed, c)
+			}
+		}
+	}
+}
+
+func TestRegionOfAndRingAround(t *testing.T) {
+	m := topology.New(8, 8)
+	c := topology.Coord{X: 3, Y: 3}
+	f, err := New(m, ids(m, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.ID(c)
+	if r := f.RegionOf(id); r == nil || !r.Contains(c) {
+		t.Fatalf("RegionOf faulty node = %v", r)
+	}
+	if f.RegionOf(m.ID(topology.Coord{X: 0, Y: 0})) != nil {
+		t.Error("RegionOf healthy node non-nil")
+	}
+	if f.RingAround(id) == nil {
+		t.Error("RingAround faulty node nil")
+	}
+	if f.RingAround(m.ID(topology.Coord{X: 0, Y: 0})) != nil {
+		t.Error("RingAround healthy node non-nil")
+	}
+}
+
+func TestHealthyNodes(t *testing.T) {
+	m := topology.New(4, 4)
+	f, err := New(m, ids(m, topology.Coord{X: 1, Y: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.HealthyNodes()
+	if len(h) != 15 {
+		t.Fatalf("healthy = %d, want 15", len(h))
+	}
+	for _, id := range h {
+		if f.IsFaulty(id) {
+			t.Fatalf("healthy list contains faulty node %d", id)
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	m := topology.New(10, 10)
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f, err := Generate(m, 10, rng, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if f.SeedCount() != 10 {
+			t.Fatalf("seed %d: seed faults = %d, want 10", seed, f.SeedCount())
+		}
+		if f.FaultCount() > 20 {
+			t.Fatalf("seed %d: growth budget exceeded: %d faults", seed, f.FaultCount())
+		}
+		// Structural invariants on every generated pattern.
+		checkModelInvariants(t, f)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	m := topology.New(10, 10)
+	a, err := Generate(m, 8, rand.New(rand.NewSource(42)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(m, 8, rand.New(rand.NewSource(42)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+		if a.IsFaulty(id) != b.IsFaulty(id) {
+			t.Fatalf("same seed produced different patterns at node %d", id)
+		}
+	}
+}
+
+func TestGenerateForbidBoundary(t *testing.T) {
+	m := topology.New(10, 10)
+	for seed := int64(0); seed < 10; seed++ {
+		f, err := Generate(m, 5, rand.New(rand.NewSource(seed)), Options{ForbidBoundary: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, r := range f.Rings() {
+			if r.Chain {
+				t.Fatalf("seed %d: boundary chain despite ForbidBoundary", seed)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadCounts(t *testing.T) {
+	m := topology.New(4, 4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(m, 16, rng, Options{}); err == nil {
+		t.Error("Generate with count == nodes did not fail")
+	}
+	if _, err := Generate(m, -1, rng, Options{}); err == nil {
+		t.Error("Generate with negative count did not fail")
+	}
+}
+
+func TestGenerateZeroFaults(t *testing.T) {
+	m := topology.New(5, 5)
+	f, err := Generate(m, 0, rand.New(rand.NewSource(1)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FaultCount() != 0 {
+		t.Fatalf("zero-fault generate produced %d faults", f.FaultCount())
+	}
+}
+
+// checkModelInvariants verifies the structural properties every valid
+// model must satisfy.
+func checkModelInvariants(t *testing.T, f *Model) {
+	t.Helper()
+	m := f.Mesh
+	// Regions are pairwise Chebyshev >= 2 apart and fully faulty.
+	regions := f.Regions()
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].chebyshev(regions[j]) < 2 {
+				t.Fatalf("regions %v and %v touch", regions[i], regions[j])
+			}
+		}
+		for y := regions[i].Min.Y; y <= regions[i].Max.Y; y++ {
+			for x := regions[i].Min.X; x <= regions[i].Max.X; x++ {
+				if !f.IsFaulty(m.ID(topology.Coord{X: x, Y: y})) {
+					t.Fatalf("region %v contains healthy node (%d,%d)", regions[i], x, y)
+				}
+			}
+		}
+	}
+	// Every faulty node is in exactly one region.
+	for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+		if f.IsFaulty(id) {
+			if f.RegionOf(id) == nil {
+				t.Fatalf("faulty node %d not in any region", id)
+			}
+		} else if f.RegionOf(id) != nil {
+			t.Fatalf("healthy node %d assigned a region", id)
+		}
+	}
+	// Rings consist of healthy nodes hugging their region.
+	for ri, ring := range f.Rings() {
+		for i, id := range ring.Nodes {
+			if f.IsFaulty(id) {
+				t.Fatalf("ring %d node %d faulty", ri, id)
+			}
+			if i+1 < len(ring.Nodes) {
+				if m.Distance(m.CoordOf(id), m.CoordOf(ring.Nodes[i+1])) != 1 {
+					t.Fatalf("ring %d not an adjacent path at %d", ri, i)
+				}
+			}
+		}
+		if !ring.Chain && len(ring.Nodes) > 1 {
+			if m.Distance(m.CoordOf(ring.Nodes[0]), m.CoordOf(ring.Nodes[len(ring.Nodes)-1])) != 1 {
+				t.Fatalf("ring %d endpoints not adjacent in closed ring", ri)
+			}
+		}
+	}
+	// Healthy nodes are connected (re-verify with a fresh BFS).
+	if !f.connected() {
+		t.Fatal("model not connected")
+	}
+}

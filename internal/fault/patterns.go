@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"wormmesh/internal/topology"
+)
+
+// Canned fault patterns from the fault-tolerant routing literature,
+// scaled to the mesh. Each returns the seed fault nodes; build the
+// Model with New. Patterns that do not fit a mesh return an error.
+
+// PatternNames lists the canned patterns.
+func PatternNames() []string {
+	names := make([]string, 0, len(patterns))
+	for name := range patterns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NamedPattern returns the seed fault nodes of a canned pattern.
+func NamedPattern(name string, m topology.Mesh) ([]topology.NodeID, error) {
+	fn, ok := patterns[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown pattern %q (have %v)", name, PatternNames())
+	}
+	return fn(m)
+}
+
+var patterns = map[string]func(topology.Mesh) ([]topology.NodeID, error){
+	"center-block":   centerBlock,
+	"cross":          cross,
+	"boundary-chain": boundaryChainPattern,
+	"corner":         cornerPattern,
+	"staircase":      staircase,
+	"double-wall":    doubleWall,
+	"paper-fig6":     paperFig6,
+}
+
+func need(m topology.Mesh, w, h int) error {
+	if m.Width < w || m.Height < h {
+		return fmt.Errorf("fault: pattern needs at least a %dx%d mesh, got %v", w, h, m)
+	}
+	return nil
+}
+
+func block(m topology.Mesh, x0, y0, x1, y1 int) []topology.NodeID {
+	var ids []topology.NodeID
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			ids = append(ids, m.ID(topology.Coord{X: x, Y: y}))
+		}
+	}
+	return ids
+}
+
+// centerBlock is a 2×2 block in the middle of the mesh.
+func centerBlock(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 6, 6); err != nil {
+		return nil, err
+	}
+	cx, cy := m.Width/2, m.Height/2
+	return block(m, cx-1, cy-1, cx, cy), nil
+}
+
+// cross places four 1×1 regions around the center at Chebyshev
+// distance 2 from a central 1×1 region: five distinct regions whose
+// f-rings overlap pairwise, the stress case for the BC ring channels.
+func cross(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 9, 9); err != nil {
+		return nil, err
+	}
+	cx, cy := m.Width/2, m.Height/2
+	var ids []topology.NodeID
+	for _, d := range [][2]int{{0, 0}, {2, 0}, {-2, 0}, {0, 2}, {0, -2}} {
+		ids = append(ids, m.ID(topology.Coord{X: cx + d[0], Y: cy + d[1]}))
+	}
+	return ids, nil
+}
+
+// boundaryChainPattern is a 2×2 block touching the west edge: an open
+// f-chain.
+func boundaryChainPattern(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 5, 6); err != nil {
+		return nil, err
+	}
+	cy := m.Height / 2
+	return block(m, 0, cy-1, 1, cy), nil
+}
+
+// cornerPattern fails the north-east corner 2×2.
+func cornerPattern(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 5, 5); err != nil {
+		return nil, err
+	}
+	return block(m, m.Width-2, m.Height-2, m.Width-1, m.Height-1), nil
+}
+
+// staircase is a diagonal run of faults that convexification merges
+// into one large block — the worst case for deactivation overhead.
+func staircase(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 8, 8); err != nil {
+		return nil, err
+	}
+	var ids []topology.NodeID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, m.ID(topology.Coord{X: 2 + i, Y: 2 + i}))
+	}
+	return ids, nil
+}
+
+// doubleWall places two parallel horizontal bars with a two-row gap:
+// a corridor that funnels all crossing traffic.
+func doubleWall(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 8, 9); err != nil {
+		return nil, err
+	}
+	cy := m.Height / 2
+	var ids []topology.NodeID
+	ids = append(ids, block(m, 2, cy-2, m.Width-3, cy-2)...)
+	ids = append(ids, block(m, 2, cy+2, m.Width-3, cy+2)...)
+	return ids, nil
+}
+
+// paperFig6 is the pattern of the paper's Figure 6: a 2×3 block plus
+// two unit regions in the same row band, spaced so the f-rings
+// overlap.
+func paperFig6(m topology.Mesh) ([]topology.NodeID, error) {
+	if err := need(m, 10, 7); err != nil {
+		return nil, err
+	}
+	var ids []topology.NodeID
+	ids = append(ids, block(m, 2, 3, 3, 5)...)
+	ids = append(ids, m.ID(topology.Coord{X: 5, Y: 4}), m.ID(topology.Coord{X: 7, Y: 4}))
+	return ids, nil
+}

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+func TestNamedPatternsBuildValidModels(t *testing.T) {
+	m := topology.New(10, 10)
+	for _, name := range PatternNames() {
+		ids, err := NamedPattern(name, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		model, err := New(m, ids)
+		if err != nil {
+			t.Fatalf("%s: model: %v", name, err)
+		}
+		checkModelInvariants(t, model)
+	}
+}
+
+func TestNamedPatternUnknown(t *testing.T) {
+	if _, err := NamedPattern("nope", topology.New(10, 10)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestPatternsRejectTinyMeshes(t *testing.T) {
+	tiny := topology.New(4, 4)
+	rejected := 0
+	for _, name := range PatternNames() {
+		if _, err := NamedPattern(name, tiny); err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("no pattern rejected a 4x4 mesh")
+	}
+}
+
+func TestPatternShapes(t *testing.T) {
+	m := topology.New(10, 10)
+
+	ids, err := NamedPattern("cross", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := New(m, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Regions()) != 5 {
+		t.Errorf("cross regions = %d, want 5", len(model.Regions()))
+	}
+	overlaps := 0
+	for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+		if len(model.RingsThrough(id)) >= 2 {
+			overlaps++
+		}
+	}
+	if overlaps == 0 {
+		t.Error("cross pattern has no overlapping rings")
+	}
+
+	ids, err = NamedPattern("staircase", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err = New(m, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Regions()) != 1 {
+		t.Errorf("staircase regions = %d, want 1 (merged)", len(model.Regions()))
+	}
+	if model.DeactivatedCount() != 9-3 {
+		t.Errorf("staircase deactivated = %d, want 6 (3x3 box minus 3 seeds)", model.DeactivatedCount())
+	}
+
+	ids, err = NamedPattern("boundary-chain", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err = New(m, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Rings()[0].Chain {
+		t.Error("boundary-chain did not produce a chain")
+	}
+
+	ids, err = NamedPattern("double-wall", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err = New(m, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Regions()) != 2 {
+		t.Errorf("double-wall regions = %d, want 2", len(model.Regions()))
+	}
+}

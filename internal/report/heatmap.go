@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Heatmap renders a width×height grid of values as ASCII shading with
+// +Y drawn upward (matching the paper's mesh coordinates). Cells with
+// NaN values (e.g. faulty nodes) render as 'X'.
+type Heatmap struct {
+	Title  string
+	Width  int
+	Height int
+	// Values indexed [y*Width+x].
+	Values []float64
+	// Legend, when true, appends the value scale.
+	Legend bool
+}
+
+// ramp orders shading characters from cold to hot.
+const ramp = " .:-=+*#%@"
+
+// Write renders the heatmap.
+func (h *Heatmap) Write(w io.Writer) error {
+	if len(h.Values) != h.Width*h.Height {
+		return fmt.Errorf("report: heatmap needs %d values, got %d", h.Width*h.Height, len(h.Values))
+	}
+	max := 0.0
+	for _, v := range h.Values {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	if h.Title != "" {
+		if _, err := fmt.Fprintln(w, h.Title); err != nil {
+			return err
+		}
+	}
+	for y := h.Height - 1; y >= 0; y-- {
+		if _, err := fmt.Fprintf(w, "%3d  ", y); err != nil {
+			return err
+		}
+		for x := 0; x < h.Width; x++ {
+			v := h.Values[y*h.Width+x]
+			var ch byte
+			switch {
+			case math.IsNaN(v):
+				ch = 'X'
+			case max == 0:
+				ch = ramp[0]
+			default:
+				idx := int(v / max * float64(len(ramp)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+				ch = ramp[idx]
+			}
+			if _, err := fmt.Fprintf(w, "%c ", ch); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "     "); err != nil {
+		return err
+	}
+	for x := 0; x < h.Width; x++ {
+		if _, err := fmt.Fprintf(w, "%-2d", x%10); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if h.Legend {
+		if _, err := fmt.Fprintf(w, "scale: '%c' = 0 … '%c' = %s (X = faulty)\n",
+			ramp[0], ramp[len(ramp)-1], FormatFloat(max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRenders(t *testing.T) {
+	h := Heatmap{
+		Title:  "test",
+		Width:  3,
+		Height: 2,
+		Values: []float64{0, 5, 10, math.NaN(), 2.5, 10},
+		Legend: true,
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("NaN cell not rendered as X")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("max cell not rendered with hottest rune")
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("legend missing")
+	}
+	// +Y up: row printed first is y=1, whose first cell is the NaN.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "  1  X") {
+		t.Errorf("top row = %q, want y=1 starting with X", lines[1])
+	}
+}
+
+func TestHeatmapSizeMismatch(t *testing.T) {
+	h := Heatmap{Width: 2, Height: 2, Values: []float64{1}}
+	var sb strings.Builder
+	if err := h.Write(&sb); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	h := Heatmap{Width: 2, Height: 2, Values: make([]float64, 4)}
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

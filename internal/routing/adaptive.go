@@ -1,0 +1,226 @@
+package routing
+
+import (
+	"wormmesh/internal/core"
+	"wormmesh/internal/topology"
+)
+
+// ecube is deterministic dimension-order (XY) routing: correct the X
+// offset first, then Y. Deadlock-free on a mesh with a single virtual
+// channel; used as Duato's class-II escape discipline.
+type ecube struct {
+	mesh   topology.Mesh
+	baseVC int
+	vcs    int
+}
+
+func newECube(mesh topology.Mesh, baseVC, vcs int) *ecube {
+	return &ecube{mesh: mesh, baseVC: baseVC, vcs: vcs}
+}
+
+func (e *ecube) name() string         { return "ecube" }
+func (e *ecube) numVCs() int          { return e.baseVC + e.vcs }
+func (e *ecube) init(m *core.Message) {}
+func (e *ecube) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
+	cur, dst := e.mesh.CoordOf(node), e.mesh.CoordOf(m.Dst)
+	d, ok := topology.DirTowards(cur, dst, 0)
+	if !ok {
+		d, ok = topology.DirTowards(cur, dst, 1)
+	}
+	if !ok {
+		return
+	}
+	out.AddVCs(tier, d, e.baseVC, e.baseVC+e.vcs-1)
+}
+func (e *ecube) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	advanceCommon(e.mesh, m, from, ch)
+}
+
+// minimalAdaptive is the paper's Minimal-Adaptive routing: any minimal
+// direction, any virtual channel in its pool, with no supervision of
+// virtual-channel usage. It is not deadlock-free; the engine watchdog
+// recovers and counts.
+type minimalAdaptive struct {
+	mesh   topology.Mesh
+	baseVC int
+	vcs    int
+	dirBuf []topology.Direction
+}
+
+func newMinimalAdaptive(mesh topology.Mesh, baseVC, vcs int) *minimalAdaptive {
+	return &minimalAdaptive{mesh: mesh, baseVC: baseVC, vcs: vcs}
+}
+
+func (a *minimalAdaptive) name() string         { return "Minimal-Adaptive" }
+func (a *minimalAdaptive) numVCs() int          { return a.baseVC + a.vcs }
+func (a *minimalAdaptive) init(m *core.Message) {}
+func (a *minimalAdaptive) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
+	a.dirBuf = minimalDirs(a.mesh, node, m.Dst, a.dirBuf[:0])
+	for _, d := range a.dirBuf {
+		out.AddVCs(tier, d, a.baseVC, a.baseVC+a.vcs-1)
+	}
+}
+func (a *minimalAdaptive) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	advanceCommon(a.mesh, m, from, ch)
+}
+
+// fullyAdaptive extends minimalAdaptive with bounded misrouting: when
+// every minimal channel is busy the message may take a non-minimal
+// direction, at most limit times (the paper fixes the limit at 10 to
+// prevent livelock). Misroute candidates sit one preference tier below
+// the minimal ones so the engine only uses them when all minimal
+// channels are occupied.
+type fullyAdaptive struct {
+	mesh   topology.Mesh
+	baseVC int
+	vcs    int
+	limit  int32
+	dirBuf []topology.Direction
+}
+
+func newFullyAdaptive(mesh topology.Mesh, baseVC, vcs int, limit int) *fullyAdaptive {
+	return &fullyAdaptive{mesh: mesh, baseVC: baseVC, vcs: vcs, limit: int32(limit)}
+}
+
+func (a *fullyAdaptive) name() string         { return "Fully-Adaptive" }
+func (a *fullyAdaptive) numVCs() int          { return a.baseVC + a.vcs }
+func (a *fullyAdaptive) init(m *core.Message) { m.Misroutes = 0 }
+func (a *fullyAdaptive) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
+	cur := a.mesh.CoordOf(node)
+	dst := a.mesh.CoordOf(m.Dst)
+	a.dirBuf = topology.MinimalDirs(cur, dst, a.dirBuf[:0])
+	for _, d := range a.dirBuf {
+		out.AddVCs(tier, d, a.baseVC, a.baseVC+a.vcs-1)
+	}
+	if m.Misroutes >= a.limit || tier+1 >= core.MaxTiers {
+		return
+	}
+	for d := topology.Direction(0); d < topology.NumDirs; d++ {
+		if _, ok := a.mesh.Neighbor(cur, d); !ok {
+			continue
+		}
+		if topology.IsMinimal(cur, dst, d) {
+			continue
+		}
+		// Avoid immediately bouncing back to the previous node.
+		if m.Prev != topology.Invalid && a.mesh.NeighborID(node, d) == m.Prev {
+			continue
+		}
+		out.AddVCs(tier+1, d, a.baseVC, a.baseVC+a.vcs-1)
+	}
+}
+func (a *fullyAdaptive) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	if !topology.IsMinimal(a.mesh.CoordOf(from), a.mesh.CoordOf(m.Dst), ch.Dir) {
+		m.Misroutes++
+	}
+	advanceCommon(a.mesh, m, from, ch)
+}
+
+// duato composes Duato's methodology: a class-I pool of fully adaptive
+// virtual channels tried first, with a deadlock-free escape base
+// (class II) used when every class-I channel is busy. Network
+// performance is maximized when the escape class holds the minimum
+// required channels and all extras go to class I, which is how the
+// registry configures Duato-Pbc and Duato-Nbc.
+type duato struct {
+	mesh       topology.Mesh
+	dispName   string
+	escape     base
+	adaptiveLo int
+	adaptiveHi int
+	dirBuf     []topology.Direction
+}
+
+func newDuato(mesh topology.Mesh, name string, escape base, adaptiveLo, adaptiveHi int) *duato {
+	return &duato{mesh: mesh, dispName: name, escape: escape, adaptiveLo: adaptiveLo, adaptiveHi: adaptiveHi}
+}
+
+func (d *duato) name() string { return d.dispName }
+func (d *duato) numVCs() int {
+	n := d.escape.numVCs()
+	if d.adaptiveHi+1 > n {
+		n = d.adaptiveHi + 1
+	}
+	return n
+}
+func (d *duato) init(m *core.Message) { d.escape.init(m) }
+func (d *duato) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
+	d.dirBuf = minimalDirs(d.mesh, node, m.Dst, d.dirBuf[:0])
+	for _, dir := range d.dirBuf {
+		out.AddVCs(tier, dir, d.adaptiveLo, d.adaptiveHi)
+	}
+	if tier+1 < core.MaxTiers {
+		d.escape.candidates(m, node, out, tier+1)
+	}
+}
+func (d *duato) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	if int(ch.VC) >= d.adaptiveLo && int(ch.VC) <= d.adaptiveHi {
+		advanceCommon(d.mesh, m, from, ch)
+		return
+	}
+	d.escape.advance(m, from, ch)
+}
+
+// bouraAdaptive approximates the adaptive discipline underlying Boura
+// and Das's routing scheme: the virtual channels form two virtual
+// subnetworks, one for messages still needing to travel north (+Y) and
+// one for south-bound messages; within its subnetwork a message routes
+// fully adaptively over minimal directions. Messages with no Y offset
+// stay in the subnetwork assigned at injection. (Documented
+// approximation — see DESIGN.md §2.)
+type bouraAdaptive struct {
+	mesh   topology.Mesh
+	posLo  int
+	posHi  int
+	negLo  int
+	negHi  int
+	dirBuf []topology.Direction
+}
+
+func newBouraAdaptive(mesh topology.Mesh, posLo, posHi, negLo, negHi int) *bouraAdaptive {
+	return &bouraAdaptive{mesh: mesh, posLo: posLo, posHi: posHi, negLo: negLo, negHi: negHi}
+}
+
+func (b *bouraAdaptive) name() string { return "Boura-Adaptive" }
+func (b *bouraAdaptive) numVCs() int {
+	if b.negHi+1 > b.posHi+1 {
+		return b.negHi + 1
+	}
+	return b.posHi + 1
+}
+func (b *bouraAdaptive) init(m *core.Message) {
+	sc, dc := b.mesh.CoordOf(m.Src), b.mesh.CoordOf(m.Dst)
+	if dc.Y >= sc.Y {
+		m.Subnet = 0
+	} else {
+		m.Subnet = 1
+	}
+}
+
+// subnetRange returns the VC range for the subnetwork the message
+// should currently be using, re-deriving it from the remaining Y
+// offset so detours pick the correct discipline.
+func (b *bouraAdaptive) subnetRange(m *core.Message, node topology.NodeID) (int, int) {
+	cur, dst := b.mesh.CoordOf(node), b.mesh.CoordOf(m.Dst)
+	switch {
+	case dst.Y > cur.Y:
+		return b.posLo, b.posHi
+	case dst.Y < cur.Y:
+		return b.negLo, b.negHi
+	case m.Subnet == 0:
+		return b.posLo, b.posHi
+	default:
+		return b.negLo, b.negHi
+	}
+}
+
+func (b *bouraAdaptive) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
+	lo, hi := b.subnetRange(m, node)
+	b.dirBuf = minimalDirs(b.mesh, node, m.Dst, b.dirBuf[:0])
+	for _, d := range b.dirBuf {
+		out.AddVCs(tier, d, lo, hi)
+	}
+}
+func (b *bouraAdaptive) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	advanceCommon(b.mesh, m, from, ch)
+}

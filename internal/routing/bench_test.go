@@ -1,0 +1,62 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// BenchmarkCandidates measures the routing-decision cost of each
+// algorithm — the hottest call in the simulation inner loop.
+func BenchmarkCandidates(b *testing.B) {
+	m := topology.New(10, 10)
+	ids, err := fault.NamedPattern("center-block", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := fault.New(m, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"PHop", "Nbc", "Duato-Nbc", "Minimal-Adaptive", "Boura-FT"} {
+		b.Run(name, func(b *testing.B) {
+			alg := MustNew(name, f, 24)
+			msg := core.NewMessage(1, m.ID(topology.Coord{X: 1, Y: 1}), m.ID(topology.Coord{X: 8, Y: 7}), 1)
+			alg.InitMessage(msg)
+			var cands core.CandidateSet
+			node := m.ID(topology.Coord{X: 3, Y: 4})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cands.Reset()
+				alg.Candidates(msg, node, &cands)
+			}
+		})
+	}
+}
+
+// BenchmarkWalk measures a full lone-message walk around the central
+// block (routing decisions + state updates over the whole path).
+func BenchmarkWalk(b *testing.B) {
+	m := topology.New(10, 10)
+	ids, err := fault.NamedPattern("center-block", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := fault.New(m, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := MustNew("Nbc", f, 24)
+	rng := rand.New(rand.NewSource(1))
+	src := m.ID(topology.Coord{X: 0, Y: 4})
+	dst := m.ID(topology.Coord{X: 9, Y: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := walkOnce(f, alg, src, dst, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

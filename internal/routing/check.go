@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// CheckResult summarizes a reachability verification.
+type CheckResult struct {
+	Pairs    int // (src, dst) pairs walked
+	MaxHops  int // longest walk observed
+	Detoured int // pairs that needed non-minimal hops
+}
+
+// CheckReachability verifies that the algorithm delivers a lone
+// message between every healthy (src, dst) pair of the fault model:
+// it walks each pair taking the first offered candidate (what an
+// uncontended network grants) and fails if any walk gets stuck, leaves
+// the healthy mesh, uses an out-of-range channel, or exceeds
+// 8×diameter hops. When rng is non-nil, candidates are instead chosen
+// at random within the winning tier, covering the adaptive spread.
+//
+// This is the repository's strongest routing safety check; the test
+// suite runs it over every algorithm and fault pattern, and
+// cmd/routecheck exposes it for arbitrary user patterns.
+func CheckReachability(f *fault.Model, alg core.Algorithm, rng *rand.Rand) (CheckResult, error) {
+	var res CheckResult
+	healthy := f.HealthyNodes()
+	for _, src := range healthy {
+		for _, dst := range healthy {
+			if src == dst {
+				continue
+			}
+			hops, err := walkOnce(f, alg, src, dst, rng)
+			if err != nil {
+				return res, err
+			}
+			res.Pairs++
+			if hops > res.MaxHops {
+				res.MaxHops = hops
+			}
+			if hops > f.Mesh.Distance(f.Mesh.CoordOf(src), f.Mesh.CoordOf(dst)) {
+				res.Detoured++
+			}
+		}
+	}
+	return res, nil
+}
+
+// walkOnce drives one message; it mirrors the test suite's walk helper
+// but returns errors instead of failing a *testing.T.
+func walkOnce(f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng *rand.Rand) (int, error) {
+	mesh := f.Mesh
+	m := core.NewMessage(1, src, dst, 1)
+	alg.InitMessage(m)
+	cur := src
+	bound := 8 * mesh.Diameter()
+	var cands core.CandidateSet
+	for steps := 0; cur != dst; steps++ {
+		if steps > bound {
+			return steps, fmt.Errorf("routing: %s: %v->%v: no arrival within %d hops (at %v)",
+				alg.Name(), mesh.CoordOf(src), mesh.CoordOf(dst), bound, mesh.CoordOf(cur))
+		}
+		cands.Reset()
+		alg.Candidates(m, cur, &cands)
+		var ch core.Channel
+		found := false
+		for tier := 0; tier < core.MaxTiers && !found; tier++ {
+			if tc := cands.Tier(tier); len(tc) > 0 {
+				if rng != nil {
+					ch = tc[rng.Intn(len(tc))]
+				} else {
+					ch = tc[0]
+				}
+				found = true
+			}
+		}
+		if !found {
+			return steps, fmt.Errorf("routing: %s: %v->%v stuck at %v",
+				alg.Name(), mesh.CoordOf(src), mesh.CoordOf(dst), mesh.CoordOf(cur))
+		}
+		if int(ch.VC) >= alg.NumVCs() {
+			return steps, fmt.Errorf("routing: %s: out-of-range VC %d", alg.Name(), ch.VC)
+		}
+		next := mesh.NeighborID(cur, ch.Dir)
+		if next == topology.Invalid {
+			return steps, fmt.Errorf("routing: %s: walked off-mesh from %v", alg.Name(), mesh.CoordOf(cur))
+		}
+		if f.IsFaulty(next) {
+			return steps, fmt.Errorf("routing: %s: walked into faulty node %v", alg.Name(), mesh.CoordOf(next))
+		}
+		alg.Advance(m, cur, ch)
+		cur = next
+	}
+	return int(m.Hops), nil
+}

@@ -1,0 +1,50 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+func TestCheckReachabilityReportsStats(t *testing.T) {
+	f := centralBlock(t)
+	alg := MustNew("Nbc", f, 24)
+	res, err := CheckReachability(f, alg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := len(f.HealthyNodes())
+	if res.Pairs != healthy*(healthy-1) {
+		t.Errorf("pairs = %d, want %d", res.Pairs, healthy*(healthy-1))
+	}
+	if res.Detoured == 0 {
+		t.Error("central block caused no detours")
+	}
+	if res.MaxHops <= f.Mesh.Diameter()/2 {
+		t.Errorf("max hops %d implausibly small", res.MaxHops)
+	}
+	if _, err := CheckReachability(f, alg, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("random-choice pass: %v", err)
+	}
+}
+
+func TestCheckReachabilityCatchesBrokenAlgorithm(t *testing.T) {
+	f := fault.None(topology.New(4, 4))
+	// An algorithm that never offers candidates must be reported as
+	// stuck, not loop forever.
+	if _, err := CheckReachability(f, stuckAfterInit{}, nil); err == nil {
+		t.Fatal("broken algorithm passed the check")
+	}
+}
+
+type stuckAfterInit struct{}
+
+func (stuckAfterInit) Name() string                { return "stuck" }
+func (stuckAfterInit) NumVCs() int                 { return 1 }
+func (stuckAfterInit) InitMessage(m *core.Message) {}
+func (stuckAfterInit) Candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet) {
+}
+func (stuckAfterInit) Advance(m *core.Message, from topology.NodeID, ch core.Channel) {}

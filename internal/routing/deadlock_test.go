@@ -1,0 +1,127 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// TestDeadlockFreedomEmpirical floods the fault-free mesh at a
+// saturating load and asserts that the provably deadlock-free schemes
+// never trigger recovery. (Minimal-Adaptive is deadlock-prone by
+// design — the paper says so — and is checked only for a bounded kill
+// fraction.)
+func TestDeadlockFreedomEmpirical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturating flood")
+	}
+	mesh := topology.New(10, 10)
+	f := fault.None(mesh)
+	deadlockFree := map[string]bool{
+		"PHop": true, "NHop": true, "Pbc": true, "Nbc": true,
+		"Duato": true, "Duato-Pbc": true, "Duato-Nbc": true,
+		"Fully-Adaptive":   false, // misrouting without escape discipline
+		"Minimal-Adaptive": false,
+		"Boura-Adaptive":   false, // approximation (cross-subnet switches)
+		"Boura-FT":         false,
+	}
+	for _, algName := range AlgorithmNames {
+		algName := algName
+		t.Run(algName, func(t *testing.T) {
+			t.Parallel()
+			alg := MustNew(algName, f, 24)
+			cfg := core.DefaultConfig()
+			cfg.MaxSourceQueue = 8
+			net, err := core.NewNetwork(mesh, f, alg, cfg, rand.New(rand.NewSource(5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(13))
+			id := int64(0)
+			for cycle := 0; cycle < 6000; cycle++ {
+				// Flood: one offered message per cycle network-wide.
+				src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+				dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+				if src != dst {
+					id++
+					m := core.NewMessage(id, src, dst, 32)
+					m.GenTime = net.Cycle()
+					net.Offer(m)
+				}
+				net.Step()
+			}
+			st := net.Snapshot()
+			if st.Delivered == 0 {
+				t.Fatal("flood delivered nothing")
+			}
+			if deadlockFree[algName] {
+				if st.Killed != 0 || st.DeadlockEvents != 0 {
+					t.Errorf("%s is deadlock-free but recovery fired: killed=%d events=%d",
+						algName, st.Killed, st.DeadlockEvents)
+				}
+			} else if float64(st.Killed) > 0.05*float64(st.Generated) {
+				t.Errorf("%s: excessive recovery: %d of %d", algName, st.Killed, st.Generated)
+			}
+		})
+	}
+}
+
+// TestLinkBandwidthInvariant uses the tracer to assert the physical
+// constraint the engine must enforce: at most one flit per directed
+// link per cycle, and at most EjectBW ejections per node per cycle.
+func TestLinkBandwidthInvariant(t *testing.T) {
+	mesh := topology.New(8, 8)
+	f := fault.None(mesh)
+	alg := MustNew("Minimal-Adaptive", f, 24)
+	cfg := core.DefaultConfig()
+	cfg.MaxSourceQueue = 4
+	net, err := core.NewNetwork(mesh, f, alg, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := &bandwidthTracer{t: t, seen: map[bwKey]int64{}}
+	net.SetTracer(bw)
+	rng := rand.New(rand.NewSource(9))
+	id := int64(0)
+	for cycle := 0; cycle < 2000; cycle++ {
+		for k := 0; k < 2; k++ {
+			src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			if src != dst {
+				id++
+				m := core.NewMessage(id, src, dst, 10)
+				m.GenTime = net.Cycle()
+				net.Offer(m)
+			}
+		}
+		net.Step()
+	}
+	if bw.moves == 0 {
+		t.Fatal("no flit moves observed")
+	}
+}
+
+type bwKey struct {
+	node  topology.NodeID
+	dir   topology.Direction
+	cycle int64
+}
+
+type bandwidthTracer struct {
+	core.NopTracer
+	t     *testing.T
+	seen  map[bwKey]int64
+	moves int64
+}
+
+func (b *bandwidthTracer) FlitMoved(f core.Flit, from topology.NodeID, ch core.Channel, cycle int64) {
+	b.moves++
+	k := bwKey{node: from, dir: ch.Dir, cycle: cycle}
+	b.seen[k]++
+	if b.seen[k] > 1 {
+		b.t.Errorf("cycle %d: link %v/%v carried %d flits", cycle, from, ch.Dir, b.seen[k])
+	}
+}

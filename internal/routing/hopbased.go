@@ -1,0 +1,140 @@
+package routing
+
+import (
+	"fmt"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/topology"
+)
+
+// hopScheme implements the hop-based fully adaptive schemes of Boppana
+// and Chalasani's design framework: Positive-Hop (PHop), Negative-Hop
+// (NHop), and their bonus-card variants (Pbc, Nbc).
+//
+// Each hop must use a buffer class equal to a required class plus the
+// cumulative bonus cards the message has chosen to spend:
+//
+//   - PHop: required class = number of hops already taken, so classes
+//     strictly ascend along the path. A 2-D k×k mesh needs
+//     diameter+1 = 2(k-1)+1 classes.
+//   - NHop: required class = number of negative hops already taken
+//     (a negative hop moves from a high-color to a low-color node in
+//     the checkerboard coloring), needing 1+floor(diameter/2) classes.
+//
+// A message holding b unspent bonus cards may, at any hop, raise its
+// cumulative spend by up to b, widening its class choice to
+// [required+spent, required+spent+b] — the paper's "wider choice of
+// virtual channels, likely to choose the least congested one".
+//
+// F-ring detours (taken on the Boppana–Chalasani wrapper's own VCs)
+// still increment the hop counters, so long detours can exhaust the
+// class ladder; classes are clamped at the top class. The paper runs
+// the same configuration and observes the resulting congestion rather
+// than extending the ladder.
+type hopScheme struct {
+	mesh       topology.Mesh
+	schemeName string
+	negOnly    bool // NHop-style: required class counts negative hops
+	bonus      bool
+	classes    int
+	vcPerClass int
+	baseVC     int
+
+	dirBuf []topology.Direction
+}
+
+// newHopScheme builds a hop-based base occupying VC indices
+// [baseVC, baseVC+classes*vcPerClass).
+func newHopScheme(mesh topology.Mesh, name string, negOnly, bonus bool, classes, vcPerClass, baseVC int) *hopScheme {
+	need := mesh.Diameter() + 1
+	if negOnly {
+		need = 1 + maxNegHops(mesh)
+	}
+	if classes < need {
+		panic(fmt.Sprintf("routing: %s needs %d classes on %v, got %d", name, need, mesh, classes))
+	}
+	return &hopScheme{
+		mesh:       mesh,
+		schemeName: name,
+		negOnly:    negOnly,
+		bonus:      bonus,
+		classes:    classes,
+		vcPerClass: vcPerClass,
+		baseVC:     baseVC,
+	}
+}
+
+func (h *hopScheme) name() string { return h.schemeName }
+
+func (h *hopScheme) numVCs() int { return h.baseVC + h.classes*h.vcPerClass }
+
+func (h *hopScheme) init(m *core.Message) {
+	m.Class = -1
+	m.CardsSpent = 0
+	m.Cards = 0
+	if !h.bonus {
+		return
+	}
+	if h.negOnly {
+		m.Cards = int32(h.classes - 1 - requiredNegHops(h.mesh, m.Src, m.Dst))
+	} else {
+		m.Cards = int32(h.mesh.Diameter() - h.mesh.Distance(h.mesh.CoordOf(m.Src), h.mesh.CoordOf(m.Dst)))
+	}
+	if m.Cards < 0 {
+		m.Cards = 0
+	}
+}
+
+// required returns the class the message must use before spending any
+// further cards.
+func (h *hopScheme) required(m *core.Message) int {
+	if h.negOnly {
+		return int(m.NegHops)
+	}
+	return int(m.Hops)
+}
+
+func (h *hopScheme) classRange(m *core.Message) (lo, hi int) {
+	lo = h.required(m) + int(m.CardsSpent)
+	hi = lo + int(m.Cards)
+	if lo > h.classes-1 {
+		lo = h.classes - 1
+	}
+	if hi > h.classes-1 {
+		hi = h.classes - 1
+	}
+	return lo, hi
+}
+
+func (h *hopScheme) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
+	lo, hi := h.classRange(m)
+	h.dirBuf = minimalDirs(h.mesh, node, m.Dst, h.dirBuf[:0])
+	for _, d := range h.dirBuf {
+		for c := lo; c <= hi; c++ {
+			first := h.baseVC + c*h.vcPerClass
+			out.AddVCs(tier, d, first, first+h.vcPerClass-1)
+		}
+	}
+}
+
+// ownsVC reports whether the channel index belongs to this scheme's
+// class ladder (as opposed to the BC wrapper's ring VCs).
+func (h *hopScheme) ownsVC(vc uint8) bool {
+	return int(vc) >= h.baseVC && int(vc) < h.baseVC+h.classes*h.vcPerClass
+}
+
+func (h *hopScheme) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	if h.ownsVC(ch.VC) {
+		class := (int(ch.VC) - h.baseVC) / h.vcPerClass
+		spent := int32(class - h.required(m))
+		if spent > m.CardsSpent {
+			m.Cards -= spent - m.CardsSpent
+			if m.Cards < 0 {
+				m.Cards = 0
+			}
+			m.CardsSpent = spent
+		}
+		m.Class = int32(class)
+	}
+	advanceCommon(h.mesh, m, from, ch)
+}

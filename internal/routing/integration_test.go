@@ -1,0 +1,209 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// faultAvoidanceTracer asserts through the event stream that no flit
+// ever crosses into a faulty node and that ring-mode hops use the
+// expected channels.
+type faultAvoidanceTracer struct {
+	core.NopTracer
+	t      *testing.T
+	mesh   topology.Mesh
+	faults *fault.Model
+}
+
+func (f *faultAvoidanceTracer) FlitMoved(fl core.Flit, from topology.NodeID, ch core.Channel, cycle int64) {
+	next := f.mesh.NeighborID(from, ch.Dir)
+	if next == topology.Invalid {
+		f.t.Errorf("cycle %d: flit of msg %d left the mesh from %d", cycle, fl.Msg.ID, from)
+		return
+	}
+	if f.faults.IsFaulty(next) {
+		f.t.Errorf("cycle %d: flit of msg %d entered faulty node %d", cycle, fl.Msg.ID, next)
+	}
+}
+
+// TestEngineAlgorithmIntegration runs every algorithm inside the real
+// engine on a faulty mesh with live traffic, validating the engine
+// invariants every cycle and the fault-avoidance property on every
+// flit movement.
+func TestEngineAlgorithmIntegration(t *testing.T) {
+	mesh := topology.New(8, 8)
+	f, err := fault.New(mesh, []topology.NodeID{
+		mesh.ID(topology.Coord{X: 3, Y: 3}), mesh.ID(topology.Coord{X: 4, Y: 3}),
+		mesh.ID(topology.Coord{X: 6, Y: 6}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := f.HealthyNodes()
+	for _, algName := range AlgorithmNames {
+		algName := algName
+		t.Run(algName, func(t *testing.T) {
+			t.Parallel()
+			alg := MustNew(algName, f, 24)
+			cfg := core.DefaultConfig()
+			cfg.MaxSourceQueue = 4
+			net, err := core.NewNetwork(mesh, f, alg, cfg, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.SetTracer(&faultAvoidanceTracer{t: t, mesh: mesh, faults: f})
+			rng := rand.New(rand.NewSource(17))
+			id := int64(0)
+			for cycle := 0; cycle < 2500; cycle++ {
+				if rng.Float64() < 0.25 {
+					src := healthy[rng.Intn(len(healthy))]
+					dst := healthy[rng.Intn(len(healthy))]
+					if src != dst {
+						id++
+						m := core.NewMessage(id, src, dst, 12)
+						m.GenTime = net.Cycle()
+						net.Offer(m)
+					}
+				}
+				net.Step()
+				if cycle%10 == 0 {
+					if err := net.Validate(); err != nil {
+						t.Fatalf("cycle %d: %v", cycle, err)
+					}
+				}
+			}
+			st := net.Snapshot()
+			if st.Delivered == 0 {
+				t.Fatal("no deliveries")
+			}
+			// Honest recovery accounting: kills must stay rare at this
+			// moderate load.
+			if float64(st.Killed) > 0.02*float64(st.Generated) {
+				t.Errorf("killed %d of %d messages (> 2%%)", st.Killed, st.Generated)
+			}
+		})
+	}
+}
+
+// TestAlgorithmsOnOtherMeshSizes checks that the registry's layouts
+// generalize beyond the paper's 10×10: class counts follow the
+// diameter and all-pairs walks still arrive.
+func TestAlgorithmsOnOtherMeshSizes(t *testing.T) {
+	for _, dims := range [][2]int{{6, 6}, {6, 9}, {12, 12}} {
+		mesh := topology.New(dims[0], dims[1])
+		// One central block.
+		cx, cy := dims[0]/2, dims[1]/2
+		f, err := fault.New(mesh, []topology.NodeID{
+			mesh.ID(topology.Coord{X: cx, Y: cy}), mesh.ID(topology.Coord{X: cx - 1, Y: cy}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algName := range AlgorithmNames {
+			min, err := MinVCs(algName, mesh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vcs := min
+			if vcs < 24 {
+				vcs = 24
+			}
+			alg, err := New(algName, f, vcs)
+			if err != nil {
+				t.Fatalf("%v %s: %v", mesh, algName, err)
+			}
+			rng := rand.New(rand.NewSource(5))
+			healthy := f.HealthyNodes()
+			for trial := 0; trial < 60; trial++ {
+				src := healthy[rng.Intn(len(healthy))]
+				dst := healthy[rng.Intn(len(healthy))]
+				if src != dst {
+					walk(t, f, alg, src, dst, rng)
+				}
+			}
+		}
+	}
+}
+
+// TestHopClassCountsScaleWithDiameter pins the class-count formulas on
+// a few sizes.
+func TestHopClassCountsScaleWithDiameter(t *testing.T) {
+	cases := []struct {
+		w, h             int
+		phopMin, nhopMin int // classes + 4 ring channels
+	}{
+		{10, 10, 19 + 4, 10 + 4},
+		{6, 6, 11 + 4, 6 + 4},
+		{6, 9, 14 + 4, 7 + 4}, // diameter 13
+		{12, 12, 23 + 4, 12 + 4},
+	}
+	for _, tc := range cases {
+		mesh := topology.New(tc.w, tc.h)
+		if got, _ := MinVCs("PHop", mesh); got != tc.phopMin {
+			t.Errorf("%v: PHop MinVCs = %d, want %d", mesh, got, tc.phopMin)
+		}
+		if got, _ := MinVCs("NHop", mesh); got != tc.nhopMin {
+			t.Errorf("%v: NHop MinVCs = %d, want %d", mesh, got, tc.nhopMin)
+		}
+	}
+}
+
+// TestRingTrafficUsesRingChannelsInEngine couples the tracer to a
+// full simulation: flits that hop between two consecutive f-ring nodes
+// while their message is in ring mode must ride the ring channel set.
+func TestRingVCAccountingInEngine(t *testing.T) {
+	mesh := topology.New(10, 10)
+	var failed []topology.NodeID
+	for y := 4; y <= 5; y++ {
+		for x := 4; x <= 5; x++ {
+			failed = append(failed, mesh.ID(topology.Coord{X: x, Y: y}))
+		}
+	}
+	f, err := fault.New(mesh, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := MustNew("Nbc", f, 24)
+	cfg := core.DefaultConfig()
+	net, err := core.NewNetwork(mesh, f, alg, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive row traffic straight at the block so ring traversals are
+	// guaranteed.
+	id := int64(0)
+	ringVCFlits := 0
+	tr := &channelCounter{lo: 20, count: &ringVCFlits}
+	net.SetTracer(tr)
+	for cycle := 0; cycle < 4000; cycle++ {
+		if cycle%40 == 0 {
+			id++
+			m := core.NewMessage(id, mesh.ID(topology.Coord{X: 0, Y: 4}), mesh.ID(topology.Coord{X: 9, Y: 4}), 10)
+			m.GenTime = net.Cycle()
+			net.Offer(m)
+		}
+		net.Step()
+	}
+	if net.Snapshot().Delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+	if ringVCFlits == 0 {
+		t.Error("no flits observed on the BC ring channels despite forced blockage")
+	}
+}
+
+type channelCounter struct {
+	core.NopTracer
+	lo    uint8
+	count *int
+}
+
+func (c *channelCounter) FlitMoved(f core.Flit, from topology.NodeID, ch core.Channel, cycle int64) {
+	if ch.VC >= c.lo {
+		*c.count++
+	}
+}

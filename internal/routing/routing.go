@@ -1,0 +1,73 @@
+// Package routing implements the ten adaptive routing algorithms the
+// paper compares, plus the Boppana–Chalasani fault-tolerant scheme
+// that fortifies them. Algorithms are built by the registry in
+// registry.go so that each receives the paper's 24-virtual-channel
+// layout (or the equivalent layout for other mesh sizes).
+//
+// Internally, algorithms are composed from fault-oblivious "bases"
+// (hop-based schemes, e-cube, minimal/fully adaptive, Duato's
+// class-I/class-II methodology, Boura's subnetwork discipline). The
+// Boppana–Chalasani wrapper in bc.go turns a base into a fault-
+// tolerant core.Algorithm; Boura's own fault-tolerant variant carries
+// its labeling-based mechanism instead.
+package routing
+
+import (
+	"wormmesh/internal/core"
+	"wormmesh/internal/topology"
+)
+
+// base is a routing discipline that does not know about faults. It
+// emits candidates into a caller-chosen preference tier so that
+// Duato's methodology can compose an escape base at a lower tier.
+type base interface {
+	name() string
+	// numVCs returns one past the highest VC index the base uses.
+	numVCs() int
+	init(m *core.Message)
+	// candidates appends the permitted channels for the header of m at
+	// node, placing first-choice channels at tier and any fallback
+	// channels at tier+1.
+	candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int)
+	// advance updates m's routing state for a header hop from node
+	// through ch; implementations must end with advanceCommon exactly
+	// once per hop (directly or through a delegate).
+	advance(m *core.Message, from topology.NodeID, ch core.Channel)
+}
+
+// advanceCommon applies the algorithm-independent per-hop updates:
+// hop count, negative-hop count (high-color to low-color moves), and
+// the previous-node marker used to dampen detour oscillation.
+func advanceCommon(mesh topology.Mesh, m *core.Message, from topology.NodeID, ch core.Channel) {
+	m.Hops++
+	fc := mesh.CoordOf(from)
+	tc, ok := mesh.Neighbor(fc, ch.Dir)
+	if !ok {
+		panic("routing: advance off-mesh")
+	}
+	if topology.Color(fc) == 1 && topology.Color(tc) == 0 {
+		m.NegHops++
+	}
+	m.Prev = from
+}
+
+// minimalDirs appends the minimal directions from node towards dst.
+func minimalDirs(mesh topology.Mesh, node, dst topology.NodeID, buf []topology.Direction) []topology.Direction {
+	return topology.MinimalDirs(mesh.CoordOf(node), mesh.CoordOf(dst), buf)
+}
+
+// requiredNegHops returns the number of negative hops any minimal path
+// from src to dst must take: hops alternate checkerboard colors, so
+// the count depends only on the source color and the path length.
+func requiredNegHops(mesh topology.Mesh, src, dst topology.NodeID) int {
+	l := mesh.Distance(mesh.CoordOf(src), mesh.CoordOf(dst))
+	if topology.Color(mesh.CoordOf(src)) == 1 {
+		return (l + 1) / 2
+	}
+	return l / 2
+}
+
+// maxNegHops returns the largest number of negative hops a minimal
+// path can take in the mesh, which sizes the NHop class count:
+// 1 + floor(diameter/2) classes.
+func maxNegHops(mesh topology.Mesh) int { return mesh.Diameter() / 2 }

@@ -1,0 +1,290 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+func mesh10() topology.Mesh { return topology.New(10, 10) }
+
+func modelWith(t *testing.T, m topology.Mesh, coords ...topology.Coord) *fault.Model {
+	t.Helper()
+	var ids []topology.NodeID
+	for _, c := range coords {
+		ids = append(ids, m.ID(c))
+	}
+	f, err := fault.New(m, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func centralBlock(t *testing.T) *fault.Model {
+	return modelWith(t, mesh10(),
+		topology.Coord{X: 4, Y: 4}, topology.Coord{X: 5, Y: 4},
+		topology.Coord{X: 4, Y: 5}, topology.Coord{X: 5, Y: 5})
+}
+
+func boundaryChain(t *testing.T) *fault.Model {
+	return modelWith(t, mesh10(),
+		topology.Coord{X: 0, Y: 4}, topology.Coord{X: 1, Y: 4}, topology.Coord{X: 0, Y: 5})
+}
+
+func TestRegistryBuildsEveryAlgorithm(t *testing.T) {
+	f := centralBlock(t)
+	for _, name := range AlgorithmNames {
+		alg, err := New(name, f, 24)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if alg.Name() != name && name != "Boura-Adaptive" && name != "Boura-FT" {
+			t.Errorf("%s: Name() = %q", name, alg.Name())
+		}
+		if alg.NumVCs() > 24 {
+			t.Errorf("%s: NumVCs = %d exceeds 24", name, alg.NumVCs())
+		}
+		if d := Describe(name); d == "" {
+			t.Errorf("%s: no description", name)
+		}
+	}
+	if Describe("nope") != "" {
+		t.Error("unknown algorithm described")
+	}
+}
+
+func TestRegistryRejectsUnknownAndTooFewVCs(t *testing.T) {
+	f := fault.None(mesh10())
+	if _, err := New("bogus", f, 24); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := MinVCs("bogus", mesh10()); err == nil {
+		t.Error("MinVCs for unknown name succeeded")
+	}
+	for _, name := range AlgorithmNames {
+		min, err := MinVCs(name, mesh10())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(name, f, min-1); err == nil {
+			t.Errorf("%s accepted %d VCs, below minimum %d", name, min-1, min)
+		}
+		if _, err := New(name, f, min); err != nil {
+			t.Errorf("%s rejected its own minimum %d: %v", name, min, err)
+		}
+	}
+}
+
+func TestMinVCsMatchesPaperOn10x10(t *testing.T) {
+	m := mesh10()
+	want := map[string]int{
+		"PHop": 23, "Pbc": 23, // 19 classes + 4 ring
+		"NHop": 14, "Nbc": 14, // 10 classes + 4 ring
+		"Duato":     7,  // 2 escape + 1 adaptive + 4 ring
+		"Duato-Pbc": 24, // 19 escape + 1 adaptive + 4 ring
+		"Duato-Nbc": 15, // 10 escape + 1 adaptive + 4 ring
+	}
+	for name, wantMin := range want {
+		got, err := MinVCs(name, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantMin {
+			t.Errorf("MinVCs(%s) = %d, want %d", name, got, wantMin)
+		}
+	}
+}
+
+func TestMustNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew("bogus", fault.None(mesh10()), 24)
+}
+
+// walk drives a lone message through the network, always taking the
+// first candidate of the best tier (what an uncontended network
+// grants). It fails the test if the message gets stuck, leaves the
+// healthy mesh, exceeds the hop bound, or uses an out-of-range VC.
+func walk(t *testing.T, f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng *rand.Rand) int {
+	t.Helper()
+	m := core.NewMessage(1, src, dst, 1)
+	alg.InitMessage(m)
+	mesh := f.Mesh
+	cur := src
+	bound := 8 * mesh.Diameter()
+	var cands core.CandidateSet
+	for steps := 0; cur != dst; steps++ {
+		if steps > bound {
+			t.Fatalf("%s: %v->%v: no arrival after %d hops (at %v)",
+				alg.Name(), mesh.CoordOf(src), mesh.CoordOf(dst), bound, mesh.CoordOf(cur))
+		}
+		cands.Reset()
+		alg.Candidates(m, cur, &cands)
+		var ch core.Channel
+		found := false
+		for tier := 0; tier < core.MaxTiers && !found; tier++ {
+			if tc := cands.Tier(tier); len(tc) > 0 {
+				if rng != nil {
+					ch = tc[rng.Intn(len(tc))]
+				} else {
+					ch = tc[0]
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: %v->%v stuck at %v after %d hops",
+				alg.Name(), mesh.CoordOf(src), mesh.CoordOf(dst), mesh.CoordOf(cur), steps)
+		}
+		if int(ch.VC) >= alg.NumVCs() {
+			t.Fatalf("%s: out-of-range VC %d", alg.Name(), ch.VC)
+		}
+		next := mesh.NeighborID(cur, ch.Dir)
+		if next == topology.Invalid {
+			t.Fatalf("%s: walked off-mesh from %v", alg.Name(), mesh.CoordOf(cur))
+		}
+		if f.IsFaulty(next) {
+			t.Fatalf("%s: walked into faulty node %v", alg.Name(), mesh.CoordOf(next))
+		}
+		alg.Advance(m, cur, ch)
+		cur = next
+	}
+	return int(m.Hops)
+}
+
+// TestAllPairsReachability is the central safety property: with every
+// algorithm and several representative fault patterns, every healthy
+// (src, dst) pair is reachable within the hop bound.
+func TestAllPairsReachability(t *testing.T) {
+	patterns := map[string]*fault.Model{
+		"fault-free":    fault.None(mesh10()),
+		"central-block": centralBlock(t),
+		"boundary-chain": modelWith(t, mesh10(),
+			topology.Coord{X: 0, Y: 4}, topology.Coord{X: 1, Y: 4}, topology.Coord{X: 0, Y: 5}),
+		"overlapping-rings": modelWith(t, mesh10(),
+			topology.Coord{X: 2, Y: 3}, topology.Coord{X: 2, Y: 4}, topology.Coord{X: 3, Y: 3},
+			topology.Coord{X: 3, Y: 4}, topology.Coord{X: 5, Y: 4}, topology.Coord{X: 7, Y: 4}),
+		"corner": modelWith(t, mesh10(),
+			topology.Coord{X: 9, Y: 9}, topology.Coord{X: 8, Y: 9}),
+	}
+	for patName, f := range patterns {
+		healthy := f.HealthyNodes()
+		for _, algName := range AlgorithmNames {
+			alg := MustNew(algName, f, 24)
+			t.Run(patName+"/"+algName, func(t *testing.T) {
+				for _, src := range healthy {
+					for _, dst := range healthy {
+						if src != dst {
+							walk(t, f, alg, src, dst, nil)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRandomChoiceReachability repeats the walk taking random
+// candidates within the winning tier, covering the adaptive spread.
+func TestRandomChoiceReachability(t *testing.T) {
+	f := centralBlock(t)
+	healthy := f.HealthyNodes()
+	rng := rand.New(rand.NewSource(99))
+	for _, algName := range AlgorithmNames {
+		alg := MustNew(algName, f, 24)
+		for trial := 0; trial < 300; trial++ {
+			src := healthy[rng.Intn(len(healthy))]
+			dst := healthy[rng.Intn(len(healthy))]
+			if src != dst {
+				walk(t, f, alg, src, dst, rng)
+			}
+		}
+	}
+}
+
+// TestReachabilityOnRandomPatterns fuzzes fault patterns at the
+// paper's 10% level.
+func TestReachabilityOnRandomPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		f, err := fault.Generate(mesh10(), 10, rand.New(rand.NewSource(seed)), fault.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy := f.HealthyNodes()
+		rng := rand.New(rand.NewSource(seed * 7))
+		for _, algName := range AlgorithmNames {
+			alg := MustNew(algName, f, 24)
+			for trial := 0; trial < 150; trial++ {
+				src := healthy[rng.Intn(len(healthy))]
+				dst := healthy[rng.Intn(len(healthy))]
+				if src != dst {
+					walk(t, f, alg, src, dst, rng)
+				}
+			}
+		}
+	}
+}
+
+// TestReachabilityOnNamedPatterns runs the walk property over the
+// canned pattern library, including the double-wall corridor that
+// forces long multi-ring detours.
+func TestReachabilityOnNamedPatterns(t *testing.T) {
+	m := mesh10()
+	for _, patName := range fault.PatternNames() {
+		ids, err := fault.NamedPattern(patName, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fault.New(m, ids)
+		if err != nil {
+			t.Fatalf("%s: %v", patName, err)
+		}
+		healthy := f.HealthyNodes()
+		rng := rand.New(rand.NewSource(31))
+		for _, algName := range AlgorithmNames {
+			alg := MustNew(algName, f, 24)
+			for trial := 0; trial < 120; trial++ {
+				src := healthy[rng.Intn(len(healthy))]
+				dst := healthy[rng.Intn(len(healthy))]
+				if src != dst {
+					walk(t, f, alg, src, dst, rng)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultFreeWalksAreMinimal(t *testing.T) {
+	f := fault.None(mesh10())
+	mesh := f.Mesh
+	rng := rand.New(rand.NewSource(3))
+	for _, algName := range AlgorithmNames {
+		if algName == "Fully-Adaptive" {
+			continue // may misroute by design (not in uncontended walks, but keep exact check minimal-only)
+		}
+		alg := MustNew(algName, f, 24)
+		for trial := 0; trial < 200; trial++ {
+			src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+			if src == dst {
+				continue
+			}
+			hops := walk(t, f, alg, src, dst, rng)
+			if want := mesh.Distance(mesh.CoordOf(src), mesh.CoordOf(dst)); hops != want {
+				t.Fatalf("%s: %v->%v took %d hops, minimal is %d", algName,
+					mesh.CoordOf(src), mesh.CoordOf(dst), hops, want)
+			}
+		}
+	}
+}

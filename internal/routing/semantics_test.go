@@ -1,0 +1,433 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// traceWalk walks a message and records the channel of every hop.
+func traceWalk(t *testing.T, f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng *rand.Rand) (*core.Message, []core.Channel) {
+	t.Helper()
+	m := core.NewMessage(1, src, dst, 1)
+	alg.InitMessage(m)
+	mesh := f.Mesh
+	cur := src
+	var hops []core.Channel
+	var cands core.CandidateSet
+	for steps := 0; cur != dst; steps++ {
+		if steps > 8*mesh.Diameter() {
+			t.Fatalf("%s: walk did not terminate", alg.Name())
+		}
+		cands.Reset()
+		alg.Candidates(m, cur, &cands)
+		var ch core.Channel
+		found := false
+		for tier := 0; tier < core.MaxTiers && !found; tier++ {
+			if tc := cands.Tier(tier); len(tc) > 0 {
+				if rng != nil {
+					ch = tc[rng.Intn(len(tc))]
+				} else {
+					ch = tc[0]
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: stuck", alg.Name())
+		}
+		alg.Advance(m, cur, ch)
+		hops = append(hops, ch)
+		cur = mesh.NeighborID(cur, ch.Dir)
+	}
+	return m, hops
+}
+
+// TestPHopClassesAscendWithHops: without bonus cards, hop i uses class
+// VC i exactly (1 VC per class, classes start at VC 0).
+func TestPHopClassLadder(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("PHop", f, 24)
+	src := f.Mesh.ID(topology.Coord{X: 0, Y: 0})
+	dst := f.Mesh.ID(topology.Coord{X: 5, Y: 3})
+	rng := rand.New(rand.NewSource(1))
+	_, hops := traceWalk(t, f, alg, src, dst, rng)
+	for i, ch := range hops {
+		if int(ch.VC) != i {
+			t.Errorf("hop %d used VC %d, PHop requires class %d", i, ch.VC, i)
+		}
+	}
+}
+
+// TestNHopClassEqualsNegativeHops: hop uses the class equal to the
+// number of negative hops taken before it (2 VCs per class).
+func TestNHopClassEqualsNegativeHops(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("NHop", f, 24)
+	mesh := f.Mesh
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+		dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+		if src == dst {
+			continue
+		}
+		m := core.NewMessage(1, src, dst, 1)
+		alg.InitMessage(m)
+		cur := src
+		neg := 0
+		var cands core.CandidateSet
+		for cur != dst {
+			cands.Reset()
+			alg.Candidates(m, cur, &cands)
+			ch := cands.Tier(0)[rng.Intn(len(cands.Tier(0)))]
+			if class := int(ch.VC) / 2; class != neg {
+				t.Fatalf("hop with %d neg hops used class %d", neg, class)
+			}
+			next := mesh.NeighborID(cur, ch.Dir)
+			if topology.Color(mesh.CoordOf(cur)) == 1 && topology.Color(mesh.CoordOf(next)) == 0 {
+				neg++
+			}
+			alg.Advance(m, cur, ch)
+			cur = next
+		}
+		if int(m.NegHops) != neg {
+			t.Fatalf("message NegHops=%d, recount=%d", m.NegHops, neg)
+		}
+		if want := requiredNegHops(mesh, src, dst); neg != want {
+			t.Fatalf("negative hops %d, requiredNegHops predicts %d", neg, want)
+		}
+	}
+}
+
+// TestRequiredNegHopsBruteForce checks the closed form against an
+// explicit walk along one minimal path for every pair of a small mesh.
+func TestRequiredNegHopsBruteForce(t *testing.T) {
+	m := topology.New(5, 4)
+	for src := topology.NodeID(0); int(src) < m.NodeCount(); src++ {
+		for dst := topology.NodeID(0); int(dst) < m.NodeCount(); dst++ {
+			// Walk X-first, counting negative hops.
+			cur := m.CoordOf(src)
+			target := m.CoordOf(dst)
+			neg := 0
+			for cur != target {
+				d, ok := topology.DirTowards(cur, target, 0)
+				if !ok {
+					d, _ = topology.DirTowards(cur, target, 1)
+				}
+				next, _ := m.Neighbor(cur, d)
+				if topology.Color(cur) == 1 && topology.Color(next) == 0 {
+					neg++
+				}
+				cur = next
+			}
+			if got := requiredNegHops(m, src, dst); got != neg {
+				t.Fatalf("requiredNegHops(%v,%v) = %d, walk counts %d",
+					m.CoordOf(src), m.CoordOf(dst), got, neg)
+			}
+		}
+	}
+}
+
+// TestBonusCardsWidenFirstHop: a Pbc message with b cards may take any
+// class 0..b on its first hop; one with 0 cards only class 0.
+func TestBonusCardsWidenFirstHop(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("Pbc", f, 24)
+	mesh := f.Mesh
+
+	// Corner-to-corner: path length = diameter, zero cards.
+	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 0, Y: 0}), mesh.ID(topology.Coord{X: 9, Y: 9}), 1)
+	alg.InitMessage(m)
+	if m.Cards != 0 {
+		t.Fatalf("corner-to-corner cards = %d, want 0", m.Cards)
+	}
+	var cands core.CandidateSet
+	alg.Candidates(m, m.Src, &cands)
+	for _, ch := range cands.Tier(0) {
+		if ch.VC != 0 {
+			t.Errorf("0-card message offered VC %d on first hop", ch.VC)
+		}
+	}
+
+	// Neighbor destination: cards = diameter - 1 = 17.
+	m2 := core.NewMessage(2, mesh.ID(topology.Coord{X: 0, Y: 0}), mesh.ID(topology.Coord{X: 1, Y: 0}), 1)
+	alg.InitMessage(m2)
+	if m2.Cards != 17 {
+		t.Fatalf("neighbor message cards = %d, want 17", m2.Cards)
+	}
+	cands.Reset()
+	alg.Candidates(m2, m2.Src, &cands)
+	seen := map[uint8]bool{}
+	for _, ch := range cands.Tier(0) {
+		seen[ch.VC] = true
+	}
+	for c := 0; c <= 17; c++ {
+		if !seen[uint8(c)] {
+			t.Errorf("class %d missing from 17-card first hop", c)
+		}
+	}
+	if seen[18] {
+		t.Error("class 18 offered beyond the card budget")
+	}
+}
+
+// TestBonusCardSpendingIsMonotone: spending cards raises the floor of
+// later choices and never exceeds the budget.
+func TestBonusCardSpending(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("Pbc", f, 24)
+	mesh := f.Mesh
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+		dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+		if src == dst {
+			continue
+		}
+		m, hops := traceWalk(t, f, alg, src, dst, rng)
+		dist := mesh.Distance(mesh.CoordOf(src), mesh.CoordOf(dst))
+		budget := mesh.Diameter() - dist
+		prev := -1
+		for i, ch := range hops {
+			class := int(ch.VC)
+			if class <= prev {
+				t.Fatalf("classes not strictly ascending: hop %d class %d after %d", i, class, prev)
+			}
+			if class > i+budget {
+				t.Fatalf("hop %d class %d exceeds budget %d", i, class, budget)
+			}
+			prev = class
+		}
+		if m.Cards < 0 {
+			t.Fatalf("cards went negative: %d", m.Cards)
+		}
+	}
+}
+
+// TestNbcCardBudget: Nbc cards = maxNegHops - requiredNegHops.
+func TestNbcCardBudget(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("Nbc", f, 24)
+	mesh := f.Mesh
+	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 0, Y: 0}), mesh.ID(topology.Coord{X: 1, Y: 0}), 1)
+	alg.InitMessage(m)
+	want := int32(maxNegHops(mesh) - requiredNegHops(mesh, m.Src, m.Dst))
+	if m.Cards != want {
+		t.Errorf("Nbc cards = %d, want %d", m.Cards, want)
+	}
+}
+
+// TestDuatoTierStructure: tier 0 carries adaptive channels on all
+// minimal directions; tier 1 carries the escape discipline.
+func TestDuatoTierStructure(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("Duato", f, 24)
+	mesh := f.Mesh
+	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 2, Y: 2}), mesh.ID(topology.Coord{X: 6, Y: 7}), 1)
+	alg.InitMessage(m)
+	var cands core.CandidateSet
+	alg.Candidates(m, m.Src, &cands)
+	if len(cands.Tier(0)) != 2*18 {
+		t.Errorf("tier0 = %d channels, want 36 (2 dirs x 18 adaptive VCs)", len(cands.Tier(0)))
+	}
+	for _, ch := range cands.Tier(0) {
+		if ch.VC < 2 || ch.VC > 19 {
+			t.Errorf("tier0 channel %v outside adaptive range [2,19]", ch)
+		}
+		if ch.Dir != topology.East && ch.Dir != topology.North {
+			t.Errorf("tier0 non-minimal dir %v", ch.Dir)
+		}
+	}
+	if len(cands.Tier(1)) != 2 {
+		t.Errorf("tier1 = %d channels, want 2 (e-cube escape pair)", len(cands.Tier(1)))
+	}
+	for _, ch := range cands.Tier(1) {
+		if ch.VC > 1 {
+			t.Errorf("escape channel %v outside [0,1]", ch)
+		}
+		if ch.Dir != topology.East {
+			t.Errorf("escape dir %v, e-cube requires East first", ch.Dir)
+		}
+	}
+}
+
+// TestFullyAdaptiveMisrouteTier: non-minimal channels appear only in
+// tier 1, never towards the previous node, and stop after the limit.
+func TestFullyAdaptiveMisrouteTier(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("Fully-Adaptive", f, 24)
+	mesh := f.Mesh
+	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 5, Y: 5}), mesh.ID(topology.Coord{X: 7, Y: 5}), 1)
+	alg.InitMessage(m)
+	var cands core.CandidateSet
+	alg.Candidates(m, m.Src, &cands)
+	if len(cands.Tier(0)) != 20 {
+		t.Errorf("tier0 = %d, want 20 (1 minimal dir x 20 VCs)", len(cands.Tier(0)))
+	}
+	dirs := map[topology.Direction]bool{}
+	for _, ch := range cands.Tier(1) {
+		dirs[ch.Dir] = true
+	}
+	if dirs[topology.East] {
+		t.Error("minimal dir East in misroute tier")
+	}
+	if len(dirs) != 3 {
+		t.Errorf("misroute dirs = %v, want {West, North, South}", dirs)
+	}
+	// Exhaust the misroute budget.
+	m.Misroutes = 10
+	cands.Reset()
+	alg.Candidates(m, m.Src, &cands)
+	if len(cands.Tier(1)) != 0 {
+		t.Error("misroutes offered beyond the limit")
+	}
+}
+
+// TestBCRingVCDiscipline: during ring traversal the 9 fortified
+// algorithms use only their reserved ring channels, partitioned by
+// direction class.
+func TestBCRingVCDiscipline(t *testing.T) {
+	f := centralBlock(t)
+	mesh := f.Mesh
+	for _, algName := range AlgorithmNames {
+		if algName == "Boura-FT" {
+			continue // uses subnet channels for boundary traversal by design
+		}
+		alg := MustNew(algName, f, 24)
+		ringLo := uint8(20)
+		if algName == "PHop" || algName == "Pbc" {
+			ringLo = 19
+		}
+		// A WE message forced around the block.
+		src := mesh.ID(topology.Coord{X: 0, Y: 4})
+		dst := mesh.ID(topology.Coord{X: 9, Y: 4})
+		m := core.NewMessage(1, src, dst, 1)
+		alg.InitMessage(m)
+		cur := src
+		ringHops := 0
+		var cands core.CandidateSet
+		for steps := 0; cur != dst && steps < 100; steps++ {
+			cands.Reset()
+			alg.Candidates(m, cur, &cands)
+			var ch core.Channel
+			found := false
+			for tier := 0; tier < core.MaxTiers && !found; tier++ {
+				if tc := cands.Tier(tier); len(tc) > 0 {
+					ch = tc[0]
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: stuck", algName)
+			}
+			alg.Advance(m, cur, ch)
+			cur = mesh.NeighborID(cur, ch.Dir)
+			if m.RingIdx >= 0 {
+				ringHops++
+				if ch.VC < ringLo {
+					t.Errorf("%s: ring hop on VC %d below ring set %d+", algName, ch.VC, ringLo)
+				}
+			}
+		}
+		if ringHops == 0 {
+			t.Errorf("%s: blocked WE message never entered ring traversal", algName)
+		}
+	}
+}
+
+// TestBCChainReversal: a message that must round a boundary-touching
+// region reverses at the chain end and still arrives.
+func TestBCChainReversal(t *testing.T) {
+	// Region touching the north boundary; message travels along the
+	// top row and must dip below the region.
+	f := modelWith(t, mesh10(),
+		topology.Coord{X: 4, Y: 9}, topology.Coord{X: 4, Y: 8}, topology.Coord{X: 5, Y: 9}, topology.Coord{X: 5, Y: 8})
+	mesh := f.Mesh
+	if !f.Rings()[0].Chain {
+		t.Fatal("expected a chain")
+	}
+	for _, algName := range []string{"NHop", "Pbc", "Duato", "Minimal-Adaptive", "Boura-FT"} {
+		alg := MustNew(algName, f, 24)
+		src := mesh.ID(topology.Coord{X: 0, Y: 9})
+		dst := mesh.ID(topology.Coord{X: 9, Y: 9})
+		hops := walk(t, f, alg, src, dst, nil)
+		if hops < 9+4 {
+			t.Errorf("%s: %d hops around chain, expected >= 13", algName, hops)
+		}
+	}
+}
+
+// TestBouraSubnetDiscipline: north-bound messages use the positive
+// subnetwork, south-bound the negative one.
+func TestBouraSubnetDiscipline(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("Boura-Adaptive", f, 24)
+	mesh := f.Mesh
+	rng := rand.New(rand.NewSource(4))
+	north := core.NewMessage(1, mesh.ID(topology.Coord{X: 3, Y: 1}), mesh.ID(topology.Coord{X: 6, Y: 8}), 1)
+	alg.InitMessage(north)
+	_, hops := traceWalk(t, f, alg, north.Src, north.Dst, rng)
+	for _, ch := range hops {
+		if ch.VC > 9 {
+			t.Errorf("north-bound message used VC %d outside VN+ [0,9]", ch.VC)
+		}
+	}
+	south := core.NewMessage(2, mesh.ID(topology.Coord{X: 6, Y: 8}), mesh.ID(topology.Coord{X: 3, Y: 1}), 1)
+	alg.InitMessage(south)
+	_, hops = traceWalk(t, f, alg, south.Src, south.Dst, rng)
+	for _, ch := range hops {
+		if ch.VC < 10 || ch.VC > 19 {
+			t.Errorf("south-bound message used VC %d outside VN- [10,19]", ch.VC)
+		}
+	}
+}
+
+// TestDirClassAssignedAtInjection verifies the WE/EW/NS/SN typing.
+func TestDirClassAssignedAtInjection(t *testing.T) {
+	f := fault.None(mesh10())
+	alg := MustNew("NHop", f, 24)
+	mesh := f.Mesh
+	cases := []struct {
+		src, dst topology.Coord
+		want     core.DirClass
+	}{
+		{topology.Coord{X: 0, Y: 0}, topology.Coord{X: 9, Y: 9}, core.WE},
+		{topology.Coord{X: 9, Y: 0}, topology.Coord{X: 0, Y: 9}, core.EW},
+		{topology.Coord{X: 4, Y: 0}, topology.Coord{X: 4, Y: 9}, core.NS},
+		{topology.Coord{X: 4, Y: 9}, topology.Coord{X: 4, Y: 0}, core.SN},
+	}
+	for _, tc := range cases {
+		m := core.NewMessage(1, mesh.ID(tc.src), mesh.ID(tc.dst), 1)
+		alg.InitMessage(m)
+		if m.DirClass != tc.want {
+			t.Errorf("%v->%v class %v, want %v", tc.src, tc.dst, m.DirClass, tc.want)
+		}
+	}
+}
+
+// TestPHopRingVCsGetFifthChannel: the paper's PHop layout uses 19
+// classes + 5 ring channels = 24.
+func TestPHopRingVCsGetFifthChannel(t *testing.T) {
+	f := centralBlock(t)
+	alg := MustNew("PHop", f, 24)
+	if alg.NumVCs() != 24 {
+		t.Errorf("PHop NumVCs = %d, want 24", alg.NumVCs())
+	}
+	// The WE class holds two ring channels (19 and 23).
+	mesh := f.Mesh
+	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 3, Y: 4}), mesh.ID(topology.Coord{X: 9, Y: 4}), 1)
+	alg.InitMessage(m)
+	var cands core.CandidateSet
+	alg.Candidates(m, m.Src, &cands)
+	vcs := map[uint8]bool{}
+	for _, ch := range cands.Tier(0) {
+		vcs[ch.VC] = true
+	}
+	if !vcs[19] || !vcs[23] {
+		t.Errorf("WE ring hop offered VCs %v, want {19, 23}", vcs)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"wormmesh/internal/topology"
+)
+
+// LoadDistribution summarizes how traffic spreads over nodes,
+// partitioned into the nodes on f-rings versus the rest — the paper's
+// Figure 6 analysis. Shares are group means relative to the hottest
+// node, so a flat distribution scores near 100% for both groups and a
+// ring-corner hotspot drags the shares down.
+type LoadDistribution struct {
+	// RingShare and OtherShare are each group's mean per-node load as
+	// a fraction of the peak per-node load.
+	RingShare  float64
+	OtherShare float64
+	// PeakLoad is the hottest node's crossbar traversals per cycle;
+	// PeakUtilization normalizes it by the crossbar's 5-flit/cycle
+	// ceiling.
+	PeakLoad        float64
+	PeakUtilization float64
+	PeakNode        topology.NodeID
+	RingNodes       int
+	OtherNodes      int
+}
+
+// LoadDistribution computes the distribution using the run's own
+// f-ring node set.
+func (r Result) LoadDistribution() LoadDistribution {
+	ring := map[topology.NodeID]bool{}
+	for id := topology.NodeID(0); int(id) < r.Faults.Mesh.NodeCount(); id++ {
+		if !r.Faults.IsFaulty(id) && r.Faults.OnAnyRing(id) {
+			ring[id] = true
+		}
+	}
+	return r.LoadDistributionFor(ring)
+}
+
+// LoadDistributionFor computes the distribution against an explicit
+// ring-node set, so a fault-free run can be scored on the nodes that
+// WOULD ring the reference fault pattern (the paper's 0% bars).
+func (r Result) LoadDistributionFor(ringNodes map[topology.NodeID]bool) LoadDistribution {
+	var d LoadDistribution
+	cycles := float64(r.Stats.Cycles)
+	if cycles == 0 {
+		return d
+	}
+	var ringSum, otherSum, peak float64
+	for id, crossings := range r.Stats.NodeCrossings {
+		nid := topology.NodeID(id)
+		if r.Faults.IsFaulty(nid) {
+			continue
+		}
+		load := float64(crossings) / cycles
+		if load > peak {
+			peak = load
+			d.PeakNode = nid
+		}
+		if ringNodes[nid] {
+			ringSum += load
+			d.RingNodes++
+		} else {
+			otherSum += load
+			d.OtherNodes++
+		}
+	}
+	d.PeakLoad = peak
+	d.PeakUtilization = peak / 5 // 4 outputs + ejection
+	if peak == 0 {
+		return d
+	}
+	if d.RingNodes > 0 {
+		d.RingShare = ringSum / float64(d.RingNodes) / peak
+	}
+	if d.OtherNodes > 0 {
+		d.OtherShare = otherSum / float64(d.OtherNodes) / peak
+	}
+	return d
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"wormmesh/internal/routing"
+)
+
+// TestParallelEngineWithRealAlgorithms drives every routing algorithm
+// through the parallel engine on a faulty mesh and checks traffic
+// flows and the worker-count invariance end to end.
+func TestParallelEngineWithRealAlgorithms(t *testing.T) {
+	for _, name := range routing.AlgorithmNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) Result {
+				p := DefaultParams()
+				p.Algorithm = name
+				p.Rate = 0.002
+				p.Faults = 5
+				p.WarmupCycles = 400
+				p.MeasureCycles = 1600
+				p.EngineWorkers = workers
+				res, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			two := run(2)
+			if two.Stats.Delivered == 0 {
+				t.Fatalf("%s: parallel engine delivered nothing", name)
+			}
+			four := run(4)
+			if two.Stats.Delivered != four.Stats.Delivered ||
+				two.Stats.LatencySum != four.Stats.LatencySum {
+				t.Errorf("%s: worker count changed results: %d/%d vs %d/%d",
+					name, two.Stats.Delivered, two.Stats.LatencySum,
+					four.Stats.Delivered, four.Stats.LatencySum)
+			}
+		})
+	}
+}
+
+// TestParallelEngineLargeMesh exercises the parallel engine on a mesh
+// four times the paper's size — its intended use case.
+func TestParallelEngineLargeMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large mesh")
+	}
+	p := DefaultParams()
+	p.Width, p.Height = 20, 20
+	p.Algorithm = "Duato"
+	p.Rate = 0.001
+	p.Faults = 20
+	p.WarmupCycles = 500
+	p.MeasureCycles = 2500
+	p.EngineWorkers = 4
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered == 0 {
+		t.Fatal("no deliveries on 20x20")
+	}
+	if res.Stats.AvgDetour() > 6 {
+		t.Errorf("average detour %.1f hops suspicious", res.Stats.AvgDetour())
+	}
+}

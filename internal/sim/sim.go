@@ -1,0 +1,254 @@
+// Package sim runs single simulations: it wires the mesh, fault
+// pattern, routing algorithm, traffic source and engine together,
+// handles warm-up, and derives the metrics the paper reports.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/routing"
+	"wormmesh/internal/topology"
+	"wormmesh/internal/traffic"
+)
+
+// Params fully specifies one simulation. The zero value is not
+// runnable; start from DefaultParams.
+type Params struct {
+	Width, Height int
+	Algorithm     string
+	Pattern       string
+
+	// Rate is the traffic generation rate in messages per node per
+	// cycle (the paper's x-axis); MessageLength is in flits.
+	Rate          float64
+	MessageLength int
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	// WindowCycles, when non-zero, additionally collects per-window
+	// time series during the measurement phase (Result.Windows).
+	WindowCycles int64
+	// EngineWorkers > 1 switches the engine to the deterministic
+	// parallel request–grant mode with that many workers, useful for
+	// meshes much larger than the paper's. Results are reproducible
+	// for a given seed regardless of the worker count, but the
+	// arbitration model differs slightly from the serial engine's
+	// (see core/parallel.go).
+	EngineWorkers int
+	// TraceWriter, when non-nil, receives the engine's event stream
+	// as JSON lines (core.Recorder); TraceFlits additionally records
+	// every flit hop.
+	TraceWriter io.Writer
+	TraceFlits  bool
+
+	// Faults is the number of randomly failed nodes. FaultNodes, when
+	// non-nil, overrides random generation with an explicit pattern
+	// (Figure 6's canned regions).
+	Faults     int
+	FaultNodes []topology.NodeID
+	// FaultSeed seeds fault-pattern generation only, so the same seed
+	// yields the same pattern for every algorithm — the paper's
+	// "comparative performance across fault cases is in accordance
+	// with the fault sets used".
+	FaultSeed int64
+	// Seed seeds traffic generation and in-network arbitration.
+	Seed int64
+
+	Config core.Config
+}
+
+// DefaultParams returns the paper's baseline configuration: a 10×10
+// mesh, 100-flit messages, 24 virtual channels per physical channel,
+// 30 000 cycles with the first 10 000 discarded as warm-up.
+func DefaultParams() Params {
+	return Params{
+		Width:         10,
+		Height:        10,
+		Algorithm:     "Duato",
+		Pattern:       "uniform",
+		Rate:          0.001,
+		MessageLength: 100,
+		WarmupCycles:  10000,
+		MeasureCycles: 20000,
+		FaultSeed:     1,
+		Seed:          1,
+		Config:        DefaultEngineConfig(),
+	}
+}
+
+// DefaultEngineConfig is core.DefaultConfig plus the source-queue
+// bound that keeps past-saturation runs at finite memory.
+func DefaultEngineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxSourceQueue = 16
+	return cfg
+}
+
+// Result carries the measured statistics and the context needed to
+// interpret them.
+type Result struct {
+	Params Params
+	Stats  core.Stats
+	Faults *fault.Model
+
+	FaultCount       int // total unusable nodes (seed + deactivated)
+	SeedFaults       int
+	RingNodes        int
+	Regions          int
+	Elapsed          time.Duration
+	UndeliveredAtEnd int
+
+	// Windows holds the per-window time series when
+	// Params.WindowCycles is set.
+	Windows []Window
+}
+
+// Run executes one simulation.
+func Run(p Params) (Result, error) {
+	if p.Width == 0 || p.Height == 0 {
+		return Result{}, fmt.Errorf("sim: mesh dimensions not set")
+	}
+	f, err := BuildFaults(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunWithFaults(p, f)
+}
+
+// BuildFaults materializes the fault model a Params describes.
+func BuildFaults(p Params) (*fault.Model, error) {
+	mesh := topology.New(p.Width, p.Height)
+	if p.FaultNodes != nil {
+		return fault.New(mesh, p.FaultNodes)
+	}
+	if p.Faults == 0 {
+		return fault.None(mesh), nil
+	}
+	frng := rand.New(rand.NewSource(p.FaultSeed))
+	return fault.Generate(mesh, p.Faults, frng, fault.Options{})
+}
+
+// RunWithFaults executes one simulation over a pre-built fault model
+// (so sweeps can share one pattern across algorithms and loads).
+func RunWithFaults(p Params, f *fault.Model) (Result, error) {
+	start := time.Now()
+	mesh := f.Mesh
+	cfg := p.Config
+	if cfg.NumVCs == 0 {
+		cfg = DefaultEngineConfig()
+	}
+	if cfg.MaxHops == 0 {
+		// Livelock guard: far above any legitimate detour.
+		cfg.MaxHops = int32(16 * mesh.Diameter())
+	}
+	alg, err := routing.New(p.Algorithm, f, cfg.NumVCs)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	net, err := core.NewNetwork(mesh, f, alg, cfg, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	if p.EngineWorkers > 1 {
+		clones := make([]core.Algorithm, p.EngineWorkers)
+		for i := range clones {
+			if clones[i], err = routing.New(p.Algorithm, f, cfg.NumVCs); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := net.EnableParallel(p.EngineWorkers, clones); err != nil {
+			return Result{}, err
+		}
+	}
+	var recorder *core.Recorder
+	if p.TraceWriter != nil {
+		recorder = core.NewRecorder(p.TraceWriter)
+		recorder.IncludeFlits = p.TraceFlits
+		net.SetTracer(recorder)
+	}
+	pat, err := traffic.NewPattern(p.Pattern, f)
+	if err != nil {
+		return Result{}, err
+	}
+	src, err := traffic.NewSource(f, pat, p.Rate, p.MessageLength, rand.New(rand.NewSource(p.Seed+0x9e3779b9)))
+	if err != nil {
+		return Result{}, err
+	}
+
+	total := p.WarmupCycles + p.MeasureCycles
+	var windows *windowCollector
+	for cycle := int64(0); cycle < total; cycle++ {
+		if cycle == p.WarmupCycles {
+			net.ResetStats()
+			if p.WindowCycles > 0 {
+				windows = newWindowCollector(net, p.WindowCycles)
+			}
+		}
+		src.Tick(cycle, net.Offer)
+		net.Step()
+		if windows != nil {
+			windows.tick()
+		}
+	}
+
+	res := Result{
+		Params:           p,
+		Faults:           f,
+		Stats:            net.Snapshot(),
+		FaultCount:       f.FaultCount(),
+		SeedFaults:       f.SeedCount(),
+		Regions:          len(f.Regions()),
+		Elapsed:          time.Since(start),
+		UndeliveredAtEnd: net.InFlight(),
+	}
+	if windows != nil {
+		res.Windows = windows.windows
+	}
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			return res, fmt.Errorf("sim: trace: %w", err)
+		}
+	}
+	for id := topology.NodeID(0); int(id) < mesh.NodeCount(); id++ {
+		if !f.IsFaulty(id) && f.OnAnyRing(id) {
+			res.RingNodes++
+		}
+	}
+	return res, nil
+}
+
+// NormalizedThroughput is the accepted traffic as a fraction of the
+// fault-free mesh's uniform-traffic bisection capacity,
+// 4·min(W,H)/(W·H) flits per node per cycle — the closest well-defined
+// analogue of the paper's "messages received over messages that can be
+// transmitted at the maximum load".
+func (r Result) NormalizedThroughput() float64 {
+	m := topology.New(r.Params.Width, r.Params.Height)
+	minDim := m.Width
+	if m.Height < minDim {
+		minDim = m.Height
+	}
+	capacity := 4 * float64(minDim) / float64(m.NodeCount())
+	return r.Stats.Throughput() / capacity
+}
+
+// OfferedLoad returns the configured offered traffic in flits per node
+// per cycle.
+func (r Result) OfferedLoad() float64 {
+	return r.Params.Rate * float64(r.Params.MessageLength)
+}
+
+// AcceptanceRatio is delivered traffic over generated traffic — near 1
+// below saturation, dropping once the network saturates.
+func (r Result) AcceptanceRatio() float64 {
+	if r.Stats.Generated == 0 {
+		return 0
+	}
+	return float64(r.Stats.Delivered) / float64(r.Stats.Generated)
+}

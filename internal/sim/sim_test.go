@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	p := DefaultParams()
+	p.Algorithm = "Nbc"
+	p.Rate = 0.002
+	p.Faults = 5
+	p.WarmupCycles = 500
+	p.MeasureCycles = 2000
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Delivered != b.Stats.Delivered ||
+		a.Stats.LatencySum != b.Stats.LatencySum ||
+		a.Stats.FlitHops != b.Stats.FlitHops {
+		t.Errorf("same params diverged: %d/%d vs %d/%d",
+			a.Stats.Delivered, a.Stats.LatencySum, b.Stats.Delivered, b.Stats.LatencySum)
+	}
+}
+
+func TestFaultSeedControlsPatternIndependently(t *testing.T) {
+	p := DefaultParams()
+	p.Faults = 8
+	p.WarmupCycles = 100
+	p.MeasureCycles = 400
+	p.Rate = 0.0005
+
+	// Same fault seed, different traffic seed: identical patterns.
+	p.Seed = 1
+	a, _ := Run(p)
+	p.Seed = 2
+	b, _ := Run(p)
+	for id := range a.Stats.NodeCrossings {
+		if a.Faults.IsFaulty(topology.NodeID(id)) != b.Faults.IsFaulty(topology.NodeID(id)) {
+			t.Fatal("fault pattern changed with traffic seed")
+		}
+	}
+	// Different fault seed: (almost surely) different pattern.
+	p.FaultSeed = 99
+	c, _ := Run(p)
+	same := true
+	for id := range a.Stats.NodeCrossings {
+		if a.Faults.IsFaulty(topology.NodeID(id)) != c.Faults.IsFaulty(topology.NodeID(id)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different fault seeds produced identical patterns")
+	}
+}
+
+func TestExplicitFaultNodes(t *testing.T) {
+	p := DefaultParams()
+	p.FaultNodes = []topology.NodeID{44, 45}
+	p.WarmupCycles = 100
+	p.MeasureCycles = 400
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultCount != 2 || res.Regions != 1 {
+		t.Errorf("faults=%d regions=%d, want 2 faults in 1 region", res.FaultCount, res.Regions)
+	}
+	if !res.Faults.IsFaulty(44) || !res.Faults.IsFaulty(45) {
+		t.Error("explicit fault nodes not applied")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var p Params
+	if _, err := Run(p); err == nil {
+		t.Error("zero params accepted")
+	}
+	p = DefaultParams()
+	p.Algorithm = "nope"
+	if _, err := Run(p); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	p = DefaultParams()
+	p.Rate = -1
+	if _, err := Run(p); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestNormalizedThroughputFormula(t *testing.T) {
+	p := DefaultParams() // 10x10: capacity 4*10/100 = 0.4
+	r := Result{Params: p}
+	r.Stats.Cycles = 1000
+	r.Stats.HealthyNodes = 100
+	r.Stats.DeliveredFlits = 20000 // 0.2 flits/node/cycle
+	if got := r.NormalizedThroughput(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("normalized = %v, want 0.5", got)
+	}
+	if got := r.OfferedLoad(); got != p.Rate*float64(p.MessageLength) {
+		t.Errorf("offered load = %v", got)
+	}
+}
+
+func TestAcceptanceRatio(t *testing.T) {
+	var r Result
+	if r.AcceptanceRatio() != 0 {
+		t.Error("empty acceptance nonzero")
+	}
+	r.Stats.Generated = 100
+	r.Stats.Delivered = 80
+	if r.AcceptanceRatio() != 0.8 {
+		t.Errorf("acceptance = %v", r.AcceptanceRatio())
+	}
+}
+
+func TestLoadDistributionMath(t *testing.T) {
+	p := DefaultParams()
+	p.FaultNodes = []topology.NodeID{44} // (4,4): ring of 8 nodes
+	p.WarmupCycles = 0
+	p.MeasureCycles = 1
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the crossings with synthetic data: ring nodes carry 2,
+	// the peak node 10, everyone else 1.
+	mesh := res.Faults.Mesh
+	for id := range res.Stats.NodeCrossings {
+		nid := topology.NodeID(id)
+		switch {
+		case res.Faults.IsFaulty(nid):
+			res.Stats.NodeCrossings[id] = 0
+		case res.Faults.OnAnyRing(nid):
+			res.Stats.NodeCrossings[id] = 2
+		default:
+			res.Stats.NodeCrossings[id] = 1
+		}
+	}
+	peak := mesh.ID(topology.Coord{X: 0, Y: 0})
+	res.Stats.NodeCrossings[peak] = 10
+	res.Stats.Cycles = 1
+
+	d := res.LoadDistribution()
+	if d.RingNodes != 8 {
+		t.Fatalf("ring nodes = %d, want 8", d.RingNodes)
+	}
+	if d.OtherNodes != 91 {
+		t.Fatalf("other nodes = %d, want 91", d.OtherNodes)
+	}
+	if d.PeakLoad != 10 || d.PeakNode != peak {
+		t.Errorf("peak = %v at %d", d.PeakLoad, d.PeakNode)
+	}
+	if math.Abs(d.RingShare-0.2) > 1e-9 {
+		t.Errorf("ring share = %v, want 0.2", d.RingShare)
+	}
+	wantOther := (float64(90) + 10) / 91 / 10
+	if math.Abs(d.OtherShare-wantOther) > 1e-9 {
+		t.Errorf("other share = %v, want %v", d.OtherShare, wantOther)
+	}
+	if math.Abs(d.PeakUtilization-2.0) > 1e-9 {
+		t.Errorf("peak utilization = %v, want 2 (10/5)", d.PeakUtilization)
+	}
+}
+
+func TestLoadDistributionEmptyWindow(t *testing.T) {
+	p := DefaultParams()
+	p.WarmupCycles = 0
+	p.MeasureCycles = 1
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Stats.Cycles = 0
+	d := res.LoadDistribution()
+	if d.PeakLoad != 0 || d.RingShare != 0 {
+		t.Error("empty window produced nonzero distribution")
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	p := DefaultParams()
+	p.Rate = 0.001
+	p.WarmupCycles = 2000
+	p.MeasureCycles = 2000
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 2000 {
+		t.Errorf("measured cycles = %d, want 2000", res.Stats.Cycles)
+	}
+	// Roughly rate*nodes*cycles messages generated in the window, not
+	// double that (which would indicate warm-up leakage).
+	want := 0.001 * 100 * 2000
+	if float64(res.Stats.Generated) > 1.5*want {
+		t.Errorf("generated %d, want ~%.0f (warm-up leaked?)", res.Stats.Generated, want)
+	}
+}
+
+func TestRingNodesCounted(t *testing.T) {
+	p := DefaultParams()
+	p.FaultNodes = []topology.NodeID{44}
+	p.WarmupCycles = 0
+	p.MeasureCycles = 1
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RingNodes != 8 {
+		t.Errorf("RingNodes = %d, want 8", res.RingNodes)
+	}
+}

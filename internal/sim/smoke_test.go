@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"wormmesh/internal/routing"
+)
+
+// TestSmokeAllAlgorithms runs every algorithm briefly, fault-free and
+// with faults, checking that traffic flows and nothing wedges.
+func TestSmokeAllAlgorithms(t *testing.T) {
+	for _, name := range routing.AlgorithmNames {
+		for _, faults := range []int{0, 5} {
+			name, faults := name, faults
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				p := DefaultParams()
+				p.Algorithm = name
+				p.Rate = 0.002
+				p.WarmupCycles = 1000
+				p.MeasureCycles = 4000
+				p.Faults = faults
+				res, err := Run(p)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if res.Stats.Delivered == 0 {
+					t.Fatalf("%s faults=%d: no messages delivered (generated=%d injected=%d killed=%d)",
+						name, faults, res.Stats.Generated, res.Stats.Injected, res.Stats.Killed)
+				}
+				if lat := res.Stats.AvgLatency(); lat < float64(p.MessageLength) {
+					t.Errorf("%s: avg latency %.1f below serialization bound %d", name, lat, p.MessageLength)
+				}
+				t.Logf("%s faults=%d: delivered=%d latency=%.1f thr=%.4f killed=%d deadlocks=%d detour=%.2f",
+					name, faults, res.Stats.Delivered, res.Stats.AvgLatency(), res.Stats.Throughput(),
+					res.Stats.Killed, res.Stats.DeadlockEvents, res.Stats.AvgDetour())
+			})
+		}
+	}
+}

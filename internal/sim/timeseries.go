@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"wormmesh/internal/core"
+)
+
+// Window is one fixed-length slice of a simulation's measurement
+// phase, used to watch metrics evolve over time (stability checks,
+// saturation onset, post-warm-up drift).
+type Window struct {
+	Start, End int64 // cycle range [Start, End)
+	Generated  int64
+	Delivered  int64
+	Flits      int64
+	AvgLatency float64 // mean latency of messages delivered in-window
+	InFlight   int     // backlog at window end
+	Killed     int64
+}
+
+// Throughput returns the window's accepted traffic in flits per node
+// per cycle.
+func (w Window) Throughput(healthyNodes int) float64 {
+	cycles := w.End - w.Start
+	if cycles == 0 || healthyNodes == 0 {
+		return 0
+	}
+	return float64(w.Flits) / float64(cycles) / float64(healthyNodes)
+}
+
+// String renders a compact summary.
+func (w Window) String() string {
+	return fmt.Sprintf("[%d,%d) gen=%d del=%d lat=%.0f backlog=%d",
+		w.Start, w.End, w.Generated, w.Delivered, w.AvgLatency, w.InFlight)
+}
+
+// windowCollector accumulates per-window deltas from cumulative engine
+// statistics.
+type windowCollector struct {
+	size    int64
+	net     *core.Network
+	prev    core.Stats
+	prevCyc int64
+	windows []Window
+}
+
+func newWindowCollector(net *core.Network, size int64) *windowCollector {
+	return &windowCollector{size: size, net: net, prevCyc: net.Cycle()}
+}
+
+// tick must be called once per cycle after Network.Step; it closes a
+// window whenever `size` cycles have elapsed.
+func (c *windowCollector) tick() {
+	if c.net.Cycle()-c.prevCyc < c.size {
+		return
+	}
+	cur := c.net.Snapshot()
+	w := Window{
+		Start:     c.prevCyc,
+		End:       c.net.Cycle(),
+		Generated: cur.Generated - c.prev.Generated,
+		Delivered: cur.Delivered - c.prev.Delivered,
+		Flits:     cur.DeliveredFlits - c.prev.DeliveredFlits,
+		Killed:    cur.Killed - c.prev.Killed,
+		InFlight:  c.net.InFlight(),
+	}
+	if dc := cur.LatencyCount - c.prev.LatencyCount; dc > 0 {
+		w.AvgLatency = float64(cur.LatencySum-c.prev.LatencySum) / float64(dc)
+	}
+	c.windows = append(c.windows, w)
+	c.prev = cur
+	c.prevCyc = c.net.Cycle()
+}
+
+// StableThroughput reports whether the last half of the windows'
+// throughput stays within tol (relative) of their mean — a practical
+// "has the run converged" check for open-loop load points.
+func StableThroughput(windows []Window, healthyNodes int, tol float64) bool {
+	if len(windows) < 4 {
+		return false
+	}
+	half := windows[len(windows)/2:]
+	mean := 0.0
+	for _, w := range half {
+		mean += w.Throughput(healthyNodes)
+	}
+	mean /= float64(len(half))
+	if mean == 0 {
+		return false
+	}
+	for _, w := range half {
+		if d := w.Throughput(healthyNodes)/mean - 1; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestWindowsCollected(t *testing.T) {
+	p := DefaultParams()
+	p.Rate = 0.001
+	p.WarmupCycles = 500
+	p.MeasureCycles = 4000
+	p.WindowCycles = 1000
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 4 {
+		t.Fatalf("windows = %d, want 4", len(res.Windows))
+	}
+	var totalDelivered, totalFlits int64
+	for i, w := range res.Windows {
+		if w.End-w.Start != 1000 {
+			t.Errorf("window %d spans %d cycles", i, w.End-w.Start)
+		}
+		if i > 0 && w.Start != res.Windows[i-1].End {
+			t.Errorf("window %d not contiguous", i)
+		}
+		totalDelivered += w.Delivered
+		totalFlits += w.Flits
+	}
+	if totalDelivered != res.Stats.Delivered {
+		t.Errorf("window deliveries %d != total %d", totalDelivered, res.Stats.Delivered)
+	}
+	if totalFlits != res.Stats.DeliveredFlits {
+		t.Errorf("window flits %d != total %d", totalFlits, res.Stats.DeliveredFlits)
+	}
+	if s := res.Windows[0].String(); s == "" {
+		t.Error("empty window string")
+	}
+}
+
+func TestWindowsOffByDefault(t *testing.T) {
+	p := DefaultParams()
+	p.Rate = 0.001
+	p.WarmupCycles = 100
+	p.MeasureCycles = 500
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != nil {
+		t.Error("windows collected without WindowCycles")
+	}
+}
+
+func TestWindowThroughput(t *testing.T) {
+	w := Window{Start: 0, End: 1000, Flits: 5000}
+	if got := w.Throughput(100); got != 0.05 {
+		t.Errorf("throughput = %v, want 0.05", got)
+	}
+	if got := w.Throughput(0); got != 0 {
+		t.Errorf("zero-node throughput = %v", got)
+	}
+	zero := Window{Start: 5, End: 5}
+	if zero.Throughput(100) != 0 {
+		t.Error("zero-length window throughput nonzero")
+	}
+}
+
+func TestStableThroughput(t *testing.T) {
+	flat := make([]Window, 8)
+	for i := range flat {
+		flat[i] = Window{Start: int64(i * 100), End: int64(i*100 + 100), Flits: 1000}
+	}
+	if !StableThroughput(flat, 100, 0.05) {
+		t.Error("flat series reported unstable")
+	}
+	ramp := make([]Window, 8)
+	for i := range ramp {
+		ramp[i] = Window{Start: int64(i * 100), End: int64(i*100 + 100), Flits: int64(100 * (i + 1))}
+	}
+	if StableThroughput(ramp, 100, 0.05) {
+		t.Error("ramp reported stable")
+	}
+	if StableThroughput(flat[:2], 100, 0.05) {
+		t.Error("too-short series reported stable")
+	}
+	empty := make([]Window, 8)
+	for i := range empty {
+		empty[i] = Window{Start: int64(i * 100), End: int64(i*100 + 100)}
+	}
+	if StableThroughput(empty, 100, 0.05) {
+		t.Error("zero-throughput series reported stable")
+	}
+}
+
+// TestBelowSaturationIsStable ties the stability check to real runs: a
+// load well below saturation must stabilize; far beyond saturation the
+// backlog keeps growing.
+func TestBelowSaturationIsStable(t *testing.T) {
+	p := DefaultParams()
+	p.Algorithm = "Duato"
+	p.Rate = 0.0008
+	p.WarmupCycles = 2000
+	p.MeasureCycles = 8000
+	p.WindowCycles = 1000
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !StableThroughput(res.Windows, res.Stats.HealthyNodes, 0.25) {
+		t.Errorf("sub-saturation run unstable: %v", res.Windows)
+	}
+}

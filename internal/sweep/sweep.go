@@ -1,0 +1,249 @@
+// Package sweep runs batches of simulations in parallel and aggregates
+// replicated results. One simulation is strictly sequential (the
+// engine is deterministic per seed); the parallelism the paper's
+// methodology offers — many algorithms × loads × fault sets — is
+// embarrassingly parallel and is exploited here with a worker pool.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wormmesh/internal/sim"
+)
+
+// Point is one simulation to run, tagged for aggregation: outcomes
+// sharing a Key are replications of the same experimental cell.
+type Point struct {
+	Key    string
+	Params sim.Params
+}
+
+// Outcome pairs a point with its result (or error).
+type Outcome struct {
+	Point  Point
+	Result sim.Result
+	Err    error
+}
+
+// Run executes the points on `workers` goroutines (NumCPU when 0) and
+// returns outcomes in input order. progress, when non-nil, is invoked
+// after each completion with the done count.
+func Run(points []Point, workers int, progress func(done, total int)) []Outcome {
+	return RunContext(context.Background(), points, workers, progress)
+}
+
+// RunContext is Run with cancellation: once ctx is done, no further
+// simulations start; points never started carry ctx.Err() as their
+// outcome error. Simulations already in flight run to completion (a
+// single run is seconds at most).
+func RunContext(ctx context.Context, points []Point, workers int, progress func(done, total int)) []Outcome {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	out := make([]Outcome, len(points))
+	var next, done int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(points) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = Outcome{Point: points[i], Err: err}
+					continue
+				}
+				res, err := sim.Run(points[i].Params)
+				out[i] = Outcome{Point: points[i], Result: res, Err: err}
+				d := int(atomic.AddInt64(&done, 1))
+				if progress != nil {
+					progress(d, len(points))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Cell is the aggregate of the replications sharing one key.
+type Cell struct {
+	Key string
+	N   int
+
+	Throughput     Moments // flits per node per cycle
+	Normalized     Moments // fraction of bisection capacity
+	Latency        Moments // cycles, generation to tail delivery
+	NetLatency     Moments
+	Detour         Moments // extra hops beyond minimal
+	KilledFraction Moments // killed / generated
+	Errors         []error
+}
+
+// Moments accumulates mean and standard deviation online.
+type Moments struct {
+	N    int
+	Sum  float64
+	SumQ float64
+}
+
+// Add folds in one observation; NaNs are skipped.
+func (m *Moments) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	m.N++
+	m.Sum += v
+	m.SumQ += v * v
+}
+
+// Mean returns the sample mean (NaN when empty).
+func (m Moments) Mean() float64 {
+	if m.N == 0 {
+		return math.NaN()
+	}
+	return m.Sum / float64(m.N)
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean using Student's t (zero when fewer than two observations).
+func (m Moments) CI95() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return tCritical95(m.N-1) * m.Std() / math.Sqrt(float64(m.N))
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t
+// with df degrees of freedom (tabulated; the asymptote 1.96 beyond).
+func tCritical95(df int) float64 {
+	table := []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+		2.306, 2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+		2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060,
+		2.056, 2.052, 2.048, 2.045, 2.042}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df >= 120:
+		return 1.980
+	case df >= 60:
+		return 2.000
+	case df >= 40:
+		return 2.021
+	default:
+		return 2.030
+	}
+}
+
+// Std returns the sample standard deviation.
+func (m Moments) Std() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	n := float64(m.N)
+	mean := m.Sum / n
+	v := (m.SumQ - n*mean*mean) / (n - 1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Aggregate groups outcomes by key and folds their headline metrics.
+// Keys appear in first-seen order.
+func Aggregate(outcomes []Outcome) []Cell {
+	index := map[string]int{}
+	var cells []Cell
+	for _, o := range outcomes {
+		i, ok := index[o.Point.Key]
+		if !ok {
+			i = len(cells)
+			index[o.Point.Key] = i
+			cells = append(cells, Cell{Key: o.Point.Key})
+		}
+		c := &cells[i]
+		if o.Err != nil {
+			c.Errors = append(c.Errors, o.Err)
+			continue
+		}
+		c.N++
+		st := o.Result.Stats
+		c.Throughput.Add(st.Throughput())
+		c.Normalized.Add(o.Result.NormalizedThroughput())
+		c.Latency.Add(st.AvgLatency())
+		c.NetLatency.Add(st.AvgNetLatency())
+		c.Detour.Add(st.AvgDetour())
+		if st.Generated > 0 {
+			c.KilledFraction.Add(float64(st.Killed) / float64(st.Generated))
+		}
+	}
+	return cells
+}
+
+// FirstError returns the first error among the outcomes, or nil.
+func FirstError(outcomes []Outcome) error {
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("sweep: point %q: %w", o.Point.Key, o.Err)
+		}
+	}
+	return nil
+}
+
+// FaultReplicas expands one base configuration into n points that
+// differ only in their fault seed (and traffic seed), the paper's
+// "10 different fault sets averaged".
+func FaultReplicas(key string, base sim.Params, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		p := base
+		p.FaultSeed = base.FaultSeed + int64(1000*i)
+		p.Seed = base.Seed + int64(i)
+		pts[i] = Point{Key: key, Params: p}
+	}
+	return pts
+}
+
+// SaturationSearch finds the saturation throughput of a configuration:
+// it doubles the offered rate until accepted throughput stops
+// improving by more than tol (relative), then returns the best
+// accepted throughput observed. It runs at most maxRuns simulations.
+func SaturationSearch(base sim.Params, startRate float64, tol float64, maxRuns int) (rate, throughput float64, err error) {
+	best := 0.0
+	bestRate := startRate
+	r := startRate
+	for i := 0; i < maxRuns; i++ {
+		p := base
+		p.Rate = r
+		res, e := sim.Run(p)
+		if e != nil {
+			return 0, 0, e
+		}
+		thr := res.Stats.Throughput()
+		if thr > best*(1+tol) {
+			best, bestRate = thr, r
+			r *= 2
+			continue
+		}
+		break
+	}
+	return bestRate, best, nil
+}
+
+// SortCells orders cells by key (for deterministic test output).
+func SortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Key < cells[j].Key })
+}

@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+func momentsOf(vs ...float64) Moments {
+	var m Moments
+	for _, v := range vs {
+		m.Add(v)
+	}
+	return m
+}
+
+func TestWelchDetectsClearDifference(t *testing.T) {
+	a := momentsOf(10, 11, 10.5, 9.8, 10.2, 10.4)
+	b := momentsOf(14, 14.5, 13.8, 14.2, 14.1, 13.9)
+	stat, df, sig := Welch(a, b)
+	if !sig {
+		t.Errorf("clear difference not significant (t=%v, df=%v)", stat, df)
+	}
+	if stat >= 0 {
+		t.Errorf("t = %v, expected negative (a < b)", stat)
+	}
+	if df <= 0 {
+		t.Errorf("df = %v", df)
+	}
+}
+
+func TestWelchIgnoresNoise(t *testing.T) {
+	a := momentsOf(10, 12, 9, 11, 10.5, 9.5)
+	b := momentsOf(10.3, 11.5, 9.4, 10.8, 10.2, 10.1)
+	if _, _, sig := Welch(a, b); sig {
+		t.Error("overlapping samples reported significant")
+	}
+}
+
+func TestWelchSmallSamples(t *testing.T) {
+	if _, _, sig := Welch(momentsOf(1), momentsOf(2, 3)); sig {
+		t.Error("n=1 sample reported significant")
+	}
+}
+
+func TestWelchZeroVariance(t *testing.T) {
+	a := momentsOf(5, 5, 5)
+	b := momentsOf(7, 7, 7)
+	stat, _, sig := Welch(a, b)
+	if !sig || !math.IsInf(stat, 1) {
+		t.Errorf("exact difference not detected: t=%v sig=%v", stat, sig)
+	}
+	if _, _, sig := Welch(a, a); sig {
+		t.Error("identical constant samples reported significant")
+	}
+}
+
+func TestCompareMetricDirection(t *testing.T) {
+	hi := momentsOf(10, 10.2, 9.8, 10.1)
+	lo := momentsOf(5, 5.1, 4.9, 5.0)
+	c := CompareMetric(hi, lo)
+	if c.Better != 1 || !c.Significant {
+		t.Errorf("comparison = %+v", c)
+	}
+	c = CompareMetric(lo, hi)
+	if c.Better != -1 {
+		t.Errorf("reverse comparison Better = %d", c.Better)
+	}
+}
+
+// TestWelchOnRealReplications ties the statistics to the simulator:
+// the same configuration replicated under different seeds must NOT
+// differ significantly from itself, while clearly different loads
+// must.
+func TestWelchOnRealReplications(t *testing.T) {
+	run := func(rate float64, seedBase int64) Moments {
+		var m Moments
+		for i := int64(0); i < 4; i++ {
+			p := quickParams("Duato", rate, 0)
+			p.Seed = seedBase + i
+			outcomes := Run([]Point{{Key: "x", Params: p}}, 1, nil)
+			if outcomes[0].Err != nil {
+				t.Fatal(outcomes[0].Err)
+			}
+			m.Add(outcomes[0].Result.Stats.AvgLatency())
+		}
+		return m
+	}
+	same1 := run(0.001, 10)
+	same2 := run(0.001, 50)
+	if _, _, sig := Welch(same1, same2); sig {
+		t.Errorf("identical configurations significantly different: %v vs %v", same1.Mean(), same2.Mean())
+	}
+	light := run(0.0005, 10)
+	heavy := run(0.002, 10)
+	if _, _, sig := Welch(light, heavy); !sig {
+		t.Errorf("4x load difference not significant: %v vs %v", light.Mean(), heavy.Mean())
+	}
+}

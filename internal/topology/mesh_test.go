@@ -1,0 +1,261 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnDegenerateMesh(t *testing.T) {
+	for _, dims := range [][2]int{{1, 5}, {5, 1}, {0, 0}, {-3, 4}} {
+		dims := dims
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestMeshBasics(t *testing.T) {
+	m := New(10, 10)
+	if got := m.NodeCount(); got != 100 {
+		t.Errorf("NodeCount = %d, want 100", got)
+	}
+	if got := m.Diameter(); got != 18 {
+		t.Errorf("Diameter = %d, want 18", got)
+	}
+	r := New(4, 7)
+	if got := r.NodeCount(); got != 28 {
+		t.Errorf("4x7 NodeCount = %d, want 28", got)
+	}
+	if got := r.Diameter(); got != 9 {
+		t.Errorf("4x7 Diameter = %d, want 9", got)
+	}
+}
+
+func TestIDCoordRoundTrip(t *testing.T) {
+	m := New(7, 5)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			c := Coord{X: x, Y: y}
+			if got := m.CoordOf(m.ID(c)); got != c {
+				t.Fatalf("round trip %v -> %v", c, got)
+			}
+		}
+	}
+	// IDs are dense and unique.
+	seen := map[NodeID]bool{}
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			id := m.ID(Coord{X: x, Y: y})
+			if id < 0 || int(id) >= m.NodeCount() {
+				t.Fatalf("ID %d out of range", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestIDPanicsOutsideMesh(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("ID outside mesh did not panic")
+		}
+	}()
+	m.ID(Coord{X: 3, Y: 0})
+}
+
+func TestNeighbor(t *testing.T) {
+	m := New(4, 4)
+	tests := []struct {
+		c    Coord
+		d    Direction
+		want Coord
+		ok   bool
+	}{
+		{Coord{0, 0}, East, Coord{1, 0}, true},
+		{Coord{0, 0}, West, Coord{}, false},
+		{Coord{0, 0}, North, Coord{0, 1}, true},
+		{Coord{0, 0}, South, Coord{}, false},
+		{Coord{3, 3}, East, Coord{}, false},
+		{Coord{3, 3}, North, Coord{}, false},
+		{Coord{3, 3}, West, Coord{2, 3}, true},
+		{Coord{3, 3}, South, Coord{3, 2}, true},
+		{Coord{2, 1}, South, Coord{2, 0}, true},
+	}
+	for _, tc := range tests {
+		got, ok := m.Neighbor(tc.c, tc.d)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Neighbor(%v, %v) = %v, %v; want %v, %v", tc.c, tc.d, got, ok, tc.want, tc.ok)
+		}
+	}
+	if got := m.NeighborID(m.ID(Coord{0, 0}), West); got != Invalid {
+		t.Errorf("NeighborID off-mesh = %d, want Invalid", got)
+	}
+}
+
+func TestOppositeIsInvolution(t *testing.T) {
+	for d := Direction(0); d < NumDirs; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+		dx, dy := d.Delta()
+		ox, oy := d.Opposite().Delta()
+		if dx+ox != 0 || dy+oy != 0 {
+			t.Errorf("%v and opposite deltas do not cancel", d)
+		}
+	}
+	if Local.Opposite() != Local {
+		t.Error("Local.Opposite() != Local")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	want := map[Direction]string{East: "East", West: "West", North: "North", South: "South", Local: "Local"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), s)
+		}
+	}
+	if Direction(99).String() == "" {
+		t.Error("unknown direction renders empty")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	m := New(10, 10)
+	if got := m.Distance(Coord{0, 0}, Coord{9, 9}); got != 18 {
+		t.Errorf("corner distance = %d, want 18", got)
+	}
+	if got := m.Distance(Coord{3, 4}, Coord{3, 4}); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+	if got := m.Distance(Coord{7, 2}, Coord{2, 8}); got != 11 {
+		t.Errorf("distance = %d, want 11", got)
+	}
+}
+
+func TestMinimalDirsAgainstDistance(t *testing.T) {
+	m := New(6, 6)
+	for a := NodeID(0); int(a) < m.NodeCount(); a++ {
+		for b := NodeID(0); int(b) < m.NodeCount(); b++ {
+			ca, cb := m.CoordOf(a), m.CoordOf(b)
+			dirs := MinimalDirs(ca, cb, nil)
+			if a == b && len(dirs) != 0 {
+				t.Fatalf("MinimalDirs(%v,%v) = %v, want none", ca, cb, dirs)
+			}
+			for _, d := range dirs {
+				next, ok := m.Neighbor(ca, d)
+				if !ok {
+					t.Fatalf("minimal dir %v leaves the mesh from %v", d, ca)
+				}
+				if m.Distance(next, cb) != m.Distance(ca, cb)-1 {
+					t.Fatalf("dir %v from %v to %v does not reduce distance", d, ca, cb)
+				}
+				if !IsMinimal(ca, cb, d) {
+					t.Fatalf("IsMinimal disagrees with MinimalDirs at %v->%v dir %v", ca, cb, d)
+				}
+			}
+			// Every direction not returned must not reduce distance.
+			for d := Direction(0); d < NumDirs; d++ {
+				returned := false
+				for _, md := range dirs {
+					if md == d {
+						returned = true
+					}
+				}
+				if returned {
+					continue
+				}
+				if next, ok := m.Neighbor(ca, d); ok && m.Distance(next, cb) < m.Distance(ca, cb) {
+					t.Fatalf("missing minimal dir %v from %v to %v", d, ca, cb)
+				}
+			}
+		}
+	}
+}
+
+func TestDirTowards(t *testing.T) {
+	if d, ok := DirTowards(Coord{1, 1}, Coord{5, 1}, 0); !ok || d != East {
+		t.Errorf("DirTowards east = %v, %v", d, ok)
+	}
+	if d, ok := DirTowards(Coord{5, 1}, Coord{1, 1}, 0); !ok || d != West {
+		t.Errorf("DirTowards west = %v, %v", d, ok)
+	}
+	if d, ok := DirTowards(Coord{1, 1}, Coord{1, 9}, 1); !ok || d != North {
+		t.Errorf("DirTowards north = %v, %v", d, ok)
+	}
+	if d, ok := DirTowards(Coord{1, 9}, Coord{1, 1}, 1); !ok || d != South {
+		t.Errorf("DirTowards south = %v, %v", d, ok)
+	}
+	if _, ok := DirTowards(Coord{1, 1}, Coord{1, 5}, 0); ok {
+		t.Error("DirTowards aligned dimension reported a direction")
+	}
+}
+
+func TestColorIsProper2Coloring(t *testing.T) {
+	m := New(8, 5)
+	for id := NodeID(0); int(id) < m.NodeCount(); id++ {
+		c := m.CoordOf(id)
+		for d := Direction(0); d < NumDirs; d++ {
+			if nb, ok := m.Neighbor(c, d); ok && Color(nb) == Color(c) {
+				t.Fatalf("neighbors %v and %v share color %d", c, nb, Color(c))
+			}
+		}
+	}
+}
+
+func TestOnBoundary(t *testing.T) {
+	m := New(5, 5)
+	onEdge := 0
+	for id := NodeID(0); int(id) < m.NodeCount(); id++ {
+		if m.OnBoundary(m.CoordOf(id)) {
+			onEdge++
+		}
+	}
+	if onEdge != 16 {
+		t.Errorf("boundary nodes = %d, want 16", onEdge)
+	}
+}
+
+// Property: distance is a metric; neighbor hops change distance by 1.
+func TestDistanceMetricProperty(t *testing.T) {
+	m := New(12, 9)
+	rng := rand.New(rand.NewSource(1))
+	randNode := func() Coord {
+		return Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)}
+	}
+	f := func() bool {
+		a, b, c := randNode(), randNode(), randNode()
+		if m.Distance(a, b) != m.Distance(b, a) {
+			return false
+		}
+		if m.Distance(a, b) < 0 || (m.Distance(a, b) == 0) != (a == b) {
+			return false
+		}
+		if m.Distance(a, c) > m.Distance(a, b)+m.Distance(b, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := New(10, 4).String(); got != "10x4 mesh" {
+		t.Errorf("mesh String = %q", got)
+	}
+	if got := (Coord{X: 3, Y: 7}).String(); got != "(3,7)" {
+		t.Errorf("coord String = %q", got)
+	}
+}

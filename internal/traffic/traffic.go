@@ -1,0 +1,308 @@
+// Package traffic generates workloads for the simulator. The paper
+// uses uniform traffic with exponentially distributed inter-arrival
+// times; the transpose, bit-complement and hotspot patterns are the
+// standard extras any interconnect simulator ships and are used by the
+// ablation examples.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+// Pattern picks destinations for generated messages. Destinations must
+// be healthy and different from the source; a Pattern may return
+// ok=false when the source has no admissible destination (e.g. the
+// transpose partner is faulty), in which case no message is generated.
+type Pattern interface {
+	Name() string
+	Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool)
+}
+
+// Uniform sends each message to a healthy node chosen uniformly at
+// random (excluding the source) — the paper's workload.
+type Uniform struct {
+	healthy []topology.NodeID
+}
+
+// NewUniform builds the uniform pattern over a fault model.
+func NewUniform(f *fault.Model) *Uniform {
+	return &Uniform{healthy: f.HealthyNodes()}
+}
+
+// Name implements Pattern.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u *Uniform) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool) {
+	if len(u.healthy) < 2 {
+		return topology.Invalid, false
+	}
+	for {
+		d := u.healthy[rng.Intn(len(u.healthy))]
+		if d != src {
+			return d, true
+		}
+	}
+}
+
+// Transpose sends (x, y) → (y, x) on a square mesh.
+type Transpose struct {
+	mesh   topology.Mesh
+	faults *fault.Model
+}
+
+// NewTranspose builds the transpose pattern; the mesh must be square.
+func NewTranspose(f *fault.Model) (*Transpose, error) {
+	if f.Mesh.Width != f.Mesh.Height {
+		return nil, fmt.Errorf("traffic: transpose needs a square mesh, got %v", f.Mesh)
+	}
+	return &Transpose{mesh: f.Mesh, faults: f}, nil
+}
+
+// Name implements Pattern.
+func (t *Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t *Transpose) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	c := t.mesh.CoordOf(src)
+	d := t.mesh.ID(topology.Coord{X: c.Y, Y: c.X})
+	if d == src || t.faults.IsFaulty(d) {
+		return topology.Invalid, false
+	}
+	return d, true
+}
+
+// BitComplement sends (x, y) → (W-1-x, H-1-y).
+type BitComplement struct {
+	mesh   topology.Mesh
+	faults *fault.Model
+}
+
+// NewBitComplement builds the bit-complement pattern.
+func NewBitComplement(f *fault.Model) *BitComplement {
+	return &BitComplement{mesh: f.Mesh, faults: f}
+}
+
+// Name implements Pattern.
+func (b *BitComplement) Name() string { return "bit-complement" }
+
+// Dest implements Pattern.
+func (b *BitComplement) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	c := b.mesh.CoordOf(src)
+	d := b.mesh.ID(topology.Coord{X: b.mesh.Width - 1 - c.X, Y: b.mesh.Height - 1 - c.Y})
+	if d == src || b.faults.IsFaulty(d) {
+		return topology.Invalid, false
+	}
+	return d, true
+}
+
+// Hotspot sends to a fixed hot node with probability p and uniformly
+// otherwise.
+type Hotspot struct {
+	uniform *Uniform
+	hot     topology.NodeID
+	p       float64
+}
+
+// NewHotspot builds a hotspot pattern; hot must be healthy.
+func NewHotspot(f *fault.Model, hot topology.NodeID, p float64) (*Hotspot, error) {
+	if f.IsFaulty(hot) {
+		return nil, fmt.Errorf("traffic: hotspot node %d is faulty", hot)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("traffic: hotspot probability %v outside [0,1]", p)
+	}
+	return &Hotspot{uniform: NewUniform(f), hot: hot, p: p}, nil
+}
+
+// Name implements Pattern.
+func (h *Hotspot) Name() string { return fmt.Sprintf("hotspot(%.0f%%)", h.p*100) }
+
+// Dest implements Pattern.
+func (h *Hotspot) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool) {
+	if src != h.hot && rng.Float64() < h.p {
+		return h.hot, true
+	}
+	return h.uniform.Dest(src, rng)
+}
+
+// BitReverse sends each node to the node whose coordinate bits are
+// reversed within ceil(log2(dim)) bits, clipped to the mesh — the
+// FFT-style permutation. Destinations that fall on the source or on a
+// faulty node are refused.
+type BitReverse struct {
+	mesh   topology.Mesh
+	faults *fault.Model
+}
+
+// NewBitReverse builds the bit-reversal pattern.
+func NewBitReverse(f *fault.Model) *BitReverse {
+	return &BitReverse{mesh: f.Mesh, faults: f}
+}
+
+// Name implements Pattern.
+func (b *BitReverse) Name() string { return "bit-reverse" }
+
+func reverseBits(v, width int) int {
+	out := 0
+	for i := 0; i < width; i++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Dest implements Pattern.
+func (b *BitReverse) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	c := b.mesh.CoordOf(src)
+	d := topology.Coord{
+		X: reverseBits(c.X, bitsFor(b.mesh.Width)),
+		Y: reverseBits(c.Y, bitsFor(b.mesh.Height)),
+	}
+	if !b.mesh.Contains(d) {
+		return topology.Invalid, false
+	}
+	id := b.mesh.ID(d)
+	if id == src || b.faults.IsFaulty(id) {
+		return topology.Invalid, false
+	}
+	return id, true
+}
+
+// Tornado sends each node halfway across its row ((x + W/2) mod W at
+// constant y, clipped to the mesh's lack of wraparound by reflecting):
+// the classical adversarial pattern for minimal routing on rings,
+// adapted to the mesh as maximum-distance row traffic.
+type Tornado struct {
+	mesh   topology.Mesh
+	faults *fault.Model
+}
+
+// NewTornado builds the tornado pattern.
+func NewTornado(f *fault.Model) *Tornado {
+	return &Tornado{mesh: f.Mesh, faults: f}
+}
+
+// Name implements Pattern.
+func (t *Tornado) Name() string { return "tornado" }
+
+// Dest implements Pattern.
+func (t *Tornado) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	c := t.mesh.CoordOf(src)
+	x := c.X + t.mesh.Width/2
+	if x >= t.mesh.Width {
+		x = x - t.mesh.Width // the wrapped target...
+		x = t.mesh.Width - 1 - x
+	}
+	d := topology.Coord{X: x, Y: c.Y}
+	id := t.mesh.ID(d)
+	if id == src || t.faults.IsFaulty(id) {
+		return topology.Invalid, false
+	}
+	return id, true
+}
+
+// NewPattern builds a pattern by name: "uniform", "transpose",
+// "bit-complement", "bit-reverse", "tornado" or "hotspot".
+func NewPattern(name string, f *fault.Model) (Pattern, error) {
+	switch name {
+	case "", "uniform":
+		return NewUniform(f), nil
+	case "transpose":
+		return NewTranspose(f)
+	case "bit-complement":
+		return NewBitComplement(f), nil
+	case "bit-reverse":
+		return NewBitReverse(f), nil
+	case "tornado":
+		return NewTornado(f), nil
+	case "hotspot":
+		hot := f.Mesh.ID(topology.Coord{X: f.Mesh.Width / 2, Y: f.Mesh.Height / 2})
+		if f.IsFaulty(hot) {
+			for _, id := range f.HealthyNodes() {
+				hot = id
+				break
+			}
+		}
+		return NewHotspot(f, hot, 0.1)
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+}
+
+// Source drives message generation: each healthy node generates
+// messages with exponentially distributed inter-arrival times of mean
+// 1/rate cycles (the paper's arrival process), destinations drawn from
+// the pattern.
+type Source struct {
+	faults  *fault.Model
+	pattern Pattern
+	rng     *rand.Rand
+	rate    float64
+	length  int
+
+	nodes []topology.NodeID
+	next  []float64
+	seq   int64
+}
+
+// NewSource builds a generator. rate is in messages per node per
+// cycle; length is the fixed message length in flits.
+func NewSource(f *fault.Model, p Pattern, rate float64, length int, rng *rand.Rand) (*Source, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("traffic: rate %v must be positive", rate)
+	}
+	if length < 1 {
+		return nil, fmt.Errorf("traffic: message length %d < 1", length)
+	}
+	s := &Source{
+		faults:  f,
+		pattern: p,
+		rng:     rng,
+		rate:    rate,
+		length:  length,
+		nodes:   f.HealthyNodes(),
+	}
+	s.next = make([]float64, len(s.nodes))
+	for i := range s.next {
+		// Desynchronize the first arrivals.
+		s.next[i] = s.rng.ExpFloat64() / rate
+	}
+	return s, nil
+}
+
+// Generated returns how many messages the source has produced.
+func (s *Source) Generated() int64 { return s.seq }
+
+// Tick emits the messages due at the given cycle through emit (usually
+// Network.Offer). emit's return value is ignored beyond accounting —
+// a refused offer (full source queue) drops the message, modeling the
+// node's interface back-pressure.
+func (s *Source) Tick(cycle int64, emit func(*core.Message) bool) {
+	t := float64(cycle)
+	for i, node := range s.nodes {
+		for s.next[i] <= t {
+			s.next[i] += s.rng.ExpFloat64() / s.rate
+			dst, ok := s.pattern.Dest(node, s.rng)
+			if !ok {
+				continue
+			}
+			s.seq++
+			m := core.NewMessage(s.seq, node, dst, s.length)
+			m.GenTime = cycle
+			emit(m)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/fault"
+	"wormmesh/internal/topology"
+)
+
+func model10(t *testing.T, faults ...topology.Coord) *fault.Model {
+	t.Helper()
+	m := topology.New(10, 10)
+	var ids []topology.NodeID
+	for _, c := range faults {
+		ids = append(ids, m.ID(c))
+	}
+	f, err := fault.New(m, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestUniformDestinationsValid(t *testing.T) {
+	f := model10(t, topology.Coord{X: 4, Y: 4})
+	u := NewUniform(f)
+	rng := rand.New(rand.NewSource(1))
+	src := f.Mesh.ID(topology.Coord{X: 0, Y: 0})
+	for i := 0; i < 2000; i++ {
+		dst, ok := u.Dest(src, rng)
+		if !ok {
+			t.Fatal("uniform refused a destination")
+		}
+		if dst == src {
+			t.Fatal("destination equals source")
+		}
+		if f.IsFaulty(dst) {
+			t.Fatal("destination faulty")
+		}
+	}
+}
+
+func TestUniformCoversAllHealthyNodes(t *testing.T) {
+	f := model10(t)
+	u := NewUniform(f)
+	rng := rand.New(rand.NewSource(2))
+	src := topology.NodeID(0)
+	seen := map[topology.NodeID]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		dst, _ := u.Dest(src, rng)
+		seen[dst]++
+	}
+	if len(seen) != 99 {
+		t.Fatalf("covered %d destinations, want 99", len(seen))
+	}
+	// Uniformity: every node within 4 sigma of the mean.
+	mean := float64(draws) / 99
+	sigma := math.Sqrt(mean)
+	for id, count := range seen {
+		if math.Abs(float64(count)-mean) > 4*sigma {
+			t.Errorf("node %d drawn %d times, mean %.0f", id, count, mean)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	f := model10(t, topology.Coord{X: 2, Y: 7})
+	tr, err := NewTranspose(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Mesh
+	if dst, ok := tr.Dest(m.ID(topology.Coord{X: 3, Y: 5}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 5, Y: 3}) {
+		t.Errorf("transpose(3,5) = %v, %v", dst, ok)
+	}
+	// Diagonal nodes map to themselves: refused.
+	if _, ok := tr.Dest(m.ID(topology.Coord{X: 4, Y: 4}), nil); ok {
+		t.Error("diagonal node got a destination")
+	}
+	// Partner faulty: refused. (7,2)'s partner is (2,7), which is faulty.
+	if _, ok := tr.Dest(m.ID(topology.Coord{X: 7, Y: 2}), nil); ok {
+		t.Error("faulty partner accepted")
+	}
+}
+
+func TestTransposeRequiresSquare(t *testing.T) {
+	m := topology.New(6, 4)
+	f, err := fault.New(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTranspose(f); err == nil {
+		t.Error("transpose on 6x4 mesh accepted")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	f := model10(t)
+	b := NewBitComplement(f)
+	m := f.Mesh
+	if dst, _ := b.Dest(m.ID(topology.Coord{X: 0, Y: 0}), nil); m.CoordOf(dst) != (topology.Coord{X: 9, Y: 9}) {
+		t.Errorf("complement(0,0) = %v", m.CoordOf(dst))
+	}
+	if dst, _ := b.Dest(m.ID(topology.Coord{X: 3, Y: 7}), nil); m.CoordOf(dst) != (topology.Coord{X: 6, Y: 2}) {
+		t.Errorf("complement(3,7) = %v", m.CoordOf(dst))
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	f := model10(t)
+	hot := f.Mesh.ID(topology.Coord{X: 5, Y: 5})
+	h, err := NewHotspot(f, hot, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	src := topology.NodeID(0)
+	hits := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		dst, ok := h.Dest(src, rng)
+		if !ok {
+			t.Fatal("hotspot refused")
+		}
+		if dst == hot {
+			hits++
+		}
+	}
+	// ~30% direct hits plus ~0.7% uniform strays.
+	frac := float64(hits) / draws
+	if frac < 0.25 || frac > 0.36 {
+		t.Errorf("hotspot fraction = %.3f, want ~0.30", frac)
+	}
+	// The hot node itself never targets itself.
+	for i := 0; i < 1000; i++ {
+		if dst, _ := h.Dest(hot, rng); dst == hot {
+			t.Fatal("hotspot node targeted itself")
+		}
+	}
+}
+
+func TestHotspotRejectsBadConfig(t *testing.T) {
+	f := model10(t, topology.Coord{X: 5, Y: 5})
+	if _, err := NewHotspot(f, f.Mesh.ID(topology.Coord{X: 5, Y: 5}), 0.1); err == nil {
+		t.Error("faulty hotspot accepted")
+	}
+	if _, err := NewHotspot(f, 0, 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestNewPatternByName(t *testing.T) {
+	f := model10(t)
+	for _, name := range []string{"", "uniform", "transpose", "bit-complement", "bit-reverse", "tornado", "hotspot"} {
+		if _, err := NewPattern(name, f); err != nil {
+			t.Errorf("NewPattern(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPattern("nope", f); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	f := model10(t)
+	b := NewBitReverse(f)
+	m := f.Mesh
+	// 10 needs 4 bits; x=1 (0001) reverses to 8 (1000).
+	if dst, ok := b.Dest(m.ID(topology.Coord{X: 1, Y: 0}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 8, Y: 0}) {
+		t.Errorf("bit-reverse(1,0) = %v, %v", dst, ok)
+	}
+	// x=3 (0011) reverses to 12, outside the mesh: refused.
+	if _, ok := b.Dest(m.ID(topology.Coord{X: 3, Y: 0}), nil); ok {
+		t.Error("off-mesh reversal accepted")
+	}
+	// Fixed point (0,0) refused.
+	if _, ok := b.Dest(m.ID(topology.Coord{X: 0, Y: 0}), nil); ok {
+		t.Error("fixed point accepted")
+	}
+	// All emitted destinations are valid.
+	for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+		if f.IsFaulty(id) {
+			continue
+		}
+		if dst, ok := b.Dest(id, nil); ok {
+			if dst == id || f.IsFaulty(dst) {
+				t.Fatalf("invalid destination %d for %d", dst, id)
+			}
+		}
+	}
+}
+
+func TestTornado(t *testing.T) {
+	f := model10(t)
+	tor := NewTornado(f)
+	m := f.Mesh
+	// x=0 -> x+5 = 5, same row.
+	if dst, ok := tor.Dest(m.ID(topology.Coord{X: 0, Y: 3}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 5, Y: 3}) {
+		t.Errorf("tornado(0,3) = %v, %v", dst, ok)
+	}
+	// x=8 -> 13 wraps to 3, reflected to 6.
+	if dst, ok := tor.Dest(m.ID(topology.Coord{X: 8, Y: 2}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 6, Y: 2}) {
+		t.Errorf("tornado(8,2) = %v, %v", dst, ok)
+	}
+	// Every destination stays in the source's row.
+	for id := topology.NodeID(0); int(id) < m.NodeCount(); id++ {
+		if f.IsFaulty(id) {
+			continue
+		}
+		if dst, ok := tor.Dest(id, nil); ok {
+			if m.CoordOf(dst).Y != m.CoordOf(id).Y {
+				t.Fatalf("tornado left the row: %v -> %v", m.CoordOf(id), m.CoordOf(dst))
+			}
+		}
+	}
+}
+
+func TestSourceRateAccuracy(t *testing.T) {
+	f := model10(t)
+	rate := 0.01
+	src, err := NewSource(f, NewUniform(f), rate, 10, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generated int64
+	const cycles = 5000
+	for c := int64(0); c < cycles; c++ {
+		src.Tick(c, func(m *core.Message) bool {
+			generated++
+			if m.GenTime != c {
+				t.Fatalf("GenTime %d at cycle %d", m.GenTime, c)
+			}
+			if m.Length != 10 {
+				t.Fatalf("length %d", m.Length)
+			}
+			return true
+		})
+	}
+	want := rate * 100 * cycles // 100 healthy nodes
+	if math.Abs(float64(generated)-want) > 0.1*want {
+		t.Errorf("generated %d messages, want ~%.0f", generated, want)
+	}
+	if src.Generated() != generated {
+		t.Errorf("Generated() = %d, emitted %d", src.Generated(), generated)
+	}
+}
+
+func TestSourceExponentialInterArrival(t *testing.T) {
+	f := model10(t)
+	rate := 0.02
+	src, err := NewSource(f, NewUniform(f), rate, 1, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect per-node arrival times for one node and check the
+	// inter-arrival coefficient of variation is near 1 (exponential).
+	node := f.HealthyNodes()[0]
+	var arrivals []int64
+	for c := int64(0); c < 100000; c++ {
+		src.Tick(c, func(m *core.Message) bool {
+			if m.Src == node {
+				arrivals = append(arrivals, m.GenTime)
+			}
+			return true
+		})
+	}
+	if len(arrivals) < 100 {
+		t.Fatalf("too few arrivals: %d", len(arrivals))
+	}
+	var gaps []float64
+	for i := 1; i < len(arrivals); i++ {
+		gaps = append(gaps, float64(arrivals[i]-arrivals[i-1]))
+	}
+	mean, varsum := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varsum/float64(len(gaps)-1)) / mean
+	if cv < 0.8 || cv > 1.2 {
+		t.Errorf("inter-arrival CV = %.2f, want ~1 for exponential", cv)
+	}
+	if math.Abs(mean-1/rate) > 0.15/rate {
+		t.Errorf("mean inter-arrival = %.1f, want ~%.0f", mean, 1/rate)
+	}
+}
+
+func TestSourceRejectsBadParams(t *testing.T) {
+	f := model10(t)
+	if _, err := NewSource(f, NewUniform(f), 0, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewSource(f, NewUniform(f), 0.01, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestSourceDeterministicPerSeed(t *testing.T) {
+	f := model10(t)
+	collect := func() []int64 {
+		src, err := NewSource(f, NewUniform(f), 0.005, 4, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []int64
+		for c := int64(0); c < 1000; c++ {
+			src.Tick(c, func(m *core.Message) bool {
+				ids = append(ids, int64(m.Src)<<32|int64(m.Dst))
+				return true
+			})
+		}
+		return ids
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	f := model10(t)
+	if NewUniform(f).Name() != "uniform" {
+		t.Error("uniform name")
+	}
+	if NewBitComplement(f).Name() != "bit-complement" {
+		t.Error("bit-complement name")
+	}
+}

@@ -1,0 +1,92 @@
+package wormmesh_test
+
+import (
+	"testing"
+
+	"wormmesh"
+)
+
+func TestFacadeQuickRun(t *testing.T) {
+	p := wormmesh.DefaultParams()
+	p.Algorithm = "Duato-Nbc"
+	p.Rate = 0.002
+	p.Faults = 5
+	p.WarmupCycles = 300
+	p.MeasureCycles = 1500
+	res, err := wormmesh.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.NormalizedThroughput() <= 0 {
+		t.Error("normalized throughput zero")
+	}
+}
+
+func TestFacadeAlgorithmsList(t *testing.T) {
+	algs := wormmesh.Algorithms()
+	if len(algs) != 11 {
+		t.Fatalf("algorithms = %d, want 11", len(algs))
+	}
+	for _, a := range algs {
+		if wormmesh.DescribeAlgorithm(a) == "" {
+			t.Errorf("%s has no description", a)
+		}
+	}
+	// The returned slice is a copy.
+	algs[0] = "mutated"
+	if wormmesh.Algorithms()[0] == "mutated" {
+		t.Error("Algorithms returned shared slice")
+	}
+}
+
+func TestFacadeFaultHelpers(t *testing.T) {
+	m := wormmesh.NewMesh(8, 8)
+	f, err := wormmesh.NewFaultModel(m, []wormmesh.NodeID{27, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FaultCount() != 2 {
+		t.Errorf("FaultCount = %d", f.FaultCount())
+	}
+	g, err := wormmesh.GenerateFaults(m, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SeedCount() != 4 {
+		t.Errorf("SeedCount = %d", g.SeedCount())
+	}
+}
+
+func TestFacadeRunBatch(t *testing.T) {
+	base := wormmesh.DefaultParams()
+	base.Rate = 0.001
+	base.WarmupCycles = 200
+	base.MeasureCycles = 800
+	var points []wormmesh.SweepPoint
+	for _, alg := range []string{"Duato", "NHop"} {
+		p := base
+		p.Algorithm = alg
+		points = append(points, wormmesh.SweepPoint{Key: alg, Params: p})
+	}
+	outcomes := wormmesh.RunBatch(points, 2)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if o.Result.Stats.Delivered == 0 {
+			t.Errorf("%s delivered nothing", o.Point.Key)
+		}
+	}
+}
+
+func TestExperimentOptionsExposed(t *testing.T) {
+	if wormmesh.PaperExperiments().MeasureCycles != 20000 {
+		t.Error("paper options wrong")
+	}
+	if wormmesh.QuickExperiments().MeasureCycles >= 20000 {
+		t.Error("quick options not reduced")
+	}
+}
