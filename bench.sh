@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# bench.sh — run the core engine benchmarks and emit BENCH_core.json.
+#
+# Usage: ./bench.sh [count]
+#   count: -count passed to `go test -bench` (default 1; use 5+ for benchstat).
+#
+# The raw `go test -bench` output is kept in BENCH_core.txt so benchstat can
+# diff two runs; BENCH_core.json is a machine-readable digest of the same
+# lines (name, iterations, ns/op, B/op, allocs/op, extra metrics).
+set -eu
+
+COUNT="${1:-1}"
+OUT_TXT="BENCH_core.txt"
+OUT_JSON="BENCH_core.json"
+
+go test ./internal/core/ -run '^$' -bench . -benchmem -count "$COUNT" | tee "$OUT_TXT"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    extras = ""
+    for (i = 3; i < NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op") ns = val
+        else if (unit == "B/op") bytes = val
+        else if (unit == "allocs/op") allocs = val
+        else {
+            if (extras != "") extras = extras ","
+            extras = extras "\"" unit "\":" val
+        }
+    }
+    if (!first) print ","
+    first = 0
+    line = "  {\"name\":\"" name "\",\"iterations\":" iters
+    if (ns != "")     line = line ",\"ns_per_op\":" ns
+    if (bytes != "")  line = line ",\"bytes_per_op\":" bytes
+    if (allocs != "") line = line ",\"allocs_per_op\":" allocs
+    if (extras != "") line = line "," extras
+    line = line "}"
+    printf "%s", line
+}
+END { print ""; print "]" }
+' "$OUT_TXT" > "$OUT_JSON"
+
+echo "wrote $OUT_TXT and $OUT_JSON"

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+// loadNetwork fills a network with pooled traffic and advances it until
+// the arena and every internal scratch slice have reached steady-state
+// capacity, so the measured region below performs no growth.
+func loadNetwork(tb testing.TB, mesh topology.Mesh, workers int) (*Network, *rand.Rand, *int64) {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.NumVCs = 8
+	cfg.MaxSourceQueue = 4
+	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 8}, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if workers >= 1 {
+		clones := make([]Algorithm, workers)
+		for i := range clones {
+			clones[i] = xyAlg{mesh: mesh, vcs: 8}
+		}
+		if err := n.EnableParallel(workers, clones); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	id := new(int64)
+	// Warm up: drive enough traffic that the message pool, active
+	// slices, source queues and parallel scratch tables grow to their
+	// steady-state capacity. 24×24 under this load plateaus at several
+	// hundred messages in flight, so run well past the ramp.
+	for i := 0; i < 6000; i++ {
+		stepLoaded(n, mesh, rng, id)
+	}
+	// Stock the arena with a cushion: offers run before the cycle's
+	// deliveries recycle, so the pool transiently dips below its
+	// steady-state level; the cushion absorbs that dip and ordinary
+	// in-flight fluctuation without falling back to the heap.
+	cushion := make([]*Message, 512)
+	for i := range cushion {
+		cushion[i] = n.AcquireMessage(0, 0, 1, 16)
+	}
+	for _, m := range cushion {
+		n.recycle(m)
+	}
+	return n, rng, id
+}
+
+// stepLoaded is one cycle of the allocation-budget workload: offer up
+// to four pooled messages, then step.
+func stepLoaded(n *Network, mesh topology.Mesh, rng *rand.Rand, id *int64) {
+	for k := 0; k < 4; k++ {
+		src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+		dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+		if src != dst {
+			*id++
+			m := n.AcquireMessage(*id, src, dst, 16)
+			m.GenTime = n.Cycle()
+			n.Offer(m)
+		}
+	}
+	n.Step()
+}
+
+// TestStepLoadedAllocs locks in the zero-allocation steady state of the
+// serial engine: once the arena is warm, a loaded Step (including the
+// Offer path) must not touch the heap.
+func TestStepLoadedAllocs(t *testing.T) {
+	mesh := topology.New(10, 10)
+	n, rng, id := loadNetwork(t, mesh, 0)
+	allocs := testing.AllocsPerRun(500, func() {
+		stepLoaded(n, mesh, rng, id)
+	})
+	if allocs != 0 {
+		t.Errorf("serial loaded Step allocates %.2f objects/cycle, want 0", allocs)
+	}
+}
+
+// TestStepParallelAllocs does the same for the parallel request–grant
+// engine. With 4 workers the forceShard hook makes the persistent
+// worker pool really run even though AllocsPerRun pins GOMAXPROCS to 1
+// (which would otherwise engage the single-CPU inline fallback):
+// goroutine wake-ups must not allocate either. AllocsPerRun's counter
+// is process-global (runtime.MemStats.Mallocs), so worker-goroutine
+// allocations are included in the measurement.
+func TestStepParallelAllocs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n, rng, id := loadNetwork(t, topology.New(24, 24), workers)
+		if workers > 1 {
+			n.par.forceShard = true
+		}
+		mesh := n.Mesh
+		allocs := testing.AllocsPerRun(200, func() {
+			stepLoaded(n, mesh, rng, id)
+		})
+		n.Close()
+		if allocs != 0 {
+			t.Errorf("parallel loaded Step (workers=%d) allocates %.2f objects/cycle, want 0", workers, allocs)
+		}
+	}
+}
+
+// TestValidateAllocs locks in the allocation-free invariant checker
+// (it runs every cycle under the engine tests' watchdog cadence).
+func TestValidateAllocs(t *testing.T) {
+	mesh := topology.New(10, 10)
+	n, _, _ := loadNetwork(t, mesh, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Validate allocates %.2f objects/call, want 0", allocs)
+	}
+}
+
+// TestMessagePoolRecycles confirms delivered pooled messages return to
+// the arena instead of leaking: after draining, the pool holds every
+// message the run acquired.
+func TestMessagePoolRecycles(t *testing.T) {
+	mesh := topology.New(10, 10)
+	n, rng, id := loadNetwork(t, mesh, 0)
+	for i := 0; i < 5000 && n.InFlight() > 0; i++ {
+		n.Step()
+	}
+	_ = rng
+	if n.InFlight() != 0 {
+		t.Fatalf("network did not drain: %d messages in flight", n.InFlight())
+	}
+	if n.PoolSize() == 0 {
+		t.Fatal("drained network has an empty message pool; recycling is broken")
+	}
+	if got := int64(n.PoolSize()); got > *id {
+		t.Fatalf("pool holds %d messages but only %d were acquired", got, *id)
+	}
+}

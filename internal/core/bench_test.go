@@ -16,6 +16,7 @@ func BenchmarkStepIdle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()
@@ -23,6 +24,8 @@ func BenchmarkStepIdle(b *testing.B) {
 }
 
 // BenchmarkStepLoaded measures the per-cycle cost with live traffic.
+// Messages come from the network's arena, so a steady-state cycle
+// performs zero heap allocations (asserted by TestStepLoadedAllocs).
 func BenchmarkStepLoaded(b *testing.B) {
 	mesh := topology.New(10, 10)
 	cfg := DefaultConfig()
@@ -33,6 +36,7 @@ func BenchmarkStepLoaded(b *testing.B) {
 	}
 	rng := rand.New(rand.NewSource(2))
 	id := int64(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// ~0.3 messages per cycle network-wide: a busy mesh.
@@ -41,7 +45,7 @@ func BenchmarkStepLoaded(b *testing.B) {
 			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
 			if src != dst {
 				id++
-				m := NewMessage(id, src, dst, 16)
+				m := n.AcquireMessage(id, src, dst, 16)
 				m.GenTime = n.Cycle()
 				n.Offer(m)
 			}
@@ -53,41 +57,60 @@ func BenchmarkStepLoaded(b *testing.B) {
 
 // BenchmarkStepParallel measures the parallel request–grant engine on
 // a large mesh across worker counts (run with -cpu to vary GOMAXPROCS
-// as well).
+// as well). The large/ variants exercise the persistent worker pool on
+// a 24×24 mesh; small/ shows the single-shard fallback on the paper's
+// 10×10 mesh, where sharding overhead would dominate.
 func BenchmarkStepParallel(b *testing.B) {
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(benchName(workers), func(b *testing.B) {
-			mesh := topology.New(24, 24)
-			cfg := DefaultConfig()
-			cfg.NumVCs = 8
-			cfg.MaxSourceQueue = 4
-			n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 8}, cfg, rand.New(rand.NewSource(1)))
-			if err != nil {
-				b.Fatal(err)
-			}
-			clones := make([]Algorithm, workers)
-			for i := range clones {
-				clones[i] = xyAlg{mesh: mesh, vcs: 8}
-			}
-			if err := n.EnableParallel(workers, clones); err != nil {
-				b.Fatal(err)
-			}
-			rng := rand.New(rand.NewSource(2))
-			id := int64(0)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for k := 0; k < 4; k++ { // busy network
-					src := topology.NodeID(rng.Intn(mesh.NodeCount()))
-					dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
-					if src != dst {
-						id++
-						m := NewMessage(id, src, dst, 16)
-						m.GenTime = n.Cycle()
-						n.Offer(m)
-					}
+	run := func(b *testing.B, mesh topology.Mesh, workers int) {
+		cfg := DefaultConfig()
+		cfg.NumVCs = 8
+		cfg.MaxSourceQueue = 4
+		n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 8}, cfg, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		clones := make([]Algorithm, workers)
+		for i := range clones {
+			clones[i] = xyAlg{mesh: mesh, vcs: 8}
+		}
+		if err := n.EnableParallel(workers, clones); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		id := int64(0)
+		step := func() {
+			for k := 0; k < 4; k++ { // busy network
+				src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+				dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+				if src != dst {
+					id++
+					m := n.AcquireMessage(id, src, dst, 16)
+					m.GenTime = n.Cycle()
+					n.Offer(m)
 				}
-				n.Step()
 			}
+			n.Step()
+		}
+		// Reach the arena's and scratch tables' steady-state capacity
+		// before measuring, so allocs/op reports the steady state.
+		for i := 0; i < 1500; i++ {
+			step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("large/"+benchName(workers), func(b *testing.B) {
+			run(b, topology.New(24, 24), workers)
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run("small/"+benchName(workers), func(b *testing.B) {
+			run(b, topology.New(10, 10), workers)
 		})
 	}
 }
@@ -112,6 +135,7 @@ func BenchmarkValidate(b *testing.B) {
 	for i := 0; i < 20; i++ {
 		n.Step()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := n.Validate(); err != nil {

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"wormmesh/internal/topology"
+)
+
+// ChannelID densely encodes one input virtual channel of the network —
+// the triple (node, input port, vc) — as a single small integer:
+//
+//	ChannelID = (node*NumDirs + port)*NumVCs + vc
+//
+// Every engine table that is keyed by a channel (the parallel engine's
+// grant table, the validator's scratch, …) is a flat slice indexed by
+// ChannelID, so per-cycle lookups are a single bounds-checked load with
+// no hashing and no map iteration. The per-router active lists store
+// the router-local residue of the same encoding (port*NumVCs + vc, see
+// localChannel), so global and local views convert with one
+// multiply-add.
+type ChannelID int32
+
+// localChannel is the router-local residue of a ChannelID: the channel
+// (port, vc) encoded as port*NumVCs + vc. The router's active list
+// holds localChannel codes; ChannelID = node*NumDirs*NumVCs + local.
+type localChannel = int32
+
+// InvalidChannel is the sentinel for "no channel".
+const InvalidChannel ChannelID = -1
+
+// chansPerRouter returns the number of input VCs each router owns.
+func (n *Network) chansPerRouter() int32 {
+	return int32(topology.NumDirs) * int32(n.Cfg.NumVCs)
+}
+
+// NumChannels returns the number of input virtual channels in the
+// network — the length of any ChannelID-indexed table.
+func (n *Network) NumChannels() int {
+	return n.Mesh.NodeCount() * topology.NumDirs * n.Cfg.NumVCs
+}
+
+// ChanID encodes (node, input port, vc) as a dense ChannelID.
+func (n *Network) ChanID(node topology.NodeID, port topology.Direction, vc uint8) ChannelID {
+	return ChannelID((int32(node)*int32(topology.NumDirs)+int32(port))*int32(n.Cfg.NumVCs) + int32(vc))
+}
+
+// ChannelOf decodes a ChannelID back into its (node, port, vc) triple.
+func (n *Network) ChannelOf(id ChannelID) (node topology.NodeID, port topology.Direction, vc uint8) {
+	vcs := int32(n.Cfg.NumVCs)
+	vc = uint8(int32(id) % vcs)
+	rest := int32(id) / vcs
+	return topology.NodeID(rest / int32(topology.NumDirs)), topology.Direction(rest % int32(topology.NumDirs)), vc
+}
+
+// downstreamChanID returns the dense id of the input VC that output
+// channel ch of node `from` feeds. The caller must have verified the
+// neighbor exists (ch came from allocate/selectFreeHashed, which only
+// return channels toward live neighbors).
+func (n *Network) downstreamChanID(from topology.NodeID, ch Channel) ChannelID {
+	nb := n.nbr[int(from)*topology.NumDirs+int(ch.Dir)]
+	return n.ChanID(nb, ch.Dir.Opposite(), ch.VC)
+}
+
+// arbKey is the stable arbitration key of the downstream input VC fed
+// by output channel ch of node `from`:
+//
+//	nb*(NumPorts*256) + oppositePort*256 + vc
+//
+// This is the historical sparse encoding the parallel engine's
+// splitmix64 grant tournament hashes. It is kept verbatim — and
+// decoupled from the dense ChannelID used for table indexing — because
+// changing the formula would change every tournament outcome and break
+// the golden determinism contract (identical Stats for a given seed
+// across engine revisions; see DESIGN.md "Memory layout & determinism
+// contract").
+func (n *Network) arbKey(from topology.NodeID, ch Channel) int64 {
+	nb := n.nbr[int(from)*topology.NumDirs+int(ch.Dir)]
+	return int64(nb)*int64(NumPorts*256) + int64(ch.Dir.Opposite())*256 + int64(ch.VC)
+}

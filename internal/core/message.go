@@ -39,12 +39,18 @@ type Message struct {
 	// Engine bookkeeping.
 	flitsInjected int   // flits that have left the source queue
 	lastMove      int64 // cycle of the message's last flit movement
+	activeIdx     int32 // position in Network.active, -1 when not in flight
+	pooled        bool  // drawn from the network's arena; recycled on completion
 	Killed        bool  // torn down by deadlock recovery
 }
 
 // NewMessage builds a message with timestamps and routing state
 // cleared. The caller (traffic generator) sets GenTime; the routing
-// algorithm's InitMessage fills the routing state.
+// algorithm's InitMessage fills the routing state. Messages built here
+// are never recycled by the engine, so the caller may inspect them
+// after delivery; sustained-load drivers should prefer
+// Network.AcquireMessage, which recycles completed messages through the
+// network's arena.
 func NewMessage(id int64, src, dst topology.NodeID, length int) *Message {
 	if length < 1 {
 		panic(fmt.Sprintf("core: message length %d < 1", length))
@@ -59,8 +65,59 @@ func NewMessage(id int64, src, dst topology.NodeID, length int) *Message {
 		DeliverTime: -1,
 		RingIdx:     -1,
 		Prev:        topology.Invalid,
+		activeIdx:   -1,
 	}
 }
+
+// AcquireMessage returns a message initialized exactly like NewMessage
+// but drawn from the network's free list when one is available. The
+// engine recycles such messages automatically the moment they complete
+// — tail delivered, killed by recovery, or refused by Offer — so the
+// caller must not retain a reference past those events. Drivers that
+// inspect messages after completion (tests, single-shot probes) should
+// use NewMessage instead; the two kinds coexist freely in one network.
+func (n *Network) AcquireMessage(id int64, src, dst topology.NodeID, length int) *Message {
+	k := len(n.msgPool) - 1
+	if k < 0 {
+		m := NewMessage(id, src, dst, length)
+		m.pooled = true
+		return m
+	}
+	if length < 1 {
+		panic(fmt.Sprintf("core: message length %d < 1", length))
+	}
+	m := n.msgPool[k]
+	n.msgPool = n.msgPool[:k]
+	*m = Message{
+		ID:          id,
+		Src:         src,
+		Dst:         dst,
+		Length:      length,
+		GenTime:     -1,
+		InjectTime:  -1,
+		DeliverTime: -1,
+		RingIdx:     -1,
+		Prev:        topology.Invalid,
+		activeIdx:   -1,
+		pooled:      true,
+	}
+	return m
+}
+
+// recycle returns a pooled message to the free list. Messages built
+// with NewMessage pass through untouched. Clearing pooled first makes a
+// double recycle a no-op instead of a pool corruption.
+func (n *Network) recycle(m *Message) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false
+	n.msgPool = append(n.msgPool, m)
+}
+
+// PoolSize returns the number of idle messages in the network's arena
+// (observability for tests and memory accounting).
+func (n *Network) PoolSize() int { return len(n.msgPool) }
 
 // Delivered reports whether the tail has reached the destination.
 func (m *Message) Delivered() bool { return m.DeliverTime >= 0 }
@@ -91,7 +148,8 @@ func (m *Message) String() string {
 
 // Flit is one flow-control unit of a message. Index 0 is the header;
 // Index == Length-1 is the tail. A one-flit message's single flit is
-// both header and tail.
+// both header and tail. Flits are computed values derived from a VC's
+// (first, count) window — the engine never stores them.
 type Flit struct {
 	Msg   *Message
 	Index int32

@@ -12,6 +12,12 @@ import (
 // in-flight messages, and measurement counters. A Network instance is
 // not safe for concurrent use; run independent simulations in parallel
 // instead (see internal/sweep).
+//
+// Memory layout: all per-cycle state lives in dense, index-addressed
+// slices — the in-flight message set, the per-router active-VC lists,
+// the (first, count) flit windows, and the parallel engine's
+// epoch-stamped grant table — so a steady-state Step performs zero heap
+// allocations. See DESIGN.md "Memory layout & determinism contract".
 type Network struct {
 	Mesh   topology.Mesh
 	Faults *fault.Model
@@ -22,9 +28,27 @@ type Network struct {
 	routers []router
 	cycle   int64
 
+	// nbr is the flattened healthy-neighbor table:
+	// nbr[int(id)*NumDirs + int(dir)] is id's neighbor in dir, or
+	// Invalid when the link leaves the mesh or ends at a faulty node.
+	// The fault model is immutable after construction, so the table is
+	// built once and turns the hot downstream() lookup into a single
+	// load instead of coordinate arithmetic plus a fault probe.
+	nbr []topology.NodeID
+
 	lastGlobalMove int64
 	lastStallScan  int64
-	active         map[*Message]struct{}
+
+	// active is the dense in-flight message set. Messages carry their
+	// index (Message.activeIdx) so removal is O(1) swap-remove — the
+	// same intrusive pattern router.active uses — and iteration order
+	// is deterministic.
+	active []*Message
+
+	// msgPool is the message arena: completed pooled messages
+	// (delivered, killed, or refused) are recycled here instead of
+	// churning the garbage collector. See AcquireMessage.
+	msgPool []*Message
 
 	stats      Stats
 	statsStart int64
@@ -34,12 +58,20 @@ type Network struct {
 	// Reused scratch buffers (inner-loop allocation avoidance).
 	cands    CandidateSet
 	freeCh   []Channel
+	sameCh   []Channel
 	requests []request
 	moves    []move
 	senders  []sender
+	victims  []*Message
 	outOrder [NumPorts]topology.Direction
 	dirBuf   []topology.Direction
 	msgSeq   int64
+
+	// Validator scratch (epoch-stamped, never cleared): valSeen[code]
+	// == valEpoch marks localChannel code active in the router under
+	// inspection.
+	valSeen  []int64
+	valEpoch int64
 }
 
 // request identifies a header awaiting an output channel: either an
@@ -103,28 +135,42 @@ func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng 
 		Cfg:            cfg,
 		rng:            rng,
 		routers:        make([]router, m.NodeCount()),
-		active:         make(map[*Message]struct{}),
+		valSeen:        make([]int64, topology.NumDirs*cfg.NumVCs),
 		lastGlobalMove: 0,
 	}
 	for i := range n.routers {
 		r := &n.routers[i]
 		r.id = topology.NodeID(i)
-		for p := 0; p < topology.NumDirs; p++ {
-			r.in[p] = make([]vcState, cfg.NumVCs)
-			for v := range r.in[p] {
-				s := &r.in[p][v]
-				s.buf = make([]Flit, 0, cfg.BufDepth)
-				s.activeIdx = -1
-				s.stagedIn = -1
-				s.stagedOut = -1
-				s.port = int8(p)
-				s.idx = uint8(v)
+		r.vcs = make([]vcState, topology.NumDirs*cfg.NumVCs)
+		for code := range r.vcs {
+			s := &r.vcs[code]
+			s.activeIdx = -1
+			s.stagedIn = -1
+			s.stagedOut = -1
+			s.port = int8(code / cfg.NumVCs)
+			s.idx = uint8(code % cfg.NumVCs)
+		}
+	}
+	n.nbr = make([]topology.NodeID, m.NodeCount()*topology.NumDirs)
+	for i := range n.routers {
+		id := topology.NodeID(i)
+		for d := topology.Direction(0); d < topology.NumDirs; d++ {
+			nb := m.NeighborID(id, d)
+			if nb != topology.Invalid && f.IsFaulty(nb) {
+				nb = topology.Invalid
 			}
+			n.nbr[i*topology.NumDirs+int(d)] = nb
 		}
 	}
 	n.stats.init(cfg.NumVCs, m.NodeCount())
 	return n, nil
 }
+
+// Close releases resources the network holds beyond its own memory —
+// today, the parallel engine's persistent worker goroutines. A network
+// must not be stepped after Close; drivers that enable parallel mode
+// (internal/sim does) should defer it.
+func (n *Network) Close() { n.DisableParallel() }
 
 // Cycle returns the current simulation time.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -143,11 +189,31 @@ func (n *Network) NextMessageID() int64 {
 	return n.msgSeq
 }
 
+// addActive registers m in the dense in-flight set.
+func (n *Network) addActive(m *Message) {
+	m.activeIdx = int32(len(n.active))
+	n.active = append(n.active, m)
+}
+
+// removeActive unregisters m with an O(1) swap-remove.
+func (n *Network) removeActive(m *Message) {
+	idx := m.activeIdx
+	last := int32(len(n.active) - 1)
+	if idx != last {
+		moved := n.active[last]
+		n.active[idx] = moved
+		moved.activeIdx = idx
+	}
+	n.active = n.active[:last]
+	m.activeIdx = -1
+}
+
 // Offer enqueues a freshly generated message at its source node. The
 // caller must have set GenTime; Offer runs the routing algorithm's
 // InitMessage. It returns false (counting a refused offer) when the
-// source queue is bounded and full. Offering traffic at or to a faulty
-// node is a driver bug and panics.
+// source queue is bounded and full; a refused pooled message is
+// recycled immediately. Offering traffic at or to a faulty node is a
+// driver bug and panics.
 func (n *Network) Offer(m *Message) bool {
 	if n.Faults.IsFaulty(m.Src) || n.Faults.IsFaulty(m.Dst) {
 		panic(fmt.Sprintf("core: traffic at faulty node: %v", m))
@@ -160,12 +226,13 @@ func (n *Network) Offer(m *Message) bool {
 		if m.GenTime >= n.statsStart {
 			n.stats.Refused++
 		}
+		n.recycle(m)
 		return false
 	}
 	n.Alg.InitMessage(m)
 	m.lastMove = n.cycle
 	r.srcQ = append(r.srcQ, m)
-	n.active[m] = struct{}{}
+	n.addActive(m)
 	if m.GenTime >= n.statsStart {
 		n.stats.Generated++
 	}
@@ -188,13 +255,20 @@ func (n *Network) Step() {
 
 // downstream resolves the input VC that output channel ch of node id
 // feeds. ok is false when the neighbor does not exist or is faulty.
+// It is the hottest lookup in the engine, so it reads the prebuilt
+// healthy-neighbor table instead of doing coordinate arithmetic.
 func (n *Network) downstream(id topology.NodeID, ch Channel) (*router, *vcState, bool) {
-	nb := n.Mesh.NeighborID(id, ch.Dir)
-	if nb == topology.Invalid || n.Faults.IsFaulty(nb) {
+	if ch.Dir >= topology.NumDirs {
+		// A Local "output" has no downstream input VC; a buggy
+		// algorithm emitting it must not index past the table row.
+		return nil, nil, false
+	}
+	nb := n.nbr[int(id)*topology.NumDirs+int(ch.Dir)]
+	if nb == topology.Invalid {
 		return nil, nil, false
 	}
 	r := &n.routers[nb]
-	return r, &r.in[ch.Dir.Opposite()][ch.VC], true
+	return r, r.vc(ch.Dir.Opposite(), int(ch.VC), n.Cfg.NumVCs), true
 }
 
 // routingPhase finds every header that needs an output channel, asks
@@ -208,11 +282,11 @@ func (n *Network) routingPhase() {
 			n.requests = append(n.requests, request{node: r.id, port: InjectPort})
 		}
 		for _, code := range r.active {
-			s := r.vcAt(code, n.Cfg.NumVCs)
-			if s.routed || len(s.buf) == 0 {
+			s := r.vcAt(code)
+			if s.routed || s.count == 0 {
 				continue // body VC, or claimed with header still in flight
 			}
-			if !s.buf[0].Head() {
+			if !s.headIsHeader() {
 				panic("core: unrouted VC with non-header at head")
 			}
 			if s.owner.Dst == r.id {
@@ -220,7 +294,7 @@ func (n *Network) routingPhase() {
 				s.out = Channel{Dir: topology.Local}
 				continue
 			}
-			n.requests = append(n.requests, request{node: r.id, port: int8(code / int32(n.Cfg.NumVCs)), vc: uint8(code % int32(n.Cfg.NumVCs))})
+			n.requests = append(n.requests, request{node: r.id, port: s.port, vc: s.idx})
 		}
 	}
 	// Random service order = random conflict resolution among headers
@@ -237,8 +311,8 @@ func (n *Network) routingPhase() {
 			}
 			m = r.srcQ[0]
 		} else {
-			s := &r.in[req.port][req.vc]
-			if s.owner == nil || s.routed || len(s.buf) == 0 {
+			s := r.vc(topology.Direction(req.port), int(req.vc), n.Cfg.NumVCs)
+			if s.owner == nil || s.routed || s.count == 0 {
 				continue
 			}
 			m = s.owner
@@ -258,7 +332,7 @@ func (n *Network) routingPhase() {
 			r.inj = injState{msg: m, out: ch}
 			m.lastMove = n.cycle
 		} else {
-			s := &r.in[req.port][req.vc]
+			s := r.vc(topology.Direction(req.port), int(req.vc), n.Cfg.NumVCs)
 			s.routed = true
 			s.out = ch
 		}
@@ -308,13 +382,13 @@ func (n *Network) allocate(node topology.NodeID, cands *CandidateSet) (Channel, 
 				}
 			}
 			d := n.dirBuf[n.rng.Intn(len(n.dirBuf))]
-			same := n.freeCh[:0:0]
+			n.sameCh = n.sameCh[:0]
 			for _, ch := range n.freeCh {
 				if ch.Dir == d {
-					same = append(same, ch)
+					n.sameCh = append(n.sameCh, ch)
 				}
 			}
-			return same[n.rng.Intn(len(same))], true
+			return n.sameCh[n.rng.Intn(len(n.sameCh))], true
 		case SelectLowestVC:
 			best := n.freeCh[0]
 			for _, ch := range n.freeCh[1:] {
@@ -346,7 +420,24 @@ func (n *Network) switchPhase() {
 			j := n.rng.Intn(k + 1)
 			n.outOrder[k], n.outOrder[j] = n.outOrder[j], n.outOrder[k]
 		}
+		// One pre-pass computes which outputs any routed VC targets, so
+		// the per-output scans below skip outputs with provably no
+		// senders. Skipping is bit-identical to scanning: an empty
+		// sender list breaks without consuming the RNG.
+		var dirMask uint8
+		for _, code := range r.active {
+			s := r.vcAt(code)
+			if s.routed && s.count > 0 {
+				dirMask |= 1 << uint8(s.out.Dir)
+			}
+		}
+		if m := r.inj.msg; m != nil && m.flitsInjected < m.Length {
+			dirMask |= 1 << uint8(r.inj.out.Dir)
+		}
 		for _, out := range n.outOrder {
+			if dirMask&(1<<uint8(out)) == 0 {
+				continue
+			}
 			capacity := 1
 			if out == topology.Local {
 				capacity = n.Cfg.EjectBW
@@ -354,12 +445,11 @@ func (n *Network) switchPhase() {
 			for capacity > 0 {
 				n.senders = n.senders[:0]
 				for _, code := range r.active {
-					port := int8(code / int32(n.Cfg.NumVCs))
-					if portUsed[port] {
+					s := r.vcAt(code)
+					if portUsed[s.port] {
 						continue
 					}
-					s := r.vcAt(code, n.Cfg.NumVCs)
-					if !s.routed || s.out.Dir != out || len(s.buf) == 0 || s.stagedOut == n.cycle {
+					if !s.routed || s.out.Dir != out || s.count == 0 || s.stagedOut == n.cycle {
 						continue
 					}
 					if out != topology.Local {
@@ -371,7 +461,7 @@ func (n *Network) switchPhase() {
 							continue
 						}
 					}
-					n.senders = append(n.senders, sender{port: port, vc: uint8(code % int32(n.Cfg.NumVCs))})
+					n.senders = append(n.senders, sender{port: s.port, vc: s.idx})
 				}
 				if out != topology.Local && r.inj.msg != nil && r.inj.out.Dir == out && !portUsed[InjectPort] {
 					m := r.inj.msg
@@ -392,11 +482,11 @@ func (n *Network) switchPhase() {
 					dvc.stagedIn = n.cycle
 					n.moves = append(n.moves, move{kind: moveInject, node: r.id})
 				case out == topology.Local:
-					s := &r.in[w.port][w.vc]
+					s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
 					s.stagedOut = n.cycle
 					n.moves = append(n.moves, move{kind: moveEject, node: r.id, port: w.port, vc: w.vc})
 				default:
-					s := &r.in[w.port][w.vc]
+					s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
 					s.stagedOut = n.cycle
 					_, dvc, _ := n.downstream(r.id, s.out)
 					dvc.stagedIn = n.cycle
@@ -412,7 +502,7 @@ func (n *Network) switchPhase() {
 // hasCredit reports whether a downstream VC can accept one more flit
 // this cycle (start-of-cycle occupancy plus any staged arrival).
 func (n *Network) hasCredit(dvc *vcState) bool {
-	occ := len(dvc.buf)
+	occ := int(dvc.count)
 	if dvc.stagedIn == n.cycle {
 		occ++
 	}
@@ -430,7 +520,7 @@ func (n *Network) commit() {
 			idx := m.flitsInjected
 			m.flitsInjected++
 			_, dvc, _ := n.downstream(r.id, r.inj.out)
-			dvc.buf = append(dvc.buf, Flit{Msg: m, Index: int32(idx)})
+			dvc.pushBack(int32(idx))
 			if idx == 0 {
 				m.InjectTime = n.cycle
 				if measuring {
@@ -444,7 +534,7 @@ func (n *Network) commit() {
 				n.tracer.FlitMoved(Flit{Msg: m, Index: int32(idx)}, r.id, r.inj.out, n.cycle)
 			}
 			if idx == m.Length-1 {
-				r.srcQ = r.srcQ[1:]
+				r.srcQ = popFrontMsg(r.srcQ)
 				r.inj.msg = nil
 			}
 			m.lastMove = n.cycle
@@ -454,10 +544,10 @@ func (n *Network) commit() {
 				n.stats.FlitHops++
 			}
 		case moveLink:
-			s := &r.in[mv.port][mv.vc]
+			s := r.vc(topology.Direction(mv.port), int(mv.vc), n.Cfg.NumVCs)
 			f := s.popFront()
 			_, dvc, _ := n.downstream(r.id, s.out)
-			dvc.buf = append(dvc.buf, f)
+			dvc.pushBack(f.Index)
 			if f.Tail() {
 				n.releaseVC(r, s)
 			}
@@ -471,13 +561,14 @@ func (n *Network) commit() {
 				n.stats.FlitHops++
 			}
 		case moveEject:
-			s := &r.in[mv.port][mv.vc]
+			s := r.vc(topology.Direction(mv.port), int(mv.vc), n.Cfg.NumVCs)
 			f := s.popFront()
 			m := f.Msg
-			if f.Tail() {
+			tail := f.Tail()
+			if tail {
 				n.releaseVC(r, s)
 				m.DeliverTime = n.cycle
-				delete(n.active, m)
+				n.removeActive(m)
 				if n.tracer != nil {
 					n.tracer.MessageDelivered(m, n.cycle)
 				}
@@ -491,15 +582,14 @@ func (n *Network) commit() {
 				r.crossings++
 				n.stats.DeliveredFlits++
 			}
+			if tail {
+				// Last touch: the message is out of every engine
+				// structure, its statistics are folded in, and the
+				// tracer has fired — safe to recycle.
+				n.recycle(m)
+			}
 		}
 	}
-}
-
-func (s *vcState) popFront() Flit {
-	f := s.buf[0]
-	copy(s.buf, s.buf[1:])
-	s.buf = s.buf[:len(s.buf)-1]
-	return f
 }
 
 // releaseVC accumulates the VC's busy time and frees it.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"wormmesh/internal/topology"
@@ -26,9 +27,32 @@ import (
 // results differ from the serial engine (a different, but equally
 // legitimate, arbitration model) yet are reproducible everywhere.
 //
+// Memory layout: the grant table is a flat slice indexed by the dense
+// ChannelID of the contested downstream VC, validity marked by an epoch
+// stamp (the cycle number) so it is never cleared; all phase scratch is
+// per-worker and reused, so a steady-state parallel Step performs zero
+// heap allocations. Worker goroutines are persistent — spawned once at
+// EnableParallel, woken by channel sends each phase — because spawning
+// goroutines per cycle both allocates and swamps small meshes in
+// scheduler overhead. Below fallbackNodes the phases run inline on the
+// calling goroutine (identical semantics: the hashed streams do not
+// depend on the worker count).
+//
 // Routing algorithms keep per-instance scratch buffers, so each worker
 // needs its own clone; EnableParallel receives them from the caller
-// (the registry lives above core).
+// (the registry lives above core). Call DisableParallel (or
+// Network.Close) to stop the worker pool.
+
+// fallbackNodes is the mesh size below which the parallel engine runs
+// its node phases inline on the calling goroutine instead of waking the
+// worker pool: cross-goroutine handoff costs microseconds per phase,
+// which dwarfs the per-node work when only a few hundred routers exist.
+// Sharding additionally requires GOMAXPROCS > 1 — on a single-CPU host
+// the handoff is pure loss at every size (benchmarked in DESIGN.md).
+// Semantics are unaffected either way: arbitration derives from hashed
+// per-(cycle, node) streams, never from the execution schedule, so
+// inline and sharded runs are bit-identical.
+const fallbackNodes = 256
 
 // parallelEngine holds the parallel-mode state.
 type parallelEngine struct {
@@ -36,12 +60,36 @@ type parallelEngine struct {
 	algs    []Algorithm // one clone per worker
 	hashKey uint64
 
-	reqs  [][]pRequest // staged requests, per node
-	moved [][]move     // staged flit moves, per node
-	grant map[int64]pGrant
-	cands []CandidateSet // per-worker scratch
+	reqs    [][]pRequest   // staged requests, per node
+	moved   [][]move       // staged flit moves, per node
+	cands   []CandidateSet // per-worker scratch
+	senders [][]sender     // per-worker scratch
 
-	wg sync.WaitGroup
+	// grants is the flat request–grant table indexed by the downstream
+	// VC's ChannelID; grantEpoch[c] == cycle marks grants[c] valid this
+	// cycle. Stale entries are never cleared — the epoch stamp makes
+	// clearing unnecessary.
+	grants     []pGrant
+	grantEpoch []int64
+
+	// Persistent worker pool. The calling goroutine acts as worker 0;
+	// wake[w-1] signals worker w (1-based) to run the current phase.
+	phaseFn    func(worker, node int)
+	phaseNodes int
+	wake       []chan struct{}
+	wg         sync.WaitGroup
+
+	// maxprocs caches runtime.GOMAXPROCS at EnableParallel: with one
+	// scheduler thread the pool dispatch is pure overhead, so phases
+	// run inline regardless of mesh size. forceShard is a test hook
+	// that exercises the pool dispatch even where the fallback would
+	// normally engage.
+	maxprocs   int
+	forceShard bool
+
+	// Prebuilt phase bodies (created once so the per-cycle dispatch
+	// allocates nothing).
+	p1, p3 func(worker, node int)
 }
 
 // pRequest is one header's selected channel for this cycle.
@@ -55,7 +103,7 @@ type pRequest struct {
 // pGrant marks the winning requester of one downstream VC.
 type pGrant struct {
 	node topology.NodeID
-	idx  int // index into reqs[node]
+	idx  int32 // index into reqs[node]
 }
 
 // EnableParallel switches the network to parallel stepping with the
@@ -63,6 +111,8 @@ type pGrant struct {
 // entries; they must be built over the same mesh and fault model).
 // Pass workers <= 1 with a single clone to get the parallel
 // ARBITRATION semantics on one thread (useful to pin determinism).
+// Calling it again replaces the previous pool; call DisableParallel or
+// Close when done so the worker goroutines exit.
 func (n *Network) EnableParallel(workers int, algs []Algorithm) error {
 	if workers < 1 {
 		return fmt.Errorf("core: workers %d < 1", workers)
@@ -75,20 +125,89 @@ func (n *Network) EnableParallel(workers int, algs []Algorithm) error {
 			return fmt.Errorf("core: clone %d has %d VCs, network algorithm has %d", i, a.NumVCs(), n.Alg.NumVCs())
 		}
 	}
-	n.par = &parallelEngine{
-		workers: workers,
-		algs:    algs,
-		hashKey: uint64(n.rng.Int63()),
-		reqs:    make([][]pRequest, n.Mesh.NodeCount()),
-		moved:   make([][]move, n.Mesh.NodeCount()),
-		grant:   make(map[int64]pGrant),
-		cands:   make([]CandidateSet, workers),
+	n.DisableParallel()
+	pe := &parallelEngine{
+		workers:    workers,
+		algs:       algs,
+		hashKey:    uint64(n.rng.Int63()),
+		reqs:       make([][]pRequest, n.Mesh.NodeCount()),
+		moved:      make([][]move, n.Mesh.NodeCount()),
+		cands:      make([]CandidateSet, workers),
+		senders:    make([][]sender, workers),
+		grants:     make([]pGrant, n.NumChannels()),
+		grantEpoch: make([]int64, n.NumChannels()),
+		maxprocs:   runtime.GOMAXPROCS(0),
 	}
+	for c := range pe.grantEpoch {
+		pe.grantEpoch[c] = -1
+	}
+	pe.p1 = n.routeNodeParallel
+	pe.p3 = n.switchNodeParallel
+	if workers > 1 {
+		pe.wake = make([]chan struct{}, workers-1)
+		for w := 1; w < workers; w++ {
+			ch := make(chan struct{})
+			pe.wake[w-1] = ch
+			go pe.worker(w, ch)
+		}
+	}
+	n.par = pe
 	return nil
 }
 
-// DisableParallel returns to serial stepping.
-func (n *Network) DisableParallel() { n.par = nil }
+// DisableParallel returns to serial stepping and stops the worker pool.
+func (n *Network) DisableParallel() {
+	if n.par == nil {
+		return
+	}
+	for _, ch := range n.par.wake {
+		close(ch)
+	}
+	n.par = nil
+}
+
+// worker is the persistent body of pool worker w: each wake-up runs the
+// current phase over the worker's node shard.
+func (pe *parallelEngine) worker(w int, wake <-chan struct{}) {
+	for range wake {
+		fn, nodes, stride := pe.phaseFn, pe.phaseNodes, pe.workers
+		for i := w; i < nodes; i += stride {
+			fn(w, i)
+		}
+		pe.wg.Done()
+	}
+}
+
+// shouldShard reports whether a phase over the given node count is
+// worth dispatching to the worker pool: enough nodes to amortize the
+// handoff AND more than one scheduler thread to run them on.
+func (pe *parallelEngine) shouldShard(nodes int) bool {
+	if pe.forceShard {
+		return pe.workers > 1
+	}
+	return pe.workers > 1 && pe.maxprocs > 1 && nodes >= fallbackNodes
+}
+
+// forEachNode runs fn over all node indices. Large meshes shard across
+// the persistent workers (the caller takes shard 0); small meshes and
+// single-CPU hosts run inline — see fallbackNodes.
+func (pe *parallelEngine) forEachNode(nodes int, fn func(worker, node int)) {
+	if !pe.shouldShard(nodes) {
+		for i := 0; i < nodes; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	pe.phaseFn, pe.phaseNodes = fn, nodes
+	pe.wg.Add(pe.workers - 1)
+	for _, ch := range pe.wake {
+		ch <- struct{}{}
+	}
+	for i := 0; i < nodes; i += pe.workers {
+		fn(0, i)
+	}
+	pe.wg.Wait()
+}
 
 // splitmix64 is the standard splitmix64 finalizer, used to derive
 // deterministic per-(cycle, node) random streams.
@@ -115,25 +234,46 @@ func (p *prng) intn(n int) int {
 	return int(p.next() % uint64(n))
 }
 
-// forEachNode runs fn over all node indices, sharded across the
-// configured workers.
-func (pe *parallelEngine) forEachNode(nodes int, fn func(worker, node int)) {
-	if pe.workers == 1 {
-		for i := 0; i < nodes; i++ {
-			fn(0, i)
+// routeNodeParallel is P1 for one node: every ready header picks one
+// free candidate channel into pe.reqs[i].
+func (n *Network) routeNodeParallel(worker, i int) {
+	pe := n.par
+	r := &n.routers[i]
+	pe.reqs[i] = pe.reqs[i][:0]
+	alg := pe.algs[worker]
+	rng := newPRNG(pe.hashKey, uint64(n.cycle), r.id, 1)
+	cands := &pe.cands[worker]
+	consider := func(port int8, vc uint8, m *Message) {
+		cands.Reset()
+		alg.Candidates(m, r.id, cands)
+		ch, ok := n.selectFreeHashed(r.id, cands, &rng)
+		if !ok {
+			return
 		}
-		return
+		pe.reqs[i] = append(pe.reqs[i], pRequest{port: port, vc: vc, msg: m, choice: ch})
 	}
-	pe.wg.Add(pe.workers)
-	for w := 0; w < pe.workers; w++ {
-		go func(w int) {
-			defer pe.wg.Done()
-			for i := w; i < nodes; i += pe.workers {
-				fn(w, i)
-			}
-		}(w)
+	if r.inj.msg == nil && len(r.srcQ) > 0 {
+		consider(InjectPort, 0, r.srcQ[0])
 	}
-	pe.wg.Wait()
+	for _, code := range r.active {
+		s := r.vcAt(code)
+		if s.routed || s.count == 0 {
+			continue
+		}
+		if s.owner.Dst == r.id {
+			s.routed = true
+			s.out = Channel{Dir: topology.Local}
+			continue
+		}
+		consider(s.port, s.idx, s.owner)
+	}
+}
+
+// switchNodeParallel is P3 for one node: switch allocation stages the
+// node's flit moves into pe.moved[i].
+func (n *Network) switchNodeParallel(worker, i int) {
+	pe := n.par
+	pe.moved[i] = n.switchAllocateNode(i, pe.moved[i][:0], worker)
 }
 
 // stepParallel is Step's parallel-mode body.
@@ -142,65 +282,40 @@ func (n *Network) stepParallel() {
 	nodes := n.Mesh.NodeCount()
 
 	// P1: every header selects one free candidate.
-	pe.forEachNode(nodes, func(worker, i int) {
-		r := &n.routers[i]
-		pe.reqs[i] = pe.reqs[i][:0]
-		alg := pe.algs[worker]
-		rng := newPRNG(pe.hashKey, uint64(n.cycle), r.id, 1)
-		cands := &pe.cands[worker]
-		consider := func(port int8, vc uint8, m *Message) {
-			cands.Reset()
-			alg.Candidates(m, r.id, cands)
-			ch, ok := n.selectFreeHashed(r.id, cands, &rng)
-			if !ok {
-				return
-			}
-			pe.reqs[i] = append(pe.reqs[i], pRequest{port: port, vc: vc, msg: m, choice: ch})
-		}
-		if r.inj.msg == nil && len(r.srcQ) > 0 {
-			consider(InjectPort, 0, r.srcQ[0])
-		}
-		for _, code := range r.active {
-			s := r.vcAt(code, n.Cfg.NumVCs)
-			if s.routed || len(s.buf) == 0 {
-				continue
-			}
-			if s.owner.Dst == r.id {
-				s.routed = true
-				s.out = Channel{Dir: topology.Local}
-				continue
-			}
-			consider(int8(code/int32(n.Cfg.NumVCs)), uint8(code%int32(n.Cfg.NumVCs)), s.owner)
-		}
-	})
+	pe.forEachNode(nodes, pe.p1)
 
 	// P2: grant each contested downstream VC to the hash-tournament
-	// winner; apply grants.
-	for k := range pe.grant {
-		delete(pe.grant, k)
-	}
-	keyOf := func(ch Channel, from topology.NodeID) int64 {
-		nb := n.Mesh.NeighborID(from, ch.Dir)
-		return int64(nb)*int64(NumPorts*256) + int64(ch.Dir.Opposite())*256 + int64(ch.VC)
-	}
+	// winner. The table is indexed by the dense ChannelID of the
+	// contested VC and epoch-stamped with the cycle number, so no
+	// per-cycle clearing happens; the tournament hashes the stable
+	// arbKey (see channelid.go) to keep outcomes identical across
+	// engine revisions.
+	cycle := n.cycle
 	for i := 0; i < nodes; i++ {
-		for ri, req := range pe.reqs[i] {
-			k := keyOf(req.choice, topology.NodeID(i))
-			cur, ok := pe.grant[k]
-			if !ok {
-				pe.grant[k] = pGrant{node: topology.NodeID(i), idx: ri}
+		from := topology.NodeID(i)
+		for ri := range pe.reqs[i] {
+			req := &pe.reqs[i][ri]
+			c := n.downstreamChanID(from, req.choice)
+			if pe.grantEpoch[c] != cycle {
+				pe.grantEpoch[c] = cycle
+				pe.grants[c] = pGrant{node: from, idx: int32(ri)}
 				continue
 			}
-			curReq := pe.reqs[cur.node][cur.idx]
+			cur := pe.grants[c]
+			curReq := &pe.reqs[cur.node][cur.idx]
+			k := n.arbKey(from, req.choice)
 			if pe.tournament(k, req.msg.ID) < pe.tournament(k, curReq.msg.ID) {
-				pe.grant[k] = pGrant{node: topology.NodeID(i), idx: ri}
+				pe.grants[c] = pGrant{node: from, idx: int32(ri)}
 			}
 		}
 	}
+	// Apply grants in node order.
 	for i := 0; i < nodes; i++ {
-		for ri, req := range pe.reqs[i] {
-			k := keyOf(req.choice, topology.NodeID(i))
-			if g := pe.grant[k]; g.node != topology.NodeID(i) || g.idx != ri {
+		from := topology.NodeID(i)
+		for ri := range pe.reqs[i] {
+			req := &pe.reqs[i][ri]
+			c := n.downstreamChanID(from, req.choice)
+			if g := pe.grants[c]; pe.grantEpoch[c] != cycle || g.node != from || g.idx != int32(ri) {
 				continue
 			}
 			r := &n.routers[i]
@@ -213,7 +328,7 @@ func (n *Network) stepParallel() {
 				r.inj = injState{msg: req.msg, out: req.choice}
 				req.msg.lastMove = n.cycle
 			} else {
-				s := &r.in[req.port][req.vc]
+				s := r.vc(topology.Direction(req.port), int(req.vc), n.Cfg.NumVCs)
 				s.routed = true
 				s.out = req.choice
 			}
@@ -229,9 +344,7 @@ func (n *Network) stepParallel() {
 	}
 
 	// P3: switch allocation, staged per node.
-	pe.forEachNode(nodes, func(worker, i int) {
-		pe.moved[i] = n.switchAllocateNode(i, pe.moved[i][:0], worker)
-	})
+	pe.forEachNode(nodes, pe.p3)
 
 	// P4: serial commit in node order.
 	n.moves = n.moves[:0]
@@ -297,21 +410,39 @@ func (n *Network) selectFreeHashed(node topology.NodeID, cands *CandidateSet, rn
 
 // switchAllocateNode is the per-node body of the switch phase, shared
 // in spirit with switchPhase but using the hashed stream; it returns
-// the staged moves for the node.
+// the staged moves for the node. Sender scratch is per-worker and
+// reused across cycles.
 func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 	r := &n.routers[i]
 	if len(r.active) == 0 && r.inj.msg == nil {
 		return out
 	}
-	rng := newPRNG(n.par.hashKey, uint64(n.cycle), r.id, 2)
+	pe := n.par
+	rng := newPRNG(pe.hashKey, uint64(n.cycle), r.id, 2)
 	var portUsed [NumPorts]bool
 	order := [NumPorts]topology.Direction{topology.East, topology.West, topology.North, topology.South, topology.Local}
 	for k := NumPorts - 1; k > 0; k-- {
 		j := rng.intn(k + 1)
 		order[k], order[j] = order[j], order[k]
 	}
-	var senders []sender
+	senders := pe.senders[worker]
+	// Pre-pass: skip outputs no routed VC (and not the injector)
+	// targets — identical semantics, an empty sender scan consumes no
+	// randomness (see switchPhase).
+	var dirMask uint8
+	for _, code := range r.active {
+		s := r.vcAt(code)
+		if s.routed && s.count > 0 {
+			dirMask |= 1 << uint8(s.out.Dir)
+		}
+	}
+	if m := r.inj.msg; m != nil && m.flitsInjected < m.Length {
+		dirMask |= 1 << uint8(r.inj.out.Dir)
+	}
 	for _, outDir := range order {
+		if dirMask&(1<<uint8(outDir)) == 0 {
+			continue
+		}
 		capacity := 1
 		if outDir == topology.Local {
 			capacity = n.Cfg.EjectBW
@@ -319,12 +450,11 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 		for capacity > 0 {
 			senders = senders[:0]
 			for _, code := range r.active {
-				port := int8(code / int32(n.Cfg.NumVCs))
-				if portUsed[port] {
+				s := r.vcAt(code)
+				if portUsed[s.port] {
 					continue
 				}
-				s := r.vcAt(code, n.Cfg.NumVCs)
-				if !s.routed || s.out.Dir != outDir || len(s.buf) == 0 || s.stagedOut == n.cycle {
+				if !s.routed || s.out.Dir != outDir || s.count == 0 || s.stagedOut == n.cycle {
 					continue
 				}
 				if outDir != topology.Local {
@@ -333,7 +463,7 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 						continue
 					}
 				}
-				senders = append(senders, sender{port: port, vc: uint8(code % int32(n.Cfg.NumVCs))})
+				senders = append(senders, sender{port: s.port, vc: s.idx})
 			}
 			if outDir != topology.Local && r.inj.msg != nil && r.inj.out.Dir == outDir && !portUsed[InjectPort] {
 				m := r.inj.msg
@@ -354,11 +484,11 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 				dvc.stagedIn = n.cycle
 				out = append(out, move{kind: moveInject, node: r.id})
 			case outDir == topology.Local:
-				s := &r.in[w.port][w.vc]
+				s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
 				s.stagedOut = n.cycle
 				out = append(out, move{kind: moveEject, node: r.id, port: w.port, vc: w.vc})
 			default:
-				s := &r.in[w.port][w.vc]
+				s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
 				s.stagedOut = n.cycle
 				_, dvc, _ := n.downstream(r.id, s.out)
 				dvc.stagedIn = n.cycle
@@ -367,5 +497,6 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 			capacity--
 		}
 	}
+	pe.senders[worker] = senders[:0]
 	return out
 }

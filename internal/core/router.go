@@ -7,13 +7,22 @@ import (
 // vcState is one input virtual channel of a router. A VC is owned by a
 // message from the moment the upstream router wins it in VC allocation
 // until the message's tail flit leaves the buffer; the buffer therefore
-// only ever holds flits of the owning message.
+// only ever holds flits of the owning message, with consecutive flit
+// indices. That invariant lets the buffer be represented as a compact
+// (first, count) window over the owning message instead of a
+// heap-allocated []Flit: flits are computed values, not stored structs,
+// and a vcState is a flat, pointer-light struct that packs densely in
+// the router's per-port arrays.
 type vcState struct {
 	owner  *Message
 	routed bool    // header has been assigned an output channel
 	out    Channel // valid when routed
 
-	buf []Flit // FIFO of at most Config.BufDepth flits
+	// Flit window: the buffer holds flits [first, first+count) of the
+	// owning message. count is at most Config.BufDepth; first is only
+	// meaningful while count > 0 or after the first arrival.
+	first int32
+	count int32
 
 	acquired  int64 // cycle ownership began (utilization accounting)
 	stagedIn  int64 // cycle a flit was staged to arrive (-1 never)
@@ -22,6 +31,39 @@ type vcState struct {
 	activeIdx int32 // position in the router's active list, -1 if free
 	port      int8  // which input port this VC belongs to
 	idx       uint8 // VC index within the port
+}
+
+// pushBack appends the flit with message index idx to the window. The
+// engine only ever delivers the owner's next consecutive flit, so the
+// window stays contiguous by construction.
+func (s *vcState) pushBack(idx int32) {
+	if s.count == 0 {
+		s.first = idx
+	}
+	s.count++
+}
+
+// popFront removes and returns the head flit — a computed value over
+// the owning message, never a stored struct.
+func (s *vcState) popFront() Flit {
+	f := Flit{Msg: s.owner, Index: s.first}
+	s.first++
+	s.count--
+	return f
+}
+
+// headIsHeader reports whether the buffer head is the message header.
+func (s *vcState) headIsHeader() bool { return s.first == 0 }
+
+// popFrontMsg removes the head of a source queue in place, preserving
+// the backing array. Re-slicing with q[1:] would slide the slice start
+// forward forever, so every later append would eventually reallocate —
+// the copy-down keeps steady-state queue churn allocation-free (the
+// queue is bounded by Config.MaxSourceQueue, so the copy is O(small)).
+func popFrontMsg(q []*Message) []*Message {
+	copy(q, q[1:])
+	q[len(q)-1] = nil // drop the reference so the arena solely owns it
+	return q[:len(q)-1]
 }
 
 // injState tracks the message currently streaming out of a node's
@@ -38,35 +80,50 @@ type injState struct {
 type router struct {
 	id topology.NodeID
 
-	// in[port][vc] for port = East..South. Input ports are named after
-	// the side of the router the link physically enters: a flit sent
-	// East by the western neighbor arrives on this router's West port,
-	// so a message sent through output channel ch of node u lands in
-	// in[ch.Dir.Opposite()][ch.VC] of the neighbor.
-	in [topology.NumDirs][]vcState
+	// vcs holds the router's input VCs as one flat slice indexed by
+	// localChannel code (port*NumVCs + vc) for port = East..South —
+	// the router-local residue of the global ChannelID encoding, so
+	// vcAt is a single bounds-checked load with no division. Input
+	// ports are named after the side of the router the link physically
+	// enters: a flit sent East by the western neighbor arrives on this
+	// router's West port, so a message sent through output channel ch
+	// of node u lands in vc(ch.Dir.Opposite(), ch.VC) of the neighbor.
+	vcs []vcState
 
 	srcQ []*Message
 	inj  injState
 
-	// active lists the occupied input VCs as port*NumVCs+vc codes so
-	// the per-cycle loops skip idle channels.
-	active []int32
+	// active lists the occupied input VCs as localChannel codes
+	// (port*NumVCs+vc — the router-local residue of the global
+	// ChannelID encoding) so the per-cycle loops skip idle channels.
+	// Swap-remove keeps it dense; activeIdx back-references make
+	// removal O(1).
+	active []localChannel
 
 	// crossings counts flits that traversed this router's crossbar
 	// inside the measurement window (the traffic-load metric).
 	crossings int64
 }
 
-func (r *router) vcAt(code int32, numVCs int) *vcState {
-	return &r.in[code/int32(numVCs)][code%int32(numVCs)]
+// vcAt resolves a localChannel code to its vcState — a direct index
+// into the flat per-router slice.
+func (r *router) vcAt(code localChannel) *vcState {
+	return &r.vcs[code]
+}
+
+// vc resolves (port, vc index) to its vcState.
+func (r *router) vc(port topology.Direction, vcIdx int, numVCs int) *vcState {
+	return &r.vcs[int(port)*numVCs+vcIdx]
 }
 
 // claim marks VC (port, vcIdx) owned by m and registers it active.
 func (r *router) claim(port topology.Direction, vcIdx int, m *Message, cycle int64, numVCs int) *vcState {
-	s := &r.in[port][vcIdx]
+	s := r.vc(port, vcIdx, numVCs)
 	s.owner = m
 	s.routed = false
 	s.acquired = cycle
+	s.first = 0
+	s.count = 0
 	s.activeIdx = int32(len(r.active))
 	r.active = append(r.active, int32(port)*int32(numVCs)+int32(vcIdx))
 	return s
@@ -79,11 +136,12 @@ func (r *router) release(s *vcState, numVCs int) {
 	if idx != last {
 		moved := r.active[last]
 		r.active[idx] = moved
-		r.vcAt(moved, numVCs).activeIdx = idx
+		r.vcAt(moved).activeIdx = idx
 	}
 	r.active = r.active[:last]
 	s.owner = nil
 	s.routed = false
 	s.activeIdx = -1
-	s.buf = s.buf[:0]
+	s.first = 0
+	s.count = 0
 }

@@ -7,63 +7,75 @@ import (
 )
 
 // Validate checks the engine's structural invariants and returns the
-// first violation found. It is O(all channels) and intended for tests,
-// which typically call it every cycle on small configurations.
+// first violation found. It is O(all channels) and allocation-free: it
+// runs under the watchdog cadence in tests (often every cycle), so it
+// reuses an epoch-stamped scratch table held on the Network instead of
+// building a map per call.
 //
 // Invariants:
-//   - a VC buffer only holds flits of the VC's owning message;
-//   - flit indices within a buffer are consecutive and increasing;
-//   - buffers never exceed the configured depth;
-//   - an unowned VC has an empty buffer and is not marked routed;
+//   - a VC's flit window stays inside the owning message and never
+//     exceeds the configured buffer depth;
+//   - an unrouted VC with buffered flits has the header at its head;
+//   - an unowned VC has an empty window and is not marked routed;
 //   - a routed VC's output channel targets an existing healthy node
 //     (or Local at the owner's destination);
-//   - the active list matches exactly the owned VCs;
+//   - the active list matches exactly the owned VCs, with consistent
+//     back-references;
+//   - the network-wide active message set is consistent (dense indices,
+//     no duplicates);
 //   - faulty routers hold no traffic.
 func (n *Network) Validate() error {
 	for i := range n.routers {
 		r := &n.routers[i]
 		id := topology.NodeID(i)
 		faulty := n.Faults.IsFaulty(id)
-		activeSet := map[int32]bool{}
-		for _, code := range r.active {
-			if activeSet[code] {
+		// Epoch-stamp the router's active codes: valSeen[code] ==
+		// n.valEpoch marks membership without any per-call clearing.
+		n.valEpoch++
+		for ai, code := range r.active {
+			if code < 0 || int(code) >= len(n.valSeen) {
+				return fmt.Errorf("node %d: active code %d out of range", id, code)
+			}
+			if n.valSeen[code] == n.valEpoch {
 				return fmt.Errorf("node %d: duplicate active code %d", id, code)
 			}
-			activeSet[code] = true
+			n.valSeen[code] = n.valEpoch
+			if got := r.vcAt(code).activeIdx; got != int32(ai) {
+				return fmt.Errorf("node %d: active code %d back-reference %d, want %d", id, code, got, ai)
+			}
 		}
 		if faulty && (len(r.active) > 0 || len(r.srcQ) > 0 || r.inj.msg != nil) {
 			return fmt.Errorf("faulty node %d holds traffic", id)
 		}
 		for p := 0; p < topology.NumDirs; p++ {
-			for v := range r.in[p] {
-				s := &r.in[p][v]
+			for v := 0; v < n.Cfg.NumVCs; v++ {
+				s := r.vc(topology.Direction(p), v, n.Cfg.NumVCs)
 				code := int32(p)*int32(n.Cfg.NumVCs) + int32(v)
-				if (s.owner != nil) != activeSet[code] {
+				inActive := n.valSeen[code] == n.valEpoch
+				if (s.owner != nil) != inActive {
 					return fmt.Errorf("node %d port %d vc %d: owner=%v but active=%v",
-						id, p, v, s.owner != nil, activeSet[code])
+						id, p, v, s.owner != nil, inActive)
 				}
-				if len(s.buf) > n.Cfg.BufDepth {
+				if int(s.count) > n.Cfg.BufDepth {
 					return fmt.Errorf("node %d port %d vc %d: %d flits exceed depth %d",
-						id, p, v, len(s.buf), n.Cfg.BufDepth)
+						id, p, v, s.count, n.Cfg.BufDepth)
 				}
 				if s.owner == nil {
-					if len(s.buf) != 0 {
-						return fmt.Errorf("node %d port %d vc %d: unowned VC holds %d flits", id, p, v, len(s.buf))
+					if s.count != 0 {
+						return fmt.Errorf("node %d port %d vc %d: unowned VC holds %d flits", id, p, v, s.count)
 					}
 					if s.routed {
 						return fmt.Errorf("node %d port %d vc %d: unowned VC marked routed", id, p, v)
 					}
 					continue
 				}
-				for fi, f := range s.buf {
-					if f.Msg != s.owner {
-						return fmt.Errorf("node %d port %d vc %d: foreign flit (msg %d in VC owned by %d)",
-							id, p, v, f.Msg.ID, s.owner.ID)
-					}
-					if fi > 0 && f.Index != s.buf[fi-1].Index+1 {
-						return fmt.Errorf("node %d port %d vc %d: flit indices not consecutive (%d then %d)",
-							id, p, v, s.buf[fi-1].Index, f.Index)
-					}
+				if s.count < 0 || s.first < 0 || int(s.first)+int(s.count) > s.owner.Length {
+					return fmt.Errorf("node %d port %d vc %d: flit window [%d,%d) outside message of %d flits",
+						id, p, v, s.first, s.first+s.count, s.owner.Length)
+				}
+				if !s.routed && s.count > 0 && !s.headIsHeader() {
+					return fmt.Errorf("node %d port %d vc %d: unrouted VC heads flit %d, want header",
+						id, p, v, s.first)
 				}
 				if s.routed {
 					if s.out.Dir == topology.Local {
@@ -84,6 +96,14 @@ func (n *Network) Validate() error {
 					}
 				}
 			}
+		}
+	}
+	for i, m := range n.active {
+		if m == nil {
+			return fmt.Errorf("active[%d] is nil", i)
+		}
+		if m.activeIdx != int32(i) {
+			return fmt.Errorf("active[%d] (msg %d) back-reference %d", i, m.ID, m.activeIdx)
 		}
 	}
 	return nil

@@ -21,13 +21,20 @@ func (n *Network) watchdog() {
 	}
 	if (n.Cfg.MessageStallCycles > 0 || n.Cfg.MaxHops > 0) && n.cycle-n.lastStallScan >= 1024 {
 		n.lastStallScan = n.cycle
-		for m := range n.active {
+		// Collect victims first: kill mutates the active set (and, with
+		// KillReinject, appends to it), so the scan must not run over a
+		// set that is shifting under it.
+		n.victims = n.victims[:0]
+		for _, m := range n.active {
 			stalled := n.Cfg.MessageStallCycles > 0 && n.holdsResources(m) &&
 				n.cycle-m.lastMove > n.Cfg.MessageStallCycles
 			livelocked := n.Cfg.MaxHops > 0 && m.Hops > n.Cfg.MaxHops
 			if stalled || livelocked {
-				n.kill(m)
+				n.victims = append(n.victims, m)
 			}
+		}
+		for _, m := range n.victims {
+			n.kill(m)
 		}
 	}
 }
@@ -44,7 +51,7 @@ func (n *Network) holdsResources(m *Message) bool { return m.holdsResourcesIn(n)
 // it down.
 func (n *Network) recover() {
 	var victim *Message
-	for m := range n.active {
+	for _, m := range n.active {
 		if !n.holdsResources(m) {
 			continue
 		}
@@ -62,13 +69,14 @@ func (n *Network) recover() {
 
 // kill removes every flit of m from the network, releases the virtual
 // channels it owns (including channels claimed but not yet entered),
-// and either drops or re-injects it per the kill policy.
+// and either drops or re-injects it per the kill policy. A pooled
+// victim is recycled once every engine structure has let go of it.
 func (n *Network) kill(m *Message) {
 	for i := range n.routers {
 		r := &n.routers[i]
-		// Iterate a copy of the active list: release mutates it.
+		// Iterate backwards: release swap-removes from the active list.
 		for j := len(r.active) - 1; j >= 0; j-- {
-			s := r.vcAt(r.active[j], n.Cfg.NumVCs)
+			s := r.vcAt(r.active[j])
 			if s.owner == m {
 				n.releaseVC(r, s)
 			}
@@ -79,9 +87,9 @@ func (n *Network) kill(m *Message) {
 		src.inj.msg = nil
 	}
 	if len(src.srcQ) > 0 && src.srcQ[0] == m {
-		src.srcQ = src.srcQ[1:]
+		src.srcQ = popFrontMsg(src.srcQ)
 	}
-	delete(n.active, m)
+	n.removeActive(m)
 	m.Killed = true
 	if n.tracer != nil {
 		n.tracer.MessageKilled(m, n.cycle)
@@ -90,15 +98,18 @@ func (n *Network) kill(m *Message) {
 		n.stats.Killed++
 	}
 	if n.Cfg.Kill == KillReinject {
-		clone := NewMessage(n.NextMessageID(), m.Src, m.Dst, m.Length)
+		clone := n.AcquireMessage(n.NextMessageID(), m.Src, m.Dst, m.Length)
 		clone.GenTime = m.GenTime
-		// Push to the queue front so recovery does not reorder behind
-		// younger traffic.
 		n.Alg.InitMessage(clone)
 		clone.lastMove = n.cycle
-		src.srcQ = append([]*Message{clone}, src.srcQ...)
-		n.active[clone] = struct{}{}
+		// Push to the queue front so recovery does not reorder behind
+		// younger traffic (in place: slide the queue right by one).
+		src.srcQ = append(src.srcQ, nil)
+		copy(src.srcQ[1:], src.srcQ)
+		src.srcQ[0] = clone
+		n.addActive(clone)
 	}
+	n.recycle(m)
 }
 
 // ResetStats starts a fresh measurement window at the current cycle
@@ -122,7 +133,7 @@ func (n *Network) Snapshot() Stats {
 		r := &n.routers[i]
 		s.NodeCrossings[i] = r.crossings
 		for _, code := range r.active {
-			vs := r.vcAt(code, n.Cfg.NumVCs)
+			vs := r.vcAt(code)
 			start := vs.acquired
 			if start < n.statsStart {
 				start = n.statsStart

@@ -33,12 +33,14 @@ type Params struct {
 	// WindowCycles, when non-zero, additionally collects per-window
 	// time series during the measurement phase (Result.Windows).
 	WindowCycles int64
-	// EngineWorkers > 1 switches the engine to the deterministic
+	// EngineWorkers >= 1 switches the engine to the deterministic
 	// parallel request–grant mode with that many workers, useful for
 	// meshes much larger than the paper's. Results are reproducible
-	// for a given seed regardless of the worker count, but the
-	// arbitration model differs slightly from the serial engine's
-	// (see core/parallel.go).
+	// for a given seed regardless of the worker count — EngineWorkers=1
+	// runs the parallel arbitration model on a single thread and yields
+	// bit-identical statistics to any other worker count. Zero (the
+	// default) selects the serial engine, whose arbitration model
+	// differs slightly (see core/parallel.go).
 	EngineWorkers int
 	// TraceWriter, when non-nil, receives the engine's event stream
 	// as JSON lines (core.Recorder); TraceFlits additionally records
@@ -155,7 +157,8 @@ func RunWithFaults(p Params, f *fault.Model) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if p.EngineWorkers > 1 {
+	defer net.Close()
+	if p.EngineWorkers >= 1 {
 		clones := make([]core.Algorithm, p.EngineWorkers)
 		for i := range clones {
 			if clones[i], err = routing.New(p.Algorithm, f, cfg.NumVCs); err != nil {
@@ -180,6 +183,9 @@ func RunWithFaults(p Params, f *fault.Model) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Sustained-load runs recycle completed messages through the
+	// network's arena: steady-state cycles then allocate nothing.
+	src.Alloc = net.AcquireMessage
 
 	total := p.WarmupCycles + p.MeasureCycles
 	var windows *windowCollector

@@ -253,6 +253,14 @@ type Source struct {
 	rate    float64
 	length  int
 
+	// Alloc builds each generated message. Nil means core.NewMessage
+	// (heap-allocated, caller-inspectable forever). Sustained-load
+	// drivers set this to Network.AcquireMessage so completed messages
+	// recycle through the network's arena instead of churning the GC;
+	// such messages must not be retained past delivery, kill, or a
+	// refused Offer.
+	Alloc func(id int64, src, dst topology.NodeID, length int) *core.Message
+
 	nodes []topology.NodeID
 	next  []float64
 	seq   int64
@@ -300,7 +308,12 @@ func (s *Source) Tick(cycle int64, emit func(*core.Message) bool) {
 				continue
 			}
 			s.seq++
-			m := core.NewMessage(s.seq, node, dst, s.length)
+			var m *core.Message
+			if s.Alloc != nil {
+				m = s.Alloc(s.seq, node, dst, s.length)
+			} else {
+				m = core.NewMessage(s.seq, node, dst, s.length)
+			}
 			m.GenTime = cycle
 			emit(m)
 		}
