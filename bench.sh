@@ -1,47 +1,60 @@
 #!/usr/bin/env sh
-# bench.sh — run the core engine benchmarks and emit BENCH_core.json.
+# bench.sh — run the engine benchmarks and emit machine-readable digests.
 #
 # Usage: ./bench.sh [count]
 #   count: -count passed to `go test -bench` (default 1; use 5+ for benchstat).
 #
-# The raw `go test -bench` output is kept in BENCH_core.txt so benchstat can
-# diff two runs; BENCH_core.json is a machine-readable digest of the same
+# Two suites run:
+#   1. the core engine microbenchmarks          -> BENCH_core.txt / BENCH_core.json
+#   2. the sweep-scale benchmarks (the faulted  -> BENCH_sweep.txt / BENCH_sweep.json
+#      step loop in internal/routing and the
+#      full sweep cell in internal/sweep)
+#
+# The raw `go test -bench` output is kept in the .txt files so benchstat can
+# diff two runs; the .json files are a machine-readable digest of the same
 # lines (name, iterations, ns/op, B/op, allocs/op, extra metrics).
 set -eu
 
 COUNT="${1:-1}"
-OUT_TXT="BENCH_core.txt"
-OUT_JSON="BENCH_core.json"
 
-go test ./internal/core/ -run '^$' -bench . -benchmem -count "$COUNT" | tee "$OUT_TXT"
-
-awk '
-BEGIN { print "["; first = 1 }
-/^Benchmark/ {
-    name = $1; iters = $2
-    ns = ""; bytes = ""; allocs = ""
-    extras = ""
-    for (i = 3; i < NF; i += 2) {
-        val = $i; unit = $(i + 1)
-        if (unit == "ns/op") ns = val
-        else if (unit == "B/op") bytes = val
-        else if (unit == "allocs/op") allocs = val
-        else {
-            if (extras != "") extras = extras ","
-            extras = extras "\"" unit "\":" val
+# emit_json <in.txt> <out.json> — digest `go test -bench` lines into JSON.
+emit_json() {
+    awk '
+    BEGIN { print "["; first = 1 }
+    /^Benchmark/ {
+        name = $1; iters = $2
+        ns = ""; bytes = ""; allocs = ""
+        extras = ""
+        for (i = 3; i < NF; i += 2) {
+            val = $i; unit = $(i + 1)
+            if (unit == "ns/op") ns = val
+            else if (unit == "B/op") bytes = val
+            else if (unit == "allocs/op") allocs = val
+            else {
+                if (extras != "") extras = extras ","
+                extras = extras "\"" unit "\":" val
+            }
         }
+        if (!first) print ","
+        first = 0
+        line = "  {\"name\":\"" name "\",\"iterations\":" iters
+        if (ns != "")     line = line ",\"ns_per_op\":" ns
+        if (bytes != "")  line = line ",\"bytes_per_op\":" bytes
+        if (allocs != "") line = line ",\"allocs_per_op\":" allocs
+        if (extras != "") line = line "," extras
+        line = line "}"
+        printf "%s", line
     }
-    if (!first) print ","
-    first = 0
-    line = "  {\"name\":\"" name "\",\"iterations\":" iters
-    if (ns != "")     line = line ",\"ns_per_op\":" ns
-    if (bytes != "")  line = line ",\"bytes_per_op\":" bytes
-    if (allocs != "") line = line ",\"allocs_per_op\":" allocs
-    if (extras != "") line = line "," extras
-    line = line "}"
-    printf "%s", line
+    END { print ""; print "]" }
+    ' "$1" > "$2"
 }
-END { print ""; print "]" }
-' "$OUT_TXT" > "$OUT_JSON"
 
-echo "wrote $OUT_TXT and $OUT_JSON"
+go test ./internal/core/ -run '^$' -bench . -benchmem -count "$COUNT" | tee BENCH_core.txt
+emit_json BENCH_core.txt BENCH_core.json
+
+go test ./internal/routing/ ./internal/sweep/ -run '^$' \
+    -bench 'BenchmarkStepLoadedFaulted|BenchmarkSweepCell' \
+    -benchmem -count "$COUNT" | tee BENCH_sweep.txt
+emit_json BENCH_sweep.txt BENCH_sweep.json
+
+echo "wrote BENCH_core.{txt,json} and BENCH_sweep.{txt,json}"

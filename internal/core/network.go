@@ -61,7 +61,12 @@ type Network struct {
 	sameCh   []Channel
 	requests []request
 	moves    []move
-	senders  []sender
+	// sendq buckets the current router's routed VCs by output direction
+	// (in r.active order); sendVCs is the per-output sender list built
+	// from one bucket, with nil marking the injection slot. Both are
+	// switch-phase scratch, truncated per router.
+	sendq    [NumPorts][]*vcState
+	sendVCs  []*vcState
 	victims  []*Message
 	outOrder [NumPorts]topology.Direction
 	dirBuf   []topology.Direction
@@ -96,12 +101,6 @@ type move struct {
 	kind moveKind
 	node topology.NodeID // router whose crossbar the flit traverses
 	port int8            // source input port (moveLink/moveEject)
-	vc   uint8
-}
-
-// sender is a switch-allocation candidate for one output.
-type sender struct {
-	port int8 // InjectPort for the injection slot
 	vc   uint8
 }
 
@@ -164,6 +163,91 @@ func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng 
 	}
 	n.stats.init(cfg.NumVCs, m.NodeCount())
 	return n, nil
+}
+
+// Reset rebinds the network to a new fault model, routing algorithm and
+// RNG without reallocating any of its dense state: routers, VC arrays,
+// the neighbor table, the message arena and every scratch buffer are
+// retained. After Reset the network is observably indistinguishable
+// from a fresh NewNetwork(mesh, f, alg, cfg, rng) — same statistics for
+// the same seed, cycle restarted at zero — which is the invariant the
+// cached-vs-fresh golden tests in internal/sim lock in. The mesh and
+// Config are fixed at construction; pass a model over the same mesh.
+//
+// Parallel mode: Reset does not tear down an enabled parallel engine.
+// Callers that want parallel stepping must call EnableParallel again
+// (which re-keys the hashed streams from the new RNG and reuses the
+// worker pool when the shape matches); callers that want serial
+// stepping after a parallel run must call DisableParallel.
+func (n *Network) Reset(f *fault.Model, alg Algorithm, rng *rand.Rand) error {
+	if f == nil {
+		f = fault.None(n.Mesh)
+	}
+	if f.Mesh != n.Mesh {
+		return fmt.Errorf("core: fault model built for %v, network is %v", f.Mesh, n.Mesh)
+	}
+	if alg.NumVCs() > n.Cfg.NumVCs {
+		return fmt.Errorf("core: algorithm %s needs %d VCs, config provides %d", alg.Name(), alg.NumVCs(), n.Cfg.NumVCs)
+	}
+	// Recycle every in-flight pooled message: all live messages are in
+	// the active set (Offer registers them), so one pass covers source
+	// queues, injection slots and buffered flits alike.
+	for _, m := range n.active {
+		m.activeIdx = -1
+		n.recycle(m)
+	}
+	n.active = n.active[:0]
+	for i := range n.routers {
+		r := &n.routers[i]
+		for code := range r.vcs {
+			s := &r.vcs[code]
+			// Wipe everything except the structural port/idx fields. The
+			// staged stamps MUST return to -1: they hold cycle numbers
+			// from the previous run, and the cycle counter restarts at
+			// zero, so a stale stamp would collide with a real one.
+			s.owner = nil
+			s.routed = false
+			s.out = Channel{}
+			s.dvc = nil
+			s.first = 0
+			s.count = 0
+			s.acquired = 0
+			s.stagedIn = -1
+			s.stagedOut = -1
+			s.activeIdx = -1
+		}
+		for j := range r.srcQ {
+			r.srcQ[j] = nil // drop references so the arena solely owns them
+		}
+		r.srcQ = r.srcQ[:0]
+		r.inj = injState{}
+		r.active = r.active[:0]
+		r.crossings = 0
+	}
+	// Rebuild the healthy-neighbor table in place for the new pattern.
+	for i := range n.routers {
+		id := topology.NodeID(i)
+		for d := topology.Direction(0); d < topology.NumDirs; d++ {
+			nb := n.Mesh.NeighborID(id, d)
+			if nb != topology.Invalid && f.IsFaulty(nb) {
+				nb = topology.Invalid
+			}
+			n.nbr[i*topology.NumDirs+int(d)] = nb
+		}
+	}
+	n.Faults = f
+	n.Alg = alg
+	n.rng = rng
+	n.cycle = 0
+	n.lastGlobalMove = 0
+	n.lastStallScan = 0
+	n.statsStart = 0
+	n.msgSeq = 0
+	n.tracer = nil
+	n.stats.reset()
+	// valSeen/valEpoch are epoch-stamped and monotonic: stale marks can
+	// never be mistaken for fresh ones, so they carry over untouched.
+	return nil
 }
 
 // Close releases resources the network holds beyond its own memory —
@@ -292,6 +376,7 @@ func (n *Network) routingPhase() {
 			if s.owner.Dst == r.id {
 				s.routed = true
 				s.out = Channel{Dir: topology.Local}
+				s.dvc = nil
 				continue
 			}
 			n.requests = append(n.requests, request{node: r.id, port: s.port, vc: s.idx})
@@ -329,12 +414,13 @@ func (n *Network) routingPhase() {
 		}
 		dr.claim(ch.Dir.Opposite(), int(ch.VC), m, n.cycle, n.Cfg.NumVCs)
 		if req.port == InjectPort {
-			r.inj = injState{msg: m, out: ch}
+			r.inj = injState{msg: m, out: ch, dvc: dvc}
 			m.lastMove = n.cycle
 		} else {
 			s := r.vc(topology.Direction(req.port), int(req.vc), n.Cfg.NumVCs)
 			s.routed = true
 			s.out = ch
+			s.dvc = dvc
 		}
 		ringBefore := m.RingIdx
 		n.Alg.Advance(m, req.node, ch)
@@ -420,22 +506,34 @@ func (n *Network) switchPhase() {
 			j := n.rng.Intn(k + 1)
 			n.outOrder[k], n.outOrder[j] = n.outOrder[j], n.outOrder[k]
 		}
-		// One pre-pass computes which outputs any routed VC targets, so
-		// the per-output scans below skip outputs with provably no
-		// senders. Skipping is bit-identical to scanning: an empty
-		// sender list breaks without consuming the RNG.
-		var dirMask uint8
+		// One pre-pass buckets the routed VCs by output direction, in
+		// r.active order. Each output's sender scan then touches only
+		// the VCs that could possibly send there instead of rescanning
+		// the full active list per output × capacity iteration. The
+		// rewrite is bit-identical to the full rescans: output direction,
+		// routed, and count are all frozen for the duration of the switch
+		// phase (flits move at commit), buckets preserve r.active order,
+		// and the per-iteration conditions (portUsed, stagedOut, credit)
+		// are still evaluated in the scan — so every sender list is
+		// element-for-element the one the rescan would build, and an
+		// output with an empty bucket and no injector is skipped without
+		// consuming the RNG, exactly like an empty-scan break.
+		for d := range n.sendq {
+			n.sendq[d] = n.sendq[d][:0]
+		}
 		for _, code := range r.active {
 			s := r.vcAt(code)
 			if s.routed && s.count > 0 {
-				dirMask |= 1 << uint8(s.out.Dir)
+				n.sendq[s.out.Dir] = append(n.sendq[s.out.Dir], s)
 			}
 		}
+		injDir := topology.Direction(NumPorts) // sentinel: no pending injector
 		if m := r.inj.msg; m != nil && m.flitsInjected < m.Length {
-			dirMask |= 1 << uint8(r.inj.out.Dir)
+			injDir = r.inj.out.Dir
 		}
 		for _, out := range n.outOrder {
-			if dirMask&(1<<uint8(out)) == 0 {
+			bucket := n.sendq[out]
+			if len(bucket) == 0 && injDir != out {
 				continue
 			}
 			capacity := 1
@@ -443,54 +541,39 @@ func (n *Network) switchPhase() {
 				capacity = n.Cfg.EjectBW
 			}
 			for capacity > 0 {
-				n.senders = n.senders[:0]
-				for _, code := range r.active {
-					s := r.vcAt(code)
-					if portUsed[s.port] {
+				n.sendVCs = n.sendVCs[:0]
+				for _, s := range bucket {
+					if portUsed[s.port] || s.stagedOut == n.cycle {
 						continue
 					}
-					if !s.routed || s.out.Dir != out || s.count == 0 || s.stagedOut == n.cycle {
+					if out != topology.Local && !n.hasCredit(s.dvc) {
 						continue
 					}
-					if out != topology.Local {
-						_, dvc, ok := n.downstream(r.id, s.out)
-						if !ok {
-							panic("core: routed VC towards missing neighbor")
-						}
-						if !n.hasCredit(dvc) {
-							continue
-						}
-					}
-					n.senders = append(n.senders, sender{port: s.port, vc: s.idx})
+					n.sendVCs = append(n.sendVCs, s)
 				}
-				if out != topology.Local && r.inj.msg != nil && r.inj.out.Dir == out && !portUsed[InjectPort] {
-					m := r.inj.msg
-					if m.flitsInjected < m.Length {
-						if _, dvc, ok := n.downstream(r.id, r.inj.out); ok && n.hasCredit(dvc) {
-							n.senders = append(n.senders, sender{port: InjectPort})
-						}
+				if out != topology.Local && injDir == out && !portUsed[InjectPort] {
+					if n.hasCredit(r.inj.dvc) {
+						n.sendVCs = append(n.sendVCs, nil) // nil = injection slot
 					}
 				}
-				if len(n.senders) == 0 {
+				if len(n.sendVCs) == 0 {
 					break
 				}
-				w := n.senders[n.rng.Intn(len(n.senders))]
-				portUsed[w.port] = true
+				w := n.sendVCs[n.rng.Intn(len(n.sendVCs))]
 				switch {
-				case w.port == InjectPort:
-					_, dvc, _ := n.downstream(r.id, r.inj.out)
-					dvc.stagedIn = n.cycle
+				case w == nil:
+					portUsed[InjectPort] = true
+					r.inj.dvc.stagedIn = n.cycle
 					n.moves = append(n.moves, move{kind: moveInject, node: r.id})
 				case out == topology.Local:
-					s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
-					s.stagedOut = n.cycle
-					n.moves = append(n.moves, move{kind: moveEject, node: r.id, port: w.port, vc: w.vc})
+					portUsed[w.port] = true
+					w.stagedOut = n.cycle
+					n.moves = append(n.moves, move{kind: moveEject, node: r.id, port: w.port, vc: w.idx})
 				default:
-					s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
-					s.stagedOut = n.cycle
-					_, dvc, _ := n.downstream(r.id, s.out)
-					dvc.stagedIn = n.cycle
-					n.moves = append(n.moves, move{kind: moveLink, node: r.id, port: w.port, vc: w.vc})
+					portUsed[w.port] = true
+					w.stagedOut = n.cycle
+					w.dvc.stagedIn = n.cycle
+					n.moves = append(n.moves, move{kind: moveLink, node: r.id, port: w.port, vc: w.idx})
 				}
 				capacity--
 			}
@@ -519,8 +602,7 @@ func (n *Network) commit() {
 			m := r.inj.msg
 			idx := m.flitsInjected
 			m.flitsInjected++
-			_, dvc, _ := n.downstream(r.id, r.inj.out)
-			dvc.pushBack(int32(idx))
+			r.inj.dvc.pushBack(int32(idx))
 			if idx == 0 {
 				m.InjectTime = n.cycle
 				if measuring {
@@ -546,8 +628,7 @@ func (n *Network) commit() {
 		case moveLink:
 			s := r.vc(topology.Direction(mv.port), int(mv.vc), n.Cfg.NumVCs)
 			f := s.popFront()
-			_, dvc, _ := n.downstream(r.id, s.out)
-			dvc.pushBack(f.Index)
+			s.dvc.pushBack(f.Index)
 			if f.Tail() {
 				n.releaseVC(r, s)
 			}

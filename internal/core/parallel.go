@@ -60,10 +60,11 @@ type parallelEngine struct {
 	algs    []Algorithm // one clone per worker
 	hashKey uint64
 
-	reqs    [][]pRequest   // staged requests, per node
-	moved   [][]move       // staged flit moves, per node
-	cands   []CandidateSet // per-worker scratch
-	senders [][]sender     // per-worker scratch
+	reqs    [][]pRequest           // staged requests, per node
+	moved   [][]move               // staged flit moves, per node
+	cands   []CandidateSet         // per-worker scratch
+	sendq   [][NumPorts][]*vcState // per-worker per-direction sender buckets
+	senders [][]*vcState           // per-worker sender scratch (nil = injection slot)
 
 	// grants is the flat request–grant table indexed by the downstream
 	// VC's ChannelID; grantEpoch[c] == cycle marks grants[c] valid this
@@ -125,6 +126,21 @@ func (n *Network) EnableParallel(workers int, algs []Algorithm) error {
 			return fmt.Errorf("core: clone %d has %d VCs, network algorithm has %d", i, a.NumVCs(), n.Alg.NumVCs())
 		}
 	}
+	if pe := n.par; pe != nil && pe.workers == workers {
+		// Same pool shape (worker count; the mesh is fixed for the
+		// network's lifetime): reuse the persistent goroutines and all
+		// per-worker scratch. Re-keying the hashed streams from the RNG
+		// draws exactly what a fresh EnableParallel would, and the grant
+		// epochs return to "never" because a Network.Reset restarts the
+		// cycle counter — a stale stamp from the previous run could
+		// otherwise collide with a real one.
+		pe.algs = algs
+		pe.hashKey = uint64(n.rng.Int63())
+		for c := range pe.grantEpoch {
+			pe.grantEpoch[c] = -1
+		}
+		return nil
+	}
 	n.DisableParallel()
 	pe := &parallelEngine{
 		workers:    workers,
@@ -133,7 +149,8 @@ func (n *Network) EnableParallel(workers int, algs []Algorithm) error {
 		reqs:       make([][]pRequest, n.Mesh.NodeCount()),
 		moved:      make([][]move, n.Mesh.NodeCount()),
 		cands:      make([]CandidateSet, workers),
-		senders:    make([][]sender, workers),
+		sendq:      make([][NumPorts][]*vcState, workers),
+		senders:    make([][]*vcState, workers),
 		grants:     make([]pGrant, n.NumChannels()),
 		grantEpoch: make([]int64, n.NumChannels()),
 		maxprocs:   runtime.GOMAXPROCS(0),
@@ -263,6 +280,7 @@ func (n *Network) routeNodeParallel(worker, i int) {
 		if s.owner.Dst == r.id {
 			s.routed = true
 			s.out = Channel{Dir: topology.Local}
+			s.dvc = nil
 			continue
 		}
 		consider(s.port, s.idx, s.owner)
@@ -325,12 +343,13 @@ func (n *Network) stepParallel() {
 			}
 			dr.claim(req.choice.Dir.Opposite(), int(req.choice.VC), req.msg, n.cycle, n.Cfg.NumVCs)
 			if req.port == InjectPort {
-				r.inj = injState{msg: req.msg, out: req.choice}
+				r.inj = injState{msg: req.msg, out: req.choice, dvc: dvc}
 				req.msg.lastMove = n.cycle
 			} else {
 				s := r.vc(topology.Direction(req.port), int(req.vc), n.Cfg.NumVCs)
 				s.routed = true
 				s.out = req.choice
+				s.dvc = dvc
 			}
 			ringBefore := req.msg.RingIdx
 			n.Alg.Advance(req.msg, r.id, req.choice)
@@ -426,21 +445,27 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 		order[k], order[j] = order[j], order[k]
 	}
 	senders := pe.senders[worker]
-	// Pre-pass: skip outputs no routed VC (and not the injector)
-	// targets — identical semantics, an empty sender scan consumes no
-	// randomness (see switchPhase).
-	var dirMask uint8
+	// Pre-pass: bucket the routed VCs by output direction in r.active
+	// order, then scan only each output's own bucket — the bit-identical
+	// rewrite documented in switchPhase (an output with an empty bucket
+	// and no injector is skipped without consuming randomness).
+	sendq := &pe.sendq[worker]
+	for d := range sendq {
+		sendq[d] = sendq[d][:0]
+	}
 	for _, code := range r.active {
 		s := r.vcAt(code)
 		if s.routed && s.count > 0 {
-			dirMask |= 1 << uint8(s.out.Dir)
+			sendq[s.out.Dir] = append(sendq[s.out.Dir], s)
 		}
 	}
+	injDir := topology.Direction(NumPorts) // sentinel: no pending injector
 	if m := r.inj.msg; m != nil && m.flitsInjected < m.Length {
-		dirMask |= 1 << uint8(r.inj.out.Dir)
+		injDir = r.inj.out.Dir
 	}
 	for _, outDir := range order {
-		if dirMask&(1<<uint8(outDir)) == 0 {
+		bucket := sendq[outDir]
+		if len(bucket) == 0 && injDir != outDir {
 			continue
 		}
 		capacity := 1
@@ -449,50 +474,38 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 		}
 		for capacity > 0 {
 			senders = senders[:0]
-			for _, code := range r.active {
-				s := r.vcAt(code)
-				if portUsed[s.port] {
+			for _, s := range bucket {
+				if portUsed[s.port] || s.stagedOut == n.cycle {
 					continue
 				}
-				if !s.routed || s.out.Dir != outDir || s.count == 0 || s.stagedOut == n.cycle {
+				if outDir != topology.Local && !n.hasCredit(s.dvc) {
 					continue
 				}
-				if outDir != topology.Local {
-					_, dvc, ok := n.downstream(r.id, s.out)
-					if !ok || !n.hasCredit(dvc) {
-						continue
-					}
-				}
-				senders = append(senders, sender{port: s.port, vc: s.idx})
+				senders = append(senders, s)
 			}
-			if outDir != topology.Local && r.inj.msg != nil && r.inj.out.Dir == outDir && !portUsed[InjectPort] {
-				m := r.inj.msg
-				if m.flitsInjected < m.Length {
-					if _, dvc, ok := n.downstream(r.id, r.inj.out); ok && n.hasCredit(dvc) {
-						senders = append(senders, sender{port: InjectPort})
-					}
+			if outDir != topology.Local && injDir == outDir && !portUsed[InjectPort] {
+				if n.hasCredit(r.inj.dvc) {
+					senders = append(senders, nil) // nil = injection slot
 				}
 			}
 			if len(senders) == 0 {
 				break
 			}
 			w := senders[rng.intn(len(senders))]
-			portUsed[w.port] = true
 			switch {
-			case w.port == InjectPort:
-				_, dvc, _ := n.downstream(r.id, r.inj.out)
-				dvc.stagedIn = n.cycle
+			case w == nil:
+				portUsed[InjectPort] = true
+				r.inj.dvc.stagedIn = n.cycle
 				out = append(out, move{kind: moveInject, node: r.id})
 			case outDir == topology.Local:
-				s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
-				s.stagedOut = n.cycle
-				out = append(out, move{kind: moveEject, node: r.id, port: w.port, vc: w.vc})
+				portUsed[w.port] = true
+				w.stagedOut = n.cycle
+				out = append(out, move{kind: moveEject, node: r.id, port: w.port, vc: w.idx})
 			default:
-				s := r.vc(topology.Direction(w.port), int(w.vc), n.Cfg.NumVCs)
-				s.stagedOut = n.cycle
-				_, dvc, _ := n.downstream(r.id, s.out)
-				dvc.stagedIn = n.cycle
-				out = append(out, move{kind: moveLink, node: r.id, port: w.port, vc: w.vc})
+				portUsed[w.port] = true
+				w.stagedOut = n.cycle
+				w.dvc.stagedIn = n.cycle
+				out = append(out, move{kind: moveLink, node: r.id, port: w.port, vc: w.idx})
 			}
 			capacity--
 		}

@@ -18,6 +18,14 @@ type vcState struct {
 	routed bool    // header has been assigned an output channel
 	out    Channel // valid when routed
 
+	// dvc caches the downstream input VC that out feeds, resolved once
+	// when the output channel is assigned. The healthy-neighbor table is
+	// immutable and router VC slices are never reallocated, so the
+	// pointer stays valid for as long as routed does; the switch phase
+	// reads it instead of recomputing downstream() every cycle. nil when
+	// out is the Local (ejection) port, which has no downstream VC.
+	dvc *vcState
+
 	// Flit window: the buffer holds flits [first, first+count) of the
 	// owning message. count is at most Config.BufDepth; first is only
 	// meaningful while count > 0 or after the first arrival.
@@ -67,10 +75,12 @@ func popFrontMsg(q []*Message) []*Message {
 }
 
 // injState tracks the message currently streaming out of a node's
-// source queue, together with the first-hop channel it won.
+// source queue, together with the first-hop channel it won and the
+// downstream input VC that channel feeds (cached like vcState.dvc).
 type injState struct {
 	msg *Message
 	out Channel
+	dvc *vcState
 }
 
 // router is the per-node switching element: four buffered input ports
@@ -141,6 +151,7 @@ func (r *router) release(s *vcState, numVCs int) {
 	r.active = r.active[:last]
 	s.owner = nil
 	s.routed = false
+	s.dvc = nil
 	s.activeIdx = -1
 	s.first = 0
 	s.count = 0

@@ -48,10 +48,23 @@ func (s *Stats) init(numVCs, nodes int) {
 	s.NodeCrossings = make([]int64, nodes)
 }
 
+// reset zeroes the statistics in place, retaining the slice storage:
+// measurement windows restart many times over a reused network (warm-up
+// cuts, Network.Reset), and reallocating the per-VC and per-node arrays
+// each time would churn the heap for no observable difference.
 func (s *Stats) reset() {
-	numVCs, nodes := len(s.VCBusy), len(s.NodeCrossings)
+	vb, va, nc := s.VCBusy, s.VCAcquired, s.NodeCrossings
 	*s = Stats{}
-	s.init(numVCs, nodes)
+	for i := range vb {
+		vb[i] = 0
+	}
+	for i := range va {
+		va[i] = 0
+	}
+	for i := range nc {
+		nc[i] = 0
+	}
+	s.VCBusy, s.VCAcquired, s.NodeCrossings = vb, va, nc
 }
 
 func (s *Stats) clone() Stats {

@@ -87,7 +87,11 @@ type Ring struct {
 	// surrounding nodes form an open path rather than a cycle.
 	Chain bool
 
-	pos map[topology.NodeID]int
+	// pos is a dense node→clockwise-index table (-1 for nodes off the
+	// ring), sized to the mesh. Position and Next sit on the routing
+	// hot path (every f-ring hop of every blocked header), so the
+	// lookup is a single bounds-checked load rather than a map probe.
+	pos []int32
 }
 
 // Len returns the number of nodes on the ring.
@@ -96,8 +100,11 @@ func (r *Ring) Len() int { return len(r.Nodes) }
 // Position returns the clockwise index of id on the ring and whether id
 // is a ring member.
 func (r *Ring) Position(id topology.NodeID) (int, bool) {
-	p, ok := r.pos[id]
-	return p, ok
+	if id < 0 || int(id) >= len(r.pos) {
+		return 0, false
+	}
+	p := r.pos[id]
+	return int(p), p >= 0
 }
 
 // Next returns the ring node adjacent to id in the clockwise
@@ -105,7 +112,7 @@ func (r *Ring) Position(id topology.NodeID) (int, bool) {
 // is false when id is not on the ring or when id is the terminal node
 // of a chain in that orientation.
 func (r *Ring) Next(id topology.NodeID, clockwise bool) (topology.NodeID, bool) {
-	p, ok := r.pos[id]
+	p, ok := r.Position(id)
 	if !ok {
 		return topology.Invalid, false
 	}
@@ -371,7 +378,10 @@ func buildRing(m topology.Mesh, r Region) *Ring {
 			}
 		}
 	}
-	ring := &Ring{Region: r, pos: make(map[topology.NodeID]int)}
+	ring := &Ring{Region: r, pos: make([]int32, m.NodeCount())}
+	for i := range ring.pos {
+		ring.pos[i] = -1
+	}
 	if allIn {
 		for _, c := range cycle {
 			ring.Nodes = append(ring.Nodes, m.ID(c))
@@ -390,7 +400,7 @@ func buildRing(m topology.Mesh, r Region) *Ring {
 		}
 	}
 	for i, id := range ring.Nodes {
-		ring.pos[id] = i
+		ring.pos[id] = int32(i)
 	}
 	return ring
 }

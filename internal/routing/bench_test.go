@@ -37,6 +37,62 @@ func BenchmarkCandidates(b *testing.B) {
 	}
 }
 
+// BenchmarkStepLoadedFaulted measures the per-cycle engine cost with
+// live traffic on a FAULTED mesh, so the Boppana–Chalasani wrapper's
+// canProgress / blockingRing / ring-traversal paths — not just the
+// fault-free base algorithms — sit on the measured hot path. The
+// center-block pattern forces steady f-ring traffic for messages whose
+// minimal paths cross the middle of the mesh.
+func BenchmarkStepLoadedFaulted(b *testing.B) {
+	mesh := topology.New(10, 10)
+	ids, err := fault.NamedPattern("center-block", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := fault.New(mesh, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	healthy := f.HealthyNodes()
+	for _, name := range []string{"Nbc", "Duato-Nbc", "Boura-FT"} {
+		b.Run(name, func(b *testing.B) {
+			alg := MustNew(name, f, 24)
+			cfg := core.DefaultConfig()
+			cfg.MaxSourceQueue = 4
+			cfg.MaxHops = int32(16 * mesh.Diameter())
+			n, err := core.NewNetwork(mesh, f, alg, cfg, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+			rng := rand.New(rand.NewSource(2))
+			id := int64(0)
+			step := func() {
+				for k := 0; k < 2; k++ { // busy mesh, ring traffic
+					src := healthy[rng.Intn(len(healthy))]
+					dst := healthy[rng.Intn(len(healthy))]
+					if src != dst {
+						id++
+						m := n.AcquireMessage(id, src, dst, 16)
+						m.GenTime = n.Cycle()
+						n.Offer(m)
+					}
+				}
+				n.Step()
+			}
+			// Reach the arena's steady-state capacity before measuring.
+			for i := 0; i < 3000; i++ {
+				step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	}
+}
+
 // BenchmarkWalk measures a full lone-message walk around the central
 // block (routing decisions + state updates over the whole path).
 func BenchmarkWalk(b *testing.B) {

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"wormmesh/internal/fault"
+	"wormmesh/internal/routing"
+	"wormmesh/internal/topology"
+)
+
+// TestMemoizedRoutingMatchesScanning locks in the static-fault
+// memoization's bit-identical contract (internal/routing/memo.go): for
+// EVERY registered algorithm, a run with the memo tables enabled must
+// produce the same Stats — the whole value, per-VC and per-node slices
+// included — as a run through the original scanning code paths
+// (routing.DebugNoCache). Three fault scenarios cover the cache's
+// distinct regimes: no faults (the allHealthy filter-skip everywhere),
+// an interior block (closed f-rings, both orientations viable), and a
+// boundary block (an open f-chain, where orientation scans hit chain
+// ends and traversals reverse).
+func TestMemoizedRoutingMatchesScanning(t *testing.T) {
+	mesh := topology.New(10, 10)
+	scenarios := []struct {
+		name    string
+		pattern string // canned fault pattern; "" = fault-free
+	}{
+		{"fault-free", ""},
+		{"interior-block", "center-block"},
+		{"boundary-chain", "boundary-chain"},
+	}
+	for _, sc := range scenarios {
+		var nodes []topology.NodeID
+		if sc.pattern != "" {
+			var err error
+			nodes, err = fault.NamedPattern(sc.pattern, mesh)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, alg := range routing.AlgorithmNames {
+			t.Run(sc.name+"/"+alg, func(t *testing.T) {
+				p := DefaultParams()
+				p.Algorithm = alg
+				p.Rate = 0.003
+				p.MessageLength = 16
+				p.WarmupCycles = 200
+				p.MeasureCycles = 1000
+				p.Seed = 77
+				if nodes != nil {
+					p.FaultNodes = nodes
+				}
+				run := func(noCache bool) (Result, error) {
+					routing.DebugNoCache = noCache
+					defer func() { routing.DebugNoCache = false }()
+					return Run(p)
+				}
+				cached, err := run(false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scanned, err := run(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cached.Stats.Delivered == 0 {
+					t.Fatal("scenario delivered nothing; equivalence would be vacuous")
+				}
+				if !statsEqual(cached.Stats, scanned.Stats) {
+					t.Errorf("memoized run diverged from scanning run:\n  cached:  %+v\n  scanned: %+v",
+						cached.Stats, scanned.Stats)
+				}
+			})
+		}
+	}
+}

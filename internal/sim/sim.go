@@ -11,9 +11,7 @@ import (
 
 	"wormmesh/internal/core"
 	"wormmesh/internal/fault"
-	"wormmesh/internal/routing"
 	"wormmesh/internal/topology"
-	"wormmesh/internal/traffic"
 )
 
 // Params fully specifies one simulation. The zero value is not
@@ -136,97 +134,14 @@ func BuildFaults(p Params) (*fault.Model, error) {
 }
 
 // RunWithFaults executes one simulation over a pre-built fault model
-// (so sweeps can share one pattern across algorithms and loads).
+// (so sweeps can share one pattern across algorithms and loads). It is
+// a one-shot Runner: drivers that execute many simulations should own a
+// Runner and call its methods directly to reuse the network, source and
+// caches across runs (internal/sweep's workers do).
 func RunWithFaults(p Params, f *fault.Model) (Result, error) {
-	start := time.Now()
-	mesh := f.Mesh
-	cfg := p.Config
-	if cfg.NumVCs == 0 {
-		cfg = DefaultEngineConfig()
-	}
-	if cfg.MaxHops == 0 {
-		// Livelock guard: far above any legitimate detour.
-		cfg.MaxHops = int32(16 * mesh.Diameter())
-	}
-	alg, err := routing.New(p.Algorithm, f, cfg.NumVCs)
-	if err != nil {
-		return Result{}, err
-	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	net, err := core.NewNetwork(mesh, f, alg, cfg, rng)
-	if err != nil {
-		return Result{}, err
-	}
-	defer net.Close()
-	if p.EngineWorkers >= 1 {
-		clones := make([]core.Algorithm, p.EngineWorkers)
-		for i := range clones {
-			if clones[i], err = routing.New(p.Algorithm, f, cfg.NumVCs); err != nil {
-				return Result{}, err
-			}
-		}
-		if err := net.EnableParallel(p.EngineWorkers, clones); err != nil {
-			return Result{}, err
-		}
-	}
-	var recorder *core.Recorder
-	if p.TraceWriter != nil {
-		recorder = core.NewRecorder(p.TraceWriter)
-		recorder.IncludeFlits = p.TraceFlits
-		net.SetTracer(recorder)
-	}
-	pat, err := traffic.NewPattern(p.Pattern, f)
-	if err != nil {
-		return Result{}, err
-	}
-	src, err := traffic.NewSource(f, pat, p.Rate, p.MessageLength, rand.New(rand.NewSource(p.Seed+0x9e3779b9)))
-	if err != nil {
-		return Result{}, err
-	}
-	// Sustained-load runs recycle completed messages through the
-	// network's arena: steady-state cycles then allocate nothing.
-	src.Alloc = net.AcquireMessage
-
-	total := p.WarmupCycles + p.MeasureCycles
-	var windows *windowCollector
-	for cycle := int64(0); cycle < total; cycle++ {
-		if cycle == p.WarmupCycles {
-			net.ResetStats()
-			if p.WindowCycles > 0 {
-				windows = newWindowCollector(net, p.WindowCycles)
-			}
-		}
-		src.Tick(cycle, net.Offer)
-		net.Step()
-		if windows != nil {
-			windows.tick()
-		}
-	}
-
-	res := Result{
-		Params:           p,
-		Faults:           f,
-		Stats:            net.Snapshot(),
-		FaultCount:       f.FaultCount(),
-		SeedFaults:       f.SeedCount(),
-		Regions:          len(f.Regions()),
-		Elapsed:          time.Since(start),
-		UndeliveredAtEnd: net.InFlight(),
-	}
-	if windows != nil {
-		res.Windows = windows.windows
-	}
-	if recorder != nil {
-		if err := recorder.Close(); err != nil {
-			return res, fmt.Errorf("sim: trace: %w", err)
-		}
-	}
-	for id := topology.NodeID(0); int(id) < mesh.NodeCount(); id++ {
-		if !f.IsFaulty(id) && f.OnAnyRing(id) {
-			res.RingNodes++
-		}
-	}
-	return res, nil
+	r := NewRunner()
+	defer r.Close()
+	return r.RunWithFaults(p, f)
 }
 
 // NormalizedThroughput is the accepted traffic as a fraction of the

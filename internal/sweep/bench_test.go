@@ -1,0 +1,40 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"wormmesh/internal/sim"
+)
+
+// BenchmarkSweepCell measures the end-to-end cost of one experimental
+// cell of the paper's methodology: 1 algorithm × 3 loads × 5 fault
+// replicas = 15 full simulations, run through the sweep harness the
+// way cmd/experiments drives it. It is the headline number for
+// sweep-scale throughput: per-point construction cost (network,
+// routing tables, fault model) is inside the measurement, so reuse
+// across points shows up here but not in the per-cycle engine
+// benchmarks. workers=1 keeps the measurement deterministic and
+// meaningful on single-CPU hosts.
+func BenchmarkSweepCell(b *testing.B) {
+	base := sim.DefaultParams()
+	base.Algorithm = "Duato-Nbc"
+	base.MessageLength = 32
+	base.Faults = 6
+	base.WarmupCycles = 400
+	base.MeasureCycles = 1200
+	var points []Point
+	for _, rate := range []float64{0.002, 0.004, 0.006} {
+		p := base
+		p.Rate = rate
+		points = append(points, FaultReplicas(fmt.Sprintf("cell@%g", rate), p, 5)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Run(points, 1, nil)
+		if err := FirstError(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,7 +33,8 @@ type Outcome struct {
 
 // Run executes the points on `workers` goroutines (NumCPU when 0) and
 // returns outcomes in input order. progress, when non-nil, is invoked
-// after each completion with the done count.
+// after each completion with the done count; see RunContext for the
+// callback contract.
 func Run(points []Point, workers int, progress func(done, total int)) []Outcome {
 	return RunContext(context.Background(), points, workers, progress)
 }
@@ -42,6 +43,18 @@ func Run(points []Point, workers int, progress func(done, total int)) []Outcome 
 // simulations start; points never started carry ctx.Err() as their
 // outcome error. Simulations already in flight run to completion (a
 // single run is seconds at most).
+//
+// Each worker owns one sim.Runner for its whole lifetime, so a sweep
+// builds O(workers) networks — not O(points) — and reuses fault models,
+// fortified algorithms and traffic state across the points it draws.
+//
+// Progress callback contract: progress may be called from any worker
+// goroutine, but calls are serialized by an internal mutex — the
+// callback never runs concurrently with itself, so it may mutate its
+// captured state without its own locking. done counts completions
+// (1..total) and each value is delivered exactly once, though values
+// may arrive out of order when workers finish near-simultaneously. The
+// callback must not call back into the sweep.
 func RunContext(ctx context.Context, points []Point, workers int, progress func(done, total int)) []Outcome {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -51,11 +64,14 @@ func RunContext(ctx context.Context, points []Point, workers int, progress func(
 	}
 	out := make([]Outcome, len(points))
 	var next, done int64
+	var progressMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			runner := sim.NewRunner()
+			defer runner.Close()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(points) {
@@ -65,11 +81,13 @@ func RunContext(ctx context.Context, points []Point, workers int, progress func(
 					out[i] = Outcome{Point: points[i], Err: err}
 					continue
 				}
-				res, err := sim.Run(points[i].Params)
+				res, err := runner.Run(points[i].Params)
 				out[i] = Outcome{Point: points[i], Result: res, Err: err}
 				d := int(atomic.AddInt64(&done, 1))
 				if progress != nil {
+					progressMu.Lock()
 					progress(d, len(points))
+					progressMu.Unlock()
 				}
 			}
 		}()

@@ -64,6 +64,42 @@ func TestRunSurfacesErrors(t *testing.T) {
 	}
 }
 
+// TestProgressCallbackSerialized exercises the documented progress
+// contract with a deliberately unsynchronized mutating closure: the
+// sweep serializes callback invocations, so the closure may append to a
+// slice and bump a plain counter without its own locking. Run under
+// -race (CI does), this test catches any regression to concurrent
+// callback invocation; it also checks each done value is delivered
+// exactly once.
+func TestProgressCallbackSerialized(t *testing.T) {
+	base := quickParams("Duato", 0.002, 4)
+	base.WarmupCycles = 100
+	base.MeasureCycles = 400
+	points := FaultReplicas("cell", base, 12)
+	var seen []int // mutated inside the callback with no locking: the contract allows it
+	calls := 0
+	outcomes := Run(points, 4, func(done, total int) {
+		calls++
+		seen = append(seen, done)
+		if total != len(points) {
+			t.Errorf("total = %d, want %d", total, len(points))
+		}
+	})
+	if err := FirstError(outcomes); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(points) || len(seen) != len(points) {
+		t.Fatalf("progress calls = %d (recorded %d), want %d", calls, len(seen), len(points))
+	}
+	delivered := make([]bool, len(points)+1)
+	for _, d := range seen {
+		if d < 1 || d > len(points) || delivered[d] {
+			t.Fatalf("done value %d out of range or duplicated (seen %v)", d, seen)
+		}
+		delivered[d] = true
+	}
+}
+
 func TestMoments(t *testing.T) {
 	var m Moments
 	if !math.IsNaN(m.Mean()) {

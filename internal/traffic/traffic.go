@@ -291,6 +291,38 @@ func NewSource(f *fault.Model, p Pattern, rate float64, length int, rng *rand.Ra
 	return s, nil
 }
 
+// Reset rebinds the source to a new fault model, pattern, rate and RNG,
+// reusing the per-node arrival storage. The RNG draw sequence is
+// identical to NewSource's — one ExpFloat64 per healthy node, in node
+// order — so a reused source seeded the same way generates the same
+// message stream as a fresh one (the reuse invariant sim.Runner relies
+// on). Alloc is cleared; callers rebind it per run.
+func (s *Source) Reset(f *fault.Model, p Pattern, rate float64, length int, rng *rand.Rand) error {
+	if rate <= 0 {
+		return fmt.Errorf("traffic: rate %v must be positive", rate)
+	}
+	if length < 1 {
+		return fmt.Errorf("traffic: message length %d < 1", length)
+	}
+	s.faults = f
+	s.pattern = p
+	s.rng = rng
+	s.rate = rate
+	s.length = length
+	s.Alloc = nil
+	s.seq = 0
+	s.nodes = f.HealthyNodes()
+	if cap(s.next) >= len(s.nodes) {
+		s.next = s.next[:len(s.nodes)]
+	} else {
+		s.next = make([]float64, len(s.nodes))
+	}
+	for i := range s.next {
+		s.next[i] = s.rng.ExpFloat64() / rate
+	}
+	return nil
+}
+
 // Generated returns how many messages the source has produced.
 func (s *Source) Generated() int64 { return s.seq }
 
