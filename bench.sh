@@ -2,18 +2,38 @@
 # bench.sh — run the engine benchmarks and emit machine-readable digests.
 #
 # Usage: ./bench.sh [count]
-#   count: -count passed to `go test -bench` (default 1; use 5+ for benchstat).
+#        ./bench.sh profile
+#   count:   -count passed to `go test -bench` (default 1; use 5+ and diff
+#            the JSON digests with `go run ./cmd/benchdiff old.json new.json`,
+#            which aggregates repeated runs by median).
+#   profile: run the sweep-cell benchmark once under the CPU and heap
+#            profilers; drops profiles/sweepcell.{cpu,mem}.pprof plus the
+#            test binary profiles/sweep.test for `go tool pprof`.
 #
-# Two suites run:
+# Two suites run in the default mode:
 #   1. the core engine microbenchmarks          -> BENCH_core.txt / BENCH_core.json
+#      (incl. the StepIdle/StepLowLoad worklist-vs-fullscan pairs that
+#      track the activity-driven engine against its reference path)
 #   2. the sweep-scale benchmarks (the faulted  -> BENCH_sweep.txt / BENCH_sweep.json
 #      step loop in internal/routing and the
-#      full sweep cell in internal/sweep)
+#      full sweep cells in internal/sweep)
 #
 # The raw `go test -bench` output is kept in the .txt files so benchstat can
-# diff two runs; the .json files are a machine-readable digest of the same
-# lines (name, iterations, ns/op, B/op, allocs/op, extra metrics).
+# diff two runs where it is available; the .json files are a machine-readable
+# digest of the same lines (name, iterations, ns/op, B/op, allocs/op, extra
+# metrics) consumed by cmd/benchdiff.
 set -eu
+
+if [ "${1:-}" = "profile" ]; then
+    mkdir -p profiles
+    go test ./internal/sweep/ -run '^$' -bench 'BenchmarkSweepCell$' -benchmem \
+        -cpuprofile profiles/sweepcell.cpu.pprof \
+        -memprofile profiles/sweepcell.mem.pprof \
+        -o profiles/sweep.test
+    echo "wrote profiles/sweepcell.{cpu,mem}.pprof (binary: profiles/sweep.test)"
+    echo "inspect with: go tool pprof profiles/sweep.test profiles/sweepcell.cpu.pprof"
+    exit 0
+fi
 
 COUNT="${1:-1}"
 

@@ -1,0 +1,172 @@
+// Command benchdiff compares two benchmark digests produced by
+// bench.sh (BENCH_core.json / BENCH_sweep.json) and prints per-
+// benchmark deltas for ns/op, B/op and allocs/op.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//
+// Digests made with `./bench.sh 5` contain five entries per benchmark;
+// benchdiff aggregates repeats by median before diffing, matching the
+// median-of-N methodology the repository's recorded numbers use (the
+// standalone benchstat tool is not assumed to be installed). Exit
+// status is always 0 on a successful comparison — the tool reports,
+// it does not judge; thresholds belong to the reader or the CI
+// wrapper.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// entry mirrors one element of bench.sh's JSON digest. Pointer fields
+// distinguish "absent" from zero (allocs_per_op: 0 is a budget worth
+// diffing; a missing ns_per_op must not render as a 100% regression).
+// Extra metrics (flits/cycle and friends) are ignored: they are
+// workload descriptors, not costs.
+type entry struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// bench holds the aggregated (median) metrics for one benchmark name.
+type bench struct {
+	ns, bytes, allocs *float64
+	runs              int
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	new_, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(old)+len(new_))
+	seen := map[string]bool{}
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range new_ {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-44s %26s %26s %26s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, name := range names {
+		o, haveOld := old[name]
+		n, haveNew := new_[name]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-44s %s\n", name, "only in "+os.Args[2])
+			continue
+		case !haveNew:
+			fmt.Printf("%-44s %s\n", name, "only in "+os.Args[1])
+			continue
+		}
+		fmt.Printf("%-44s %26s %26s %26s\n", name,
+			delta(o.ns, n.ns), delta(o.bytes, n.bytes), delta(o.allocs, n.allocs))
+	}
+}
+
+// load parses a digest file and aggregates duplicate benchmark names
+// (from -count N runs) by per-metric median.
+func load(path string) (map[string]bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	groups := map[string][]entry{}
+	for _, e := range entries {
+		groups[e.Name] = append(groups[e.Name], e)
+	}
+	out := make(map[string]bench, len(groups))
+	for name, g := range groups {
+		out[name] = bench{
+			ns:     medianOf(g, func(e entry) *float64 { return e.NsPerOp }),
+			bytes:  medianOf(g, func(e entry) *float64 { return e.BytesPerOp }),
+			allocs: medianOf(g, func(e entry) *float64 { return e.AllocsPerOp }),
+			runs:   len(g),
+		}
+	}
+	return out, nil
+}
+
+// medianOf takes the median of a metric over the entries that report
+// it; nil if none do.
+func medianOf(g []entry, get func(entry) *float64) *float64 {
+	var vals []float64
+	for _, e := range g {
+		if v := get(e); v != nil {
+			vals = append(vals, *v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	var m float64
+	if n := len(vals); n%2 == 1 {
+		m = vals[n/2]
+	} else {
+		m = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return &m
+}
+
+// delta renders "old -> new (±pct%)" for one metric, or "-" when the
+// metric is absent on either side. A zero-to-zero metric (the alloc
+// budgets) renders as "0 (=)".
+func delta(o, n *float64) string {
+	if o == nil || n == nil {
+		return "-"
+	}
+	if *o == 0 && *n == 0 {
+		return "0 (=)"
+	}
+	if *o == 0 {
+		return fmt.Sprintf("%s -> %s (new)", format(*o), format(*n))
+	}
+	pct := (*n - *o) / *o * 100
+	return fmt.Sprintf("%s -> %s (%+.1f%%)", format(*o), format(*n), pct)
+}
+
+// format prints a metric compactly: integers as integers, small
+// values with enough precision to be meaningful.
+func format(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e6:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

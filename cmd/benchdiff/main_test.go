@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDigest(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadAggregatesByMedian checks that repeated entries for the same
+// benchmark (a -count 5 digest) collapse to per-metric medians.
+func TestLoadAggregatesByMedian(t *testing.T) {
+	path := writeDigest(t, "d.json", `[
+		{"name":"BenchmarkX","iterations":10,"ns_per_op":100,"bytes_per_op":8,"allocs_per_op":1},
+		{"name":"BenchmarkX","iterations":10,"ns_per_op":300,"bytes_per_op":8,"allocs_per_op":1},
+		{"name":"BenchmarkX","iterations":10,"ns_per_op":120,"bytes_per_op":8,"allocs_per_op":1},
+		{"name":"BenchmarkY","iterations":10,"ns_per_op":50}
+	]`)
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := got["BenchmarkX"]
+	if !ok {
+		t.Fatal("BenchmarkX missing")
+	}
+	if x.runs != 3 {
+		t.Errorf("runs = %d, want 3", x.runs)
+	}
+	if x.ns == nil || *x.ns != 120 {
+		t.Errorf("median ns = %v, want 120", x.ns)
+	}
+	if x.bytes == nil || *x.bytes != 8 {
+		t.Errorf("median bytes = %v, want 8", x.bytes)
+	}
+	y := got["BenchmarkY"]
+	if y.ns == nil || *y.ns != 50 {
+		t.Errorf("Y ns = %v, want 50", y.ns)
+	}
+	if y.bytes != nil {
+		t.Errorf("Y bytes = %v, want nil (not reported)", *y.bytes)
+	}
+}
+
+// TestMedianEvenCount checks the even-length midpoint rule.
+func TestMedianEvenCount(t *testing.T) {
+	v1, v2 := 10.0, 20.0
+	g := []entry{{NsPerOp: &v1}, {NsPerOp: &v2}}
+	m := medianOf(g, func(e entry) *float64 { return e.NsPerOp })
+	if m == nil || *m != 15 {
+		t.Fatalf("median = %v, want 15", m)
+	}
+}
+
+// TestDeltaRendering pins the formatting contract the CHANGES.md
+// tables rely on.
+func TestDeltaRendering(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	cases := []struct {
+		o, n *float64
+		want string
+	}{
+		{f(100), f(50), "100 -> 50 (-50.0%)"},
+		{f(200), f(300), "200 -> 300 (+50.0%)"},
+		{f(0), f(0), "0 (=)"},
+		{f(0), f(4), "0 -> 4 (new)"},
+		{nil, f(4), "-"},
+		{f(4), nil, "-"},
+	}
+	for _, c := range cases {
+		if got := delta(c.o, c.n); got != c.want {
+			t.Errorf("delta(%v,%v) = %q, want %q", c.o, c.n, got, c.want)
+		}
+	}
+}

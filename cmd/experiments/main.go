@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"wormmesh/internal/experiments"
+	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	var quick bool
 	var csvDir string
 	var algs string
+	var cpuProfile, memProfile string
 	flag.BoolVar(&quick, "quick", false, "reduced cycle counts (CI scale)")
 	flag.IntVar(&opt.FaultSets, "sets", opt.FaultSets, "fault sets per case")
 	flag.Int64Var(&opt.WarmupCycles, "warmup", opt.WarmupCycles, "warm-up cycles")
@@ -38,7 +40,14 @@ func main() {
 	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "base seed")
 	flag.StringVar(&csvDir, "csv", "", "directory for CSV output")
 	flag.StringVar(&algs, "algs", "", "comma-separated algorithm subset")
+	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProf, err := prof.Start(cpuProfile, memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	if quick {
 		q := experiments.Quick()
 		opt.WarmupCycles, opt.MeasureCycles, opt.FaultSets = q.WarmupCycles, q.MeasureCycles, q.FaultSets

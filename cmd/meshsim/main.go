@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"wormmesh"
+	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
 	"wormmesh/internal/sweep"
 )
@@ -25,6 +26,7 @@ func main() {
 	var windows int64
 	var traceFile string
 	var engineWorkers, reps int
+	var cpuProfile, memProfile string
 	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
 	flag.IntVar(&p.Width, "width", p.Width, "mesh width")
 	flag.IntVar(&p.Height, "height", p.Height, "mesh height")
@@ -45,7 +47,16 @@ func main() {
 	flag.BoolVar(&traceFlits, "trace-flits", false, "include per-flit hops in the trace")
 	flag.IntVar(&engineWorkers, "engine-workers", 0, "use the deterministic parallel engine with this many workers")
 	flag.IntVar(&reps, "reps", 1, "replications over fault sets/seeds, reported as mean ± 95% CI")
+	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(cpuProfile, memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if list {
 		for _, name := range wormmesh.Algorithms() {

@@ -8,18 +8,74 @@ import (
 )
 
 // BenchmarkStepIdle measures the per-cycle cost of an empty network
-// (the sweep harness spends warm-up tails here at low loads).
+// (the sweep harness spends warm-up tails here at low loads). The
+// worklist variant is the production path — a quiescent cycle
+// short-circuits on the empty dirty set — while fullscan pins
+// core.DebugFullScan to measure the pre-worklist reference engine
+// that still walks every router.
 func BenchmarkStepIdle(b *testing.B) {
-	mesh := topology.New(10, 10)
-	cfg := DefaultConfig()
-	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
-	if err != nil {
-		b.Fatal(err)
+	for _, variant := range []struct {
+		name     string
+		fullScan bool
+	}{{"worklist", false}, {"fullscan", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			mesh := topology.New(10, 10)
+			cfg := DefaultConfig()
+			n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			DebugFullScan = variant.fullScan
+			defer func() { DebugFullScan = false }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Step()
+}
+
+// BenchmarkStepLowLoad measures the regime the worklist is for: a
+// trickle of traffic on a 10×10 mesh, so most routers are idle on any
+// given cycle but the network is never fully quiescent for long. The
+// worklist walks only the handful of busy routers; the fullscan
+// reference walks all 100 every cycle.
+func BenchmarkStepLowLoad(b *testing.B) {
+	for _, variant := range []struct {
+		name     string
+		fullScan bool
+	}{{"worklist", false}, {"fullscan", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			mesh := topology.New(10, 10)
+			cfg := DefaultConfig()
+			cfg.MaxSourceQueue = 4
+			n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			id := int64(0)
+			DebugFullScan = variant.fullScan
+			defer func() { DebugFullScan = false }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// ~0.02 messages per cycle network-wide: the paper's
+				// low-load region, where most cycles touch 0–2 messages.
+				if rng.Float64() < 0.02 {
+					src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+					dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+					if src != dst {
+						id++
+						m := n.AcquireMessage(id, src, dst, 16)
+						m.GenTime = n.Cycle()
+						n.Offer(m)
+					}
+				}
+				n.Step()
+			}
+		})
 	}
 }
 

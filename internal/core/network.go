@@ -50,6 +50,17 @@ type Network struct {
 	// churning the garbage collector. See AcquireMessage.
 	msgPool []*Message
 
+	// busy is the dirty-router set (see worklist.go): bit i set ⇔
+	// router i holds any engine state (source queue, injection in
+	// progress, or owned VCs). busyCount is its population; work is the
+	// reusable ascending-order snapshot the phases iterate; allNodes is
+	// the constant 0..N-1 worklist the parallel engine uses under
+	// DebugFullScan.
+	busy      []uint64
+	busyCount int
+	work      []topology.NodeID
+	allNodes  []topology.NodeID
+
 	stats      Stats
 	statsStart int64
 	tracer     Tracer
@@ -150,6 +161,12 @@ func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng 
 			s.idx = uint8(code % cfg.NumVCs)
 		}
 	}
+	n.busy = make([]uint64, (m.NodeCount()+63)/64)
+	n.work = make([]topology.NodeID, 0, m.NodeCount())
+	n.allNodes = make([]topology.NodeID, m.NodeCount())
+	for i := range n.allNodes {
+		n.allNodes[i] = topology.NodeID(i)
+	}
 	n.nbr = make([]topology.NodeID, m.NodeCount()*topology.NumDirs)
 	for i := range n.routers {
 		id := topology.NodeID(i)
@@ -235,6 +252,7 @@ func (n *Network) Reset(f *fault.Model, alg Algorithm, rng *rand.Rand) error {
 			n.nbr[i*topology.NumDirs+int(d)] = nb
 		}
 	}
+	n.resetBusy() // every router is empty again
 	n.Faults = f
 	n.Alg = alg
 	n.rng = rng
@@ -316,6 +334,7 @@ func (n *Network) Offer(m *Message) bool {
 	n.Alg.InitMessage(m)
 	m.lastMove = n.cycle
 	r.srcQ = append(r.srcQ, m)
+	n.markBusy(m.Src)
 	n.addActive(m)
 	if m.GenTime >= n.statsStart {
 		n.stats.Generated++
@@ -326,9 +345,22 @@ func (n *Network) Offer(m *Message) bool {
 // Step advances the network one cycle: routing + VC allocation, then
 // switch allocation and flit traversal, then watchdog checks. With
 // EnableParallel, the parallel request–grant engine runs instead.
+//
+// A fully quiescent network — empty dirty set, which by the membership
+// invariant (worklist.go) means no queued, injecting or in-flight
+// traffic anywhere — short-circuits to the watchdog and the cycle tick.
+// The short-circuit is bit-exact: with zero routers holding state the
+// routing phase would gather zero requests (a zero-length shuffle draws
+// nothing from the RNG), the switch phase would skip every router
+// before its shuffle, and commit would have no moves to apply.
 func (n *Network) Step() {
 	if n.par != nil {
 		n.stepParallel()
+		return
+	}
+	if n.busyCount == 0 && !DebugFullScan {
+		n.watchdog()
+		n.cycle++
 		return
 	}
 	n.routingPhase()
@@ -357,29 +389,27 @@ func (n *Network) downstream(id topology.NodeID, ch Channel) (*router, *vcState,
 
 // routingPhase finds every header that needs an output channel, asks
 // the routing algorithm for candidates, and performs VC allocation
-// with random conflict resolution.
+// with random conflict resolution. Request gathering iterates only the
+// dirty-router set, in ascending router-index order — routers outside
+// the set hold no queue entries, injections or VCs and would contribute
+// nothing, so the gathered request slice (and therefore every RNG draw
+// that follows) is bit-identical to the original full-mesh scan.
+// DebugFullScan restores the full scan, with a cheap idle guard so even
+// the reference path stops paying per-router cost for empty routers.
 func (n *Network) routingPhase() {
 	n.requests = n.requests[:0]
-	for i := range n.routers {
-		r := &n.routers[i]
-		if r.inj.msg == nil && len(r.srcQ) > 0 {
-			n.requests = append(n.requests, request{node: r.id, port: InjectPort})
+	if DebugFullScan {
+		for i := range n.routers {
+			r := &n.routers[i]
+			if len(r.active) == 0 && r.inj.msg == nil && len(r.srcQ) == 0 {
+				continue // idle: cannot contribute a request
+			}
+			n.gatherRequests(r)
 		}
-		for _, code := range r.active {
-			s := r.vcAt(code)
-			if s.routed || s.count == 0 {
-				continue // body VC, or claimed with header still in flight
-			}
-			if !s.headIsHeader() {
-				panic("core: unrouted VC with non-header at head")
-			}
-			if s.owner.Dst == r.id {
-				s.routed = true
-				s.out = Channel{Dir: topology.Local}
-				s.dvc = nil
-				continue
-			}
-			n.requests = append(n.requests, request{node: r.id, port: s.port, vc: s.idx})
+	} else {
+		n.collectWork()
+		for _, id := range n.work {
+			n.gatherRequests(&n.routers[id])
 		}
 	}
 	// Random service order = random conflict resolution among headers
@@ -413,6 +443,7 @@ func (n *Network) routingPhase() {
 			panic("core: allocate returned unusable channel")
 		}
 		dr.claim(ch.Dir.Opposite(), int(ch.VC), m, n.cycle, n.Cfg.NumVCs)
+		n.markBusy(dr.id) // downstream router now owns a VC
 		if req.port == InjectPort {
 			r.inj = injState{msg: m, out: ch, dvc: dvc}
 			m.lastMove = n.cycle
@@ -430,6 +461,33 @@ func (n *Network) routingPhase() {
 		if n.tracer != nil {
 			n.tracer.HeaderRouted(m, req.node, ch, n.cycle)
 		}
+	}
+}
+
+// gatherRequests appends router r's routing-phase requests — the
+// source-queue head awaiting injection and every unrouted header VC —
+// to n.requests, resolving destination-reached headers in place. This
+// is the per-router body of the original full scan, factored out so the
+// worklist and DebugFullScan paths share it verbatim.
+func (n *Network) gatherRequests(r *router) {
+	if r.inj.msg == nil && len(r.srcQ) > 0 {
+		n.requests = append(n.requests, request{node: r.id, port: InjectPort})
+	}
+	for _, code := range r.active {
+		s := r.vcAt(code)
+		if s.routed || s.count == 0 {
+			continue // body VC, or claimed with header still in flight
+		}
+		if !s.headIsHeader() {
+			panic("core: unrouted VC with non-header at head")
+		}
+		if s.owner.Dst == r.id {
+			s.routed = true
+			s.out = Channel{Dir: topology.Local}
+			s.dvc = nil
+			continue
+		}
+		n.requests = append(n.requests, request{node: r.id, port: s.port, vc: s.idx})
 	}
 }
 
@@ -490,96 +548,116 @@ func (n *Network) allocate(node topology.NodeID, cands *CandidateSet) (Channel, 
 
 // switchPhase performs switch allocation (one flit per input port and
 // per output physical channel per cycle; EjectBW flits on the local
-// output) and commits the staged flit moves.
+// output) and commits the staged flit moves. It iterates the dirty set
+// RE-COLLECTED after the routing phase: VC allocation may have claimed
+// input VCs of routers that were idle at cycle start, and the full scan
+// gave exactly those routers an outOrder shuffle (consuming RNG), so
+// the worklist must visit them too. Routers whose only state is a
+// waiting source queue fail the same idle guard the full scan applies
+// and consume nothing — membership is a superset of the guard, never a
+// substitute for it.
 func (n *Network) switchPhase() {
 	n.moves = n.moves[:0]
-	for i := range n.routers {
-		r := &n.routers[i]
-		if len(r.active) == 0 && r.inj.msg == nil {
-			continue
+	if DebugFullScan {
+		for i := range n.routers {
+			n.switchAllocRouter(&n.routers[i])
 		}
-		var portUsed [NumPorts]bool
-		// Random output service order for fairness between outputs that
-		// contend for the same input ports.
-		n.outOrder = [NumPorts]topology.Direction{topology.East, topology.West, topology.North, topology.South, topology.Local}
-		for k := NumPorts - 1; k > 0; k-- {
-			j := n.rng.Intn(k + 1)
-			n.outOrder[k], n.outOrder[j] = n.outOrder[j], n.outOrder[k]
-		}
-		// One pre-pass buckets the routed VCs by output direction, in
-		// r.active order. Each output's sender scan then touches only
-		// the VCs that could possibly send there instead of rescanning
-		// the full active list per output × capacity iteration. The
-		// rewrite is bit-identical to the full rescans: output direction,
-		// routed, and count are all frozen for the duration of the switch
-		// phase (flits move at commit), buckets preserve r.active order,
-		// and the per-iteration conditions (portUsed, stagedOut, credit)
-		// are still evaluated in the scan — so every sender list is
-		// element-for-element the one the rescan would build, and an
-		// output with an empty bucket and no injector is skipped without
-		// consuming the RNG, exactly like an empty-scan break.
-		for d := range n.sendq {
-			n.sendq[d] = n.sendq[d][:0]
-		}
-		for _, code := range r.active {
-			s := r.vcAt(code)
-			if s.routed && s.count > 0 {
-				n.sendq[s.out.Dir] = append(n.sendq[s.out.Dir], s)
-			}
-		}
-		injDir := topology.Direction(NumPorts) // sentinel: no pending injector
-		if m := r.inj.msg; m != nil && m.flitsInjected < m.Length {
-			injDir = r.inj.out.Dir
-		}
-		for _, out := range n.outOrder {
-			bucket := n.sendq[out]
-			if len(bucket) == 0 && injDir != out {
-				continue
-			}
-			capacity := 1
-			if out == topology.Local {
-				capacity = n.Cfg.EjectBW
-			}
-			for capacity > 0 {
-				n.sendVCs = n.sendVCs[:0]
-				for _, s := range bucket {
-					if portUsed[s.port] || s.stagedOut == n.cycle {
-						continue
-					}
-					if out != topology.Local && !n.hasCredit(s.dvc) {
-						continue
-					}
-					n.sendVCs = append(n.sendVCs, s)
-				}
-				if out != topology.Local && injDir == out && !portUsed[InjectPort] {
-					if n.hasCredit(r.inj.dvc) {
-						n.sendVCs = append(n.sendVCs, nil) // nil = injection slot
-					}
-				}
-				if len(n.sendVCs) == 0 {
-					break
-				}
-				w := n.sendVCs[n.rng.Intn(len(n.sendVCs))]
-				switch {
-				case w == nil:
-					portUsed[InjectPort] = true
-					r.inj.dvc.stagedIn = n.cycle
-					n.moves = append(n.moves, move{kind: moveInject, node: r.id})
-				case out == topology.Local:
-					portUsed[w.port] = true
-					w.stagedOut = n.cycle
-					n.moves = append(n.moves, move{kind: moveEject, node: r.id, port: w.port, vc: w.idx})
-				default:
-					portUsed[w.port] = true
-					w.stagedOut = n.cycle
-					w.dvc.stagedIn = n.cycle
-					n.moves = append(n.moves, move{kind: moveLink, node: r.id, port: w.port, vc: w.idx})
-				}
-				capacity--
-			}
+	} else {
+		n.collectWork()
+		for _, id := range n.work {
+			n.switchAllocRouter(&n.routers[id])
 		}
 	}
 	n.commit()
+}
+
+// switchAllocRouter stages router r's flit moves for this cycle — the
+// per-router body of the original switch-phase scan, shared by the
+// worklist and DebugFullScan paths.
+func (n *Network) switchAllocRouter(r *router) {
+	if len(r.active) == 0 && r.inj.msg == nil {
+		return
+	}
+	var portUsed [NumPorts]bool
+	// Random output service order for fairness between outputs that
+	// contend for the same input ports.
+	n.outOrder = [NumPorts]topology.Direction{topology.East, topology.West, topology.North, topology.South, topology.Local}
+	for k := NumPorts - 1; k > 0; k-- {
+		j := n.rng.Intn(k + 1)
+		n.outOrder[k], n.outOrder[j] = n.outOrder[j], n.outOrder[k]
+	}
+	// One pre-pass buckets the routed VCs by output direction, in
+	// r.active order. Each output's sender scan then touches only
+	// the VCs that could possibly send there instead of rescanning
+	// the full active list per output × capacity iteration. The
+	// rewrite is bit-identical to the full rescans: output direction,
+	// routed, and count are all frozen for the duration of the switch
+	// phase (flits move at commit), buckets preserve r.active order,
+	// and the per-iteration conditions (portUsed, stagedOut, credit)
+	// are still evaluated in the scan — so every sender list is
+	// element-for-element the one the rescan would build, and an
+	// output with an empty bucket and no injector is skipped without
+	// consuming the RNG, exactly like an empty-scan break.
+	for d := range n.sendq {
+		n.sendq[d] = n.sendq[d][:0]
+	}
+	for _, code := range r.active {
+		s := r.vcAt(code)
+		if s.routed && s.count > 0 {
+			n.sendq[s.out.Dir] = append(n.sendq[s.out.Dir], s)
+		}
+	}
+	injDir := topology.Direction(NumPorts) // sentinel: no pending injector
+	if m := r.inj.msg; m != nil && m.flitsInjected < m.Length {
+		injDir = r.inj.out.Dir
+	}
+	for _, out := range n.outOrder {
+		bucket := n.sendq[out]
+		if len(bucket) == 0 && injDir != out {
+			continue
+		}
+		capacity := 1
+		if out == topology.Local {
+			capacity = n.Cfg.EjectBW
+		}
+		for capacity > 0 {
+			n.sendVCs = n.sendVCs[:0]
+			for _, s := range bucket {
+				if portUsed[s.port] || s.stagedOut == n.cycle {
+					continue
+				}
+				if out != topology.Local && !n.hasCredit(s.dvc) {
+					continue
+				}
+				n.sendVCs = append(n.sendVCs, s)
+			}
+			if out != topology.Local && injDir == out && !portUsed[InjectPort] {
+				if n.hasCredit(r.inj.dvc) {
+					n.sendVCs = append(n.sendVCs, nil) // nil = injection slot
+				}
+			}
+			if len(n.sendVCs) == 0 {
+				break
+			}
+			w := n.sendVCs[n.rng.Intn(len(n.sendVCs))]
+			switch {
+			case w == nil:
+				portUsed[InjectPort] = true
+				r.inj.dvc.stagedIn = n.cycle
+				n.moves = append(n.moves, move{kind: moveInject, node: r.id})
+			case out == topology.Local:
+				portUsed[w.port] = true
+				w.stagedOut = n.cycle
+				n.moves = append(n.moves, move{kind: moveEject, node: r.id, port: w.port, vc: w.idx})
+			default:
+				portUsed[w.port] = true
+				w.stagedOut = n.cycle
+				w.dvc.stagedIn = n.cycle
+				n.moves = append(n.moves, move{kind: moveLink, node: r.id, port: w.port, vc: w.idx})
+			}
+			capacity--
+		}
+	}
 }
 
 // hasCredit reports whether a downstream VC can accept one more flit
@@ -618,6 +696,9 @@ func (n *Network) commit() {
 			if idx == m.Length-1 {
 				r.srcQ = popFrontMsg(r.srcQ)
 				r.inj.msg = nil
+				// The source router may now be fully drained (all of
+				// m's flits live downstream).
+				n.checkIdle(r)
 			}
 			m.lastMove = n.cycle
 			n.lastGlobalMove = n.cycle
@@ -673,7 +754,9 @@ func (n *Network) commit() {
 	}
 }
 
-// releaseVC accumulates the VC's busy time and frees it.
+// releaseVC accumulates the VC's busy time and frees it. Releasing the
+// router's last VC may empty it of engine state entirely, so the
+// dirty-set membership is re-checked here.
 func (n *Network) releaseVC(r *router, s *vcState) {
 	start := s.acquired
 	if start < n.statsStart {
@@ -684,4 +767,5 @@ func (n *Network) releaseVC(r *router, s *vcState) {
 		n.stats.VCAcquired[s.idx]++
 	}
 	r.release(s, n.Cfg.NumVCs)
+	n.checkIdle(r)
 }

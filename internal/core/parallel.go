@@ -43,10 +43,12 @@ import (
 // (the registry lives above core). Call DisableParallel (or
 // Network.Close) to stop the worker pool.
 
-// fallbackNodes is the mesh size below which the parallel engine runs
+// fallbackNodes is the worklist length (busy-router count; the full
+// node count under DebugFullScan) below which the parallel engine runs
 // its node phases inline on the calling goroutine instead of waking the
 // worker pool: cross-goroutine handoff costs microseconds per phase,
-// which dwarfs the per-node work when only a few hundred routers exist.
+// which dwarfs the per-node work when only a few hundred routers
+// participate.
 // Sharding additionally requires GOMAXPROCS > 1 — on a single-CPU host
 // the handoff is pure loss at every size (benchmarked in DESIGN.md).
 // Semantics are unaffected either way: arbitration derives from hashed
@@ -74,11 +76,14 @@ type parallelEngine struct {
 	grantEpoch []int64
 
 	// Persistent worker pool. The calling goroutine acts as worker 0;
-	// wake[w-1] signals worker w (1-based) to run the current phase.
-	phaseFn    func(worker, node int)
-	phaseNodes int
-	wake       []chan struct{}
-	wg         sync.WaitGroup
+	// wake[w-1] signals worker w (1-based) to run the current phase
+	// over its shard of phaseWork — the dirty-router worklist (or the
+	// constant all-nodes list under DebugFullScan), so workers
+	// partition the routers that actually have work, not the mesh.
+	phaseFn   func(worker, node int)
+	phaseWork []topology.NodeID
+	wake      []chan struct{}
+	wg        sync.WaitGroup
 
 	// maxprocs caches runtime.GOMAXPROCS at EnableParallel: with one
 	// scheduler thread the pool dispatch is pure overhead, so phases
@@ -184,44 +189,50 @@ func (n *Network) DisableParallel() {
 }
 
 // worker is the persistent body of pool worker w: each wake-up runs the
-// current phase over the worker's node shard.
+// current phase over the worker's strided shard of the worklist.
 func (pe *parallelEngine) worker(w int, wake <-chan struct{}) {
 	for range wake {
-		fn, nodes, stride := pe.phaseFn, pe.phaseNodes, pe.workers
-		for i := w; i < nodes; i += stride {
-			fn(w, i)
+		fn, work, stride := pe.phaseFn, pe.phaseWork, pe.workers
+		for i := w; i < len(work); i += stride {
+			fn(w, int(work[i]))
 		}
 		pe.wg.Done()
 	}
 }
 
-// shouldShard reports whether a phase over the given node count is
-// worth dispatching to the worker pool: enough nodes to amortize the
-// handoff AND more than one scheduler thread to run them on.
-func (pe *parallelEngine) shouldShard(nodes int) bool {
+// shouldShard reports whether a phase over the given worklist length is
+// worth dispatching to the worker pool: enough busy routers to amortize
+// the handoff AND more than one scheduler thread to run them on. The
+// threshold now gates on ACTIVITY, not mesh size — a huge mesh at low
+// load falls back to the inline loop, because waking workers to visit a
+// handful of routers costs more than visiting them.
+func (pe *parallelEngine) shouldShard(busy int) bool {
 	if pe.forceShard {
 		return pe.workers > 1
 	}
-	return pe.workers > 1 && pe.maxprocs > 1 && nodes >= fallbackNodes
+	return pe.workers > 1 && pe.maxprocs > 1 && busy >= fallbackNodes
 }
 
-// forEachNode runs fn over all node indices. Large meshes shard across
-// the persistent workers (the caller takes shard 0); small meshes and
-// single-CPU hosts run inline — see fallbackNodes.
-func (pe *parallelEngine) forEachNode(nodes int, fn func(worker, node int)) {
-	if !pe.shouldShard(nodes) {
-		for i := 0; i < nodes; i++ {
-			fn(0, i)
+// forEachWork runs fn over the routers named in work. Long worklists
+// shard across the persistent workers (the caller takes shard 0);
+// short worklists and single-CPU hosts run inline — see fallbackNodes.
+// Sharding never affects results: all randomness comes from hashed
+// per-(cycle, node) streams, and no phase writes state shared between
+// distinct routers.
+func (pe *parallelEngine) forEachWork(work []topology.NodeID, fn func(worker, node int)) {
+	if !pe.shouldShard(len(work)) {
+		for _, id := range work {
+			fn(0, int(id))
 		}
 		return
 	}
-	pe.phaseFn, pe.phaseNodes = fn, nodes
+	pe.phaseFn, pe.phaseWork = fn, work
 	pe.wg.Add(pe.workers - 1)
 	for _, ch := range pe.wake {
 		ch <- struct{}{}
 	}
-	for i := 0; i < nodes; i += pe.workers {
-		fn(0, i)
+	for i := 0; i < len(work); i += pe.workers {
+		fn(0, int(work[i]))
 	}
 	pe.wg.Wait()
 }
@@ -294,13 +305,33 @@ func (n *Network) switchNodeParallel(worker, i int) {
 	pe.moved[i] = n.switchAllocateNode(i, pe.moved[i][:0], worker)
 }
 
-// stepParallel is Step's parallel-mode body.
+// stepParallel is Step's parallel-mode body. All four phases run over
+// the dirty-router worklist (ascending router order — the order the
+// full 0..N-1 loops visited): P1 clears and refills pe.reqs only for
+// visited routers, so P2/P4 must iterate the same snapshots to avoid
+// reading stale per-node scratch from earlier cycles. Under
+// DebugFullScan every phase runs over the constant all-nodes list,
+// which is byte-for-byte the original engine. Equivalence needs no RNG
+// argument here: every random choice hashes (seed, cycle, node), so
+// skipping idle nodes — which stage no requests and no moves — cannot
+// shift anyone else's stream.
 func (n *Network) stepParallel() {
 	pe := n.par
-	nodes := n.Mesh.NodeCount()
+	if n.busyCount == 0 && !DebugFullScan {
+		// Fully quiescent: no requests, no senders, no moves — only the
+		// watchdog (which sees an empty active set) and the clock tick.
+		n.watchdog()
+		n.cycle++
+		return
+	}
+	work := n.allNodes
+	if !DebugFullScan {
+		n.collectWork()
+		work = n.work
+	}
 
 	// P1: every header selects one free candidate.
-	pe.forEachNode(nodes, pe.p1)
+	pe.forEachWork(work, pe.p1)
 
 	// P2: grant each contested downstream VC to the hash-tournament
 	// winner. The table is indexed by the dense ChannelID of the
@@ -309,8 +340,8 @@ func (n *Network) stepParallel() {
 	// arbKey (see channelid.go) to keep outcomes identical across
 	// engine revisions.
 	cycle := n.cycle
-	for i := 0; i < nodes; i++ {
-		from := topology.NodeID(i)
+	for _, from := range work {
+		i := int(from)
 		for ri := range pe.reqs[i] {
 			req := &pe.reqs[i][ri]
 			c := n.downstreamChanID(from, req.choice)
@@ -328,8 +359,8 @@ func (n *Network) stepParallel() {
 		}
 	}
 	// Apply grants in node order.
-	for i := 0; i < nodes; i++ {
-		from := topology.NodeID(i)
+	for _, from := range work {
+		i := int(from)
 		for ri := range pe.reqs[i] {
 			req := &pe.reqs[i][ri]
 			c := n.downstreamChanID(from, req.choice)
@@ -342,6 +373,7 @@ func (n *Network) stepParallel() {
 				continue // freshness double-check
 			}
 			dr.claim(req.choice.Dir.Opposite(), int(req.choice.VC), req.msg, n.cycle, n.Cfg.NumVCs)
+			n.markBusy(dr.id) // downstream router now owns a VC
 			if req.port == InjectPort {
 				r.inj = injState{msg: req.msg, out: req.choice, dvc: dvc}
 				req.msg.lastMove = n.cycle
@@ -362,13 +394,21 @@ func (n *Network) stepParallel() {
 		}
 	}
 
-	// P3: switch allocation, staged per node.
-	pe.forEachNode(nodes, pe.p3)
+	// P3: switch allocation, staged per node. Re-collect the worklist:
+	// the grant application above may have claimed VCs of routers that
+	// were idle at cycle start, and their staged moves (none this cycle,
+	// but the visit clears pe.moved for P4) belong to this cycle's
+	// traversal, mirroring the serial engine's re-collection.
+	if !DebugFullScan {
+		n.collectWork()
+		work = n.work
+	}
+	pe.forEachWork(work, pe.p3)
 
 	// P4: serial commit in node order.
 	n.moves = n.moves[:0]
-	for i := 0; i < nodes; i++ {
-		n.moves = append(n.moves, pe.moved[i]...)
+	for _, id := range work {
+		n.moves = append(n.moves, pe.moved[id]...)
 	}
 	n.commit()
 

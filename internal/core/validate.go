@@ -23,12 +23,24 @@ import (
 //     back-references;
 //   - the network-wide active message set is consistent (dense indices,
 //     no duplicates);
-//   - faulty routers hold no traffic.
+//   - faulty routers hold no traffic;
+//   - the dirty-router set holds exactly the routers with engine state
+//     (worklist.go's membership invariant), and its population count
+//     matches the bitmap.
 func (n *Network) Validate() error {
+	busyBits := 0
 	for i := range n.routers {
 		r := &n.routers[i]
 		id := topology.NodeID(i)
 		faulty := n.Faults.IsFaulty(id)
+		wantBusy := len(r.active) > 0 || len(r.srcQ) > 0 || r.inj.msg != nil
+		if got := n.isBusy(id); got != wantBusy {
+			return fmt.Errorf("node %d: dirty-set membership %v, want %v (active=%d srcQ=%d inj=%v)",
+				id, got, wantBusy, len(r.active), len(r.srcQ), r.inj.msg != nil)
+		}
+		if wantBusy {
+			busyBits++
+		}
 		// Epoch-stamp the router's active codes: valSeen[code] ==
 		// n.valEpoch marks membership without any per-call clearing.
 		n.valEpoch++
@@ -97,6 +109,9 @@ func (n *Network) Validate() error {
 				}
 			}
 		}
+	}
+	if busyBits != n.busyCount {
+		return fmt.Errorf("dirty-set population %d, want %d", n.busyCount, busyBits)
 	}
 	for i, m := range n.active {
 		if m == nil {

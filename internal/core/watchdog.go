@@ -89,6 +89,7 @@ func (n *Network) kill(m *Message) {
 	if len(src.srcQ) > 0 && src.srcQ[0] == m {
 		src.srcQ = popFrontMsg(src.srcQ)
 	}
+	n.checkIdle(src) // the teardown may have emptied the source router
 	n.removeActive(m)
 	m.Killed = true
 	if n.tracer != nil {
@@ -107,6 +108,7 @@ func (n *Network) kill(m *Message) {
 		src.srcQ = append(src.srcQ, nil)
 		copy(src.srcQ[1:], src.srcQ)
 		src.srcQ[0] = clone
+		n.markBusy(m.Src) // the re-queued clone re-dirties the source
 		n.addActive(clone)
 	}
 	n.recycle(m)

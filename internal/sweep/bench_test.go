@@ -38,3 +38,32 @@ func BenchmarkSweepCell(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepCellLowRate is the same harness at the bottom of the
+// paper's load axis, where almost every cycle is quiescent. This is
+// the cell the activity-driven engine (core/worklist.go) and the
+// traffic tick short-circuit were built for: the low-rate points that
+// dominate a latency-vs-load curve's left half used to cost the same
+// per cycle as saturated ones.
+func BenchmarkSweepCellLowRate(b *testing.B) {
+	base := sim.DefaultParams()
+	base.Algorithm = "Duato-Nbc"
+	base.MessageLength = 32
+	base.Faults = 6
+	base.WarmupCycles = 400
+	base.MeasureCycles = 1200
+	var points []Point
+	for _, rate := range []float64{0.0005, 0.001, 0.0015} {
+		p := base
+		p.Rate = rate
+		points = append(points, FaultReplicas(fmt.Sprintf("lowcell@%g", rate), p, 5)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Run(points, 1, nil)
+		if err := FirstError(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

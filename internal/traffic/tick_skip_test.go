@@ -1,0 +1,100 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/topology"
+)
+
+// emittedMsg records the observable content of a generated message so
+// two sources' output streams can be compared field by field.
+type emittedMsg struct {
+	id       int64
+	src, dst topology.NodeID
+	length   int
+	genTime  int64
+}
+
+func collectTicks(s *Source, cycles int64, defeatSkip bool) []emittedMsg {
+	var out []emittedMsg
+	emit := func(m *core.Message) bool {
+		out = append(out, emittedMsg{m.ID, m.Src, m.Dst, m.Length, m.GenTime})
+		return true
+	}
+	for c := int64(0); c < cycles; c++ {
+		if defeatSkip {
+			// Force the full per-node scan on every cycle: the
+			// reference behavior the nextMin short-circuit must match.
+			s.nextMin = math.Inf(-1)
+		}
+		s.Tick(c, emit)
+	}
+	return out
+}
+
+// TestTickSkipMatchesScan is the traffic-side equivalence contract:
+// the nextMin idle-cycle short-circuit in Source.Tick must produce a
+// message stream identical to scanning every node on every cycle. Two
+// sources are built from identical seeds; one has its cache defeated
+// (nextMin forced to -Inf before each tick) so it always takes the
+// scan path. A skipped cycle draws nothing from the RNG — neither
+// does a scan cycle where no node is due — so the streams, and the
+// RNG states behind them, must stay in lockstep.
+func TestTickSkipMatchesScan(t *testing.T) {
+	for _, rate := range []float64{0.0005, 0.004, 0.02} {
+		f := model10(t)
+		fast, err := NewSource(f, NewUniform(f), rate, 16, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := NewSource(f, NewUniform(f), rate, 16, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const cycles = 5000
+		got := collectTicks(fast, cycles, false)
+		want := collectTicks(slow, cycles, true)
+		if len(got) == 0 {
+			t.Fatalf("rate %v: no messages generated; equivalence is vacuous", rate)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rate %v: skip path emitted %d messages, scan path %d", rate, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rate %v: message %d diverged: skip=%+v scan=%+v", rate, i, got[i], want[i])
+			}
+		}
+		if fast.Generated() != slow.Generated() {
+			t.Fatalf("rate %v: Generated() %d vs %d", rate, fast.Generated(), slow.Generated())
+		}
+	}
+}
+
+// TestTickIdleAllocs locks in the cost model of an idle tick: cycles
+// before the earliest pending arrival must return after the nextMin
+// comparison without calling emit and without allocating.
+func TestTickIdleAllocs(t *testing.T) {
+	f := model10(t)
+	s, err := NewSource(f, NewUniform(f), 1e-9, 16, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ExpFloat64 is strictly positive, so every arrival lies after
+	// cycle 0 and ticks at cycle 0 are guaranteed idle.
+	if s.nextMin <= 0 {
+		t.Fatalf("nextMin = %v, expected positive first arrivals", s.nextMin)
+	}
+	calls := 0
+	emit := func(m *core.Message) bool { calls++; return true }
+	allocs := testing.AllocsPerRun(1000, func() { s.Tick(0, emit) })
+	if allocs != 0 {
+		t.Errorf("idle Tick allocates %.2f objects, want 0", allocs)
+	}
+	if calls != 0 {
+		t.Errorf("idle Tick called emit %d times, want 0", calls)
+	}
+}

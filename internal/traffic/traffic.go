@@ -7,6 +7,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"wormmesh/internal/core"
@@ -264,6 +265,17 @@ type Source struct {
 	nodes []topology.NodeID
 	next  []float64
 	seq   int64
+
+	// nextMin caches min(next): Tick returns immediately when the
+	// earliest pending arrival lies beyond the current cycle, so an
+	// idle tick costs one comparison instead of a full per-node scan.
+	// At the paper's low rates almost every cycle is idle — this is the
+	// traffic-side twin of the engine's quiescent-cycle short-circuit
+	// (core/worklist.go). The skip cannot change the generated stream:
+	// a node with next[i] > t draws nothing from the RNG in the scan,
+	// so skipping a cycle where ALL nodes satisfy that draws nothing,
+	// exactly like the scan would.
+	nextMin float64
 }
 
 // NewSource builds a generator. rate is in messages per node per
@@ -284,9 +296,13 @@ func NewSource(f *fault.Model, p Pattern, rate float64, length int, rng *rand.Ra
 		nodes:   f.HealthyNodes(),
 	}
 	s.next = make([]float64, len(s.nodes))
+	s.nextMin = math.Inf(1)
 	for i := range s.next {
 		// Desynchronize the first arrivals.
 		s.next[i] = s.rng.ExpFloat64() / rate
+		if s.next[i] < s.nextMin {
+			s.nextMin = s.next[i]
+		}
 	}
 	return s, nil
 }
@@ -317,8 +333,12 @@ func (s *Source) Reset(f *fault.Model, p Pattern, rate float64, length int, rng 
 	} else {
 		s.next = make([]float64, len(s.nodes))
 	}
+	s.nextMin = math.Inf(1)
 	for i := range s.next {
 		s.next[i] = s.rng.ExpFloat64() / rate
+		if s.next[i] < s.nextMin {
+			s.nextMin = s.next[i]
+		}
 	}
 	return nil
 }
@@ -329,9 +349,15 @@ func (s *Source) Generated() int64 { return s.seq }
 // Tick emits the messages due at the given cycle through emit (usually
 // Network.Offer). emit's return value is ignored beyond accounting —
 // a refused offer (full source queue) drops the message, modeling the
-// node's interface back-pressure.
+// node's interface back-pressure. Cycles before the earliest pending
+// arrival return after a single comparison (see nextMin); scan cycles
+// refresh the cache for free while walking the nodes.
 func (s *Source) Tick(cycle int64, emit func(*core.Message) bool) {
 	t := float64(cycle)
+	if s.nextMin > t {
+		return // nothing due anywhere: the scan would emit nothing
+	}
+	min := math.Inf(1)
 	for i, node := range s.nodes {
 		for s.next[i] <= t {
 			s.next[i] += s.rng.ExpFloat64() / s.rate
@@ -349,5 +375,9 @@ func (s *Source) Tick(cycle int64, emit func(*core.Message) bool) {
 			m.GenTime = cycle
 			emit(m)
 		}
+		if s.next[i] < min {
+			min = s.next[i]
+		}
 	}
+	s.nextMin = min
 }
