@@ -17,11 +17,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"wormmesh/internal/experiments"
+	"wormmesh/internal/metrics"
 	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
 )
@@ -32,6 +35,7 @@ func main() {
 	var csvDir string
 	var algs string
 	var cpuProfile, memProfile string
+	var metricsAddr string
 	flag.BoolVar(&quick, "quick", false, "reduced cycle counts (CI scale)")
 	flag.IntVar(&opt.FaultSets, "sets", opt.FaultSets, "fault sets per case")
 	flag.Int64Var(&opt.WarmupCycles, "warmup", opt.WarmupCycles, "warm-up cycles")
@@ -42,6 +46,7 @@ func main() {
 	flag.StringVar(&algs, "algs", "", "comma-separated algorithm subset")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&metricsAddr, "metrics-addr", "", "serve live sweep-progress metrics (Prometheus text) on this address, e.g. :9090")
 	flag.Parse()
 	stopProf, err := prof.Start(cpuProfile, memProfile)
 	if err != nil {
@@ -53,6 +58,23 @@ func main() {
 		opt.WarmupCycles, opt.MeasureCycles, opt.FaultSets = q.WarmupCycles, q.MeasureCycles, q.FaultSets
 	}
 	opt.Progress = os.Stderr
+
+	if metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		opt.SweepMetrics = metrics.NewSweep(reg)
+		reg.PublishExpvar()
+		_, addr, err := metrics.Serve(metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving live metrics on http://%s/metrics\n", addr)
+	}
+
+	// With -csv, a manifest.json lands next to the tables: parameters,
+	// command line, wall time, and a digest per CSV so two regenerations
+	// can be compared for bit-identity without diffing the files.
+	var manifest *metrics.Manifest
+	csvDigests := map[string]string{}
 
 	var algorithms []string
 	if algs != "" {
@@ -74,6 +96,11 @@ func main() {
 		want[t] = true
 	}
 
+	if csvDir != "" {
+		manifest = metrics.NewManifest("experiments", opt)
+		manifest.Seeds = []int64{opt.Seed}
+	}
+
 	saveCSV := func(name string, t *report.Table) {
 		if csvDir == "" {
 			return
@@ -86,9 +113,11 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := t.WriteCSV(f); err != nil {
+		h := fnv.New64a()
+		if err := t.WriteCSV(io.MultiWriter(f, h)); err != nil {
 			fatal(err)
 		}
+		csvDigests[name] = fmt.Sprintf("fnv1a:%016x", h.Sum64())
 		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(csvDir, name+".csv"))
 	}
 
@@ -227,6 +256,13 @@ func main() {
 		must(res.Table().Write(os.Stdout))
 		saveCSV("saturation_points", res.Table())
 		fmt.Println()
+	}
+
+	if manifest != nil {
+		must(manifest.Finish(csvDigests))
+		path := filepath.Join(csvDir, "manifest.json")
+		must(manifest.WriteFile(path))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"wormmesh"
+	"wormmesh/internal/metrics"
 	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
 	"wormmesh/internal/sweep"
@@ -24,8 +25,8 @@ func main() {
 	var total int64
 	var list, heat, traceFlits bool
 	var windows int64
-	var traceFile string
-	var engineWorkers, reps int
+	var traceFile, postmortemFile, metricsAddr, manifestFile string
+	var engineWorkers, reps, flightrecEvents int
 	var cpuProfile, memProfile string
 	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
 	flag.IntVar(&p.Width, "width", p.Width, "mesh width")
@@ -43,8 +44,12 @@ func main() {
 	flag.BoolVar(&list, "list", false, "list algorithms and exit")
 	flag.BoolVar(&heat, "heatmap", false, "print the per-node traffic load heatmap")
 	flag.Int64Var(&windows, "windows", 0, "collect time-series windows of this many cycles")
-	flag.StringVar(&traceFile, "trace", "", "write the event stream as JSON lines to this file")
+	flag.StringVar(&traceFile, "trace", "", "write the event stream as JSON lines to this file (with -reps > 1, only the first replication is traced)")
 	flag.BoolVar(&traceFlits, "trace-flits", false, "include per-flit hops in the trace")
+	flag.StringVar(&postmortemFile, "postmortem", "", "write a deadlock post-mortem (wait-for graph, blocked chains, recent events) to this file at each global watchdog firing (with -reps > 1, first replication only)")
+	flag.IntVar(&flightrecEvents, "flightrec", 0, "flight recorder ring capacity in events (0 = off unless -postmortem is set)")
+	flag.StringVar(&metricsAddr, "metrics-addr", "", "serve live Prometheus metrics on this address (e.g. :9090; endpoints /metrics and /debug/vars)")
+	flag.StringVar(&manifestFile, "manifest", "", "write a JSON run manifest (params, seeds, wall time, result digest) to this file")
 	flag.IntVar(&engineWorkers, "engine-workers", 0, "use the deterministic parallel engine with this many workers")
 	flag.IntVar(&reps, "reps", 1, "replications over fault sets/seeds, reported as mean ± 95% CI")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -81,9 +86,39 @@ func main() {
 		p.TraceWriter = f
 		p.TraceFlits = traceFlits
 	}
+	if postmortemFile != "" {
+		f, err := os.Create(postmortemFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p.PostmortemWriter = f
+	}
+	p.FlightRecorderEvents = flightrecEvents
+
+	var sweepMetrics *metrics.Sweep
+	if metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		p.Metrics = metrics.NewSim(reg)
+		sweepMetrics = metrics.NewSweep(reg)
+		reg.PublishExpvar()
+		_, addr, err := metrics.Serve(metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "meshsim: serving live metrics on http://%s/metrics\n", addr)
+	}
+
+	var manifest *metrics.Manifest
+	if manifestFile != "" {
+		manifest = metrics.NewManifest("meshsim", p)
+		manifest.Seeds = []int64{p.Seed}
+	}
 
 	if reps > 1 {
-		runReplications(p, reps)
+		runReplications(p, reps, sweepMetrics, manifest, manifestFile)
 		return
 	}
 
@@ -93,6 +128,7 @@ func main() {
 		os.Exit(1)
 	}
 	st := res.Stats
+	writeManifest(manifest, manifestFile, st)
 
 	fmt.Printf("%dx%d mesh, %s, %s traffic, rate %g msg/node/cycle, %d-flit messages, %d VCs\n",
 		p.Width, p.Height, p.Algorithm, p.Pattern, p.Rate, p.MessageLength, p.Config.NumVCs)
@@ -116,6 +152,10 @@ func main() {
 	t.AddRow("avg hops", st.AvgHops())
 	t.AddRow("avg detour hops", st.AvgDetour())
 	t.AddRow("killed (recovery)", st.Killed)
+	if st.Killed > 0 {
+		t.AddRow("  killed global/stall/livelock",
+			fmt.Sprintf("%d/%d/%d", st.KilledGlobal, st.KilledStall, st.KilledLivelock))
+	}
 	t.AddRow("deadlock events", st.DeadlockEvents)
 	if err := t.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
@@ -165,15 +205,37 @@ func main() {
 
 // runReplications runs the configuration over several fault sets and
 // seeds in parallel and reports mean and 95% confidence intervals.
-func runReplications(p wormmesh.Params, reps int) {
+// Per-run observers stay on the FIRST replication only: the points run
+// concurrently on a worker pool, so sharing one trace/post-mortem
+// writer or engine-metrics sampler across replications would interleave
+// their streams (the -trace flag documents this).
+func runReplications(p wormmesh.Params, reps int, sm *metrics.Sweep, manifest *metrics.Manifest, manifestFile string) {
 	points := sweep.FaultReplicas("rep", p, reps)
-	outcomes := wormmesh.RunBatch(points, 0)
+	if manifest != nil {
+		manifest.Seeds = nil
+		for _, pt := range points {
+			manifest.Seeds = append(manifest.Seeds, pt.Params.Seed)
+		}
+	}
+	for i := 1; i < len(points); i++ {
+		points[i].Params.TraceWriter = nil
+		points[i].Params.PostmortemWriter = nil
+		points[i].Params.Metrics = nil
+	}
+	var progress func(done, total int)
+	if sm != nil {
+		sm.Start(len(points))
+		defer sm.Finish()
+		progress = sm.Progress
+	}
+	outcomes := sweep.Run(points, 0, progress)
 	if err := sweep.FirstError(outcomes); err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
 	}
 	cells := sweep.Aggregate(outcomes)
 	c := cells[0]
+	writeManifest(manifest, manifestFile, cells)
 	fmt.Printf("%d replications of %s (rate %g, %d faults):\n", c.N, p.Algorithm, p.Rate, p.Faults)
 	t := report.NewTable("metric", "mean", "ci95", "std")
 	t.AddRow("latency (cycles)", c.Latency.Mean(), c.Latency.CI95(), c.Latency.Std())
@@ -183,6 +245,25 @@ func runReplications(p wormmesh.Params, reps int) {
 	t.AddRow("killed fraction", c.KilledFraction.Mean(), c.KilledFraction.CI95(), c.KilledFraction.Std())
 	if err := t.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(1)
+	}
+}
+
+// writeManifest finalizes and writes the run manifest when -manifest
+// was given: the results payload is digested (FNV-1a over its JSON
+// encoding) so two runs can be compared for bit-identity at a glance.
+func writeManifest(m *metrics.Manifest, path string, results any) {
+	if m == nil {
+		return
+	}
+	if err := m.Finish(results); err == nil {
+		err = m.WriteFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim: manifest:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "meshsim: manifest:", err)
 		os.Exit(1)
 	}
 }

@@ -82,33 +82,47 @@ func BenchmarkStepLowLoad(b *testing.B) {
 // BenchmarkStepLoaded measures the per-cycle cost with live traffic.
 // Messages come from the network's arena, so a steady-state cycle
 // performs zero heap allocations (asserted by TestStepLoadedAllocs).
+// The flightrec variant runs the same workload with a saturated
+// 4096-event flight recorder ring installed, pricing the black-box
+// observation the sweeps can now leave on (the budget is <= 10% over
+// plain, still at zero allocs/op — diff the pair with cmd/benchdiff).
 func BenchmarkStepLoaded(b *testing.B) {
-	mesh := topology.New(10, 10)
-	cfg := DefaultConfig()
-	cfg.MaxSourceQueue = 4
-	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(2))
-	id := int64(0)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		// ~0.3 messages per cycle network-wide: a busy mesh.
-		if rng.Float64() < 0.3 {
-			src := topology.NodeID(rng.Intn(mesh.NodeCount()))
-			dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
-			if src != dst {
-				id++
-				m := n.AcquireMessage(id, src, dst, 16)
-				m.GenTime = n.Cycle()
-				n.Offer(m)
+	for _, variant := range []struct {
+		name     string
+		flightRe bool
+	}{{"plain", false}, {"flightrec", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			mesh := topology.New(10, 10)
+			cfg := DefaultConfig()
+			cfg.MaxSourceQueue = 4
+			n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
 			}
-		}
-		n.Step()
+			if variant.flightRe {
+				n.SetFlightRecorder(NewFlightRecorder(4096))
+			}
+			rng := rand.New(rand.NewSource(2))
+			id := int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// ~0.3 messages per cycle network-wide: a busy mesh.
+				if rng.Float64() < 0.3 {
+					src := topology.NodeID(rng.Intn(mesh.NodeCount()))
+					dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
+					if src != dst {
+						id++
+						m := n.AcquireMessage(id, src, dst, 16)
+						m.GenTime = n.Cycle()
+						n.Offer(m)
+					}
+				}
+				n.Step()
+			}
+			b.ReportMetric(float64(n.Snapshot().DeliveredFlits)/float64(b.N), "flits/cycle")
+		})
 	}
-	b.ReportMetric(float64(n.Snapshot().DeliveredFlits)/float64(b.N), "flits/cycle")
 }
 
 // BenchmarkStepParallel measures the parallel request–grant engine on

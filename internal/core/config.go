@@ -35,6 +35,14 @@ type Config struct {
 	// cycles that global motion masks). Zero disables the per-message
 	// check.
 	MessageStallCycles int64
+	// StallScanInterval is how often (in cycles) the watchdog scans the
+	// active set for per-message stalls and livelocks. The scan is
+	// O(in-flight messages), so it runs on a coarse cadence rather than
+	// every cycle; the historical hardcoded value was 1024, which stays
+	// the default. Values <= 0 fall back to 1024 at construction so
+	// hand-built Configs keep their old behavior; tests that need a
+	// stall scan to fire deterministically fast set it to 1.
+	StallScanInterval int64
 	// MaxHops is the livelock guard: a message that exceeds this many
 	// hops (possible only through misrouting or pathological f-ring
 	// circling) is torn down and counted. Zero disables the guard.
@@ -59,6 +67,7 @@ func DefaultConfig() Config {
 		EjectBW:            1,
 		DeadlockCycles:     3000,
 		MessageStallCycles: 5000,
+		StallScanInterval:  1024,
 		MaxHops:            0, // set per-mesh by the sim layer
 		Kill:               KillDrop,
 		Selection:          SelectRandomChannel,

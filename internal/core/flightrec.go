@@ -1,0 +1,244 @@
+package core
+
+import (
+	"io"
+
+	"wormmesh/internal/topology"
+)
+
+// Flight recorder. The JSONL Recorder is the right tool for offline
+// analysis of a whole run, but it is far too expensive to leave on
+// during a multi-hour sweep — every event is a JSON encode plus buffered
+// I/O. The FlightRecorder is the black-box counterpart: a fixed-capacity
+// ring buffer of compact binary events, appended with zero heap
+// allocations and zero RNG interaction, that always holds the LAST
+// capacity events of the run. When something goes wrong — the global
+// watchdog fires, a post-mortem is requested, an invariant trips — the
+// ring is decoded into the same TraceEvent shape the Recorder streams,
+// so every existing trace tool reads the dump unchanged.
+//
+// Recording is strictly read-only observation: no callback mutates the
+// network or draws from any RNG, so golden Stats are bit-identical with
+// the recorder on or off (locked in by internal/sim's golden tests).
+// The engine's disabled path stays one branch per event: the recorder
+// installs into the same n.tracer slot the JSONL Recorder uses, tee'd
+// when both are present (see SetFlightRecorder).
+
+// frKind is the compact event discriminator of one ring slot.
+type frKind uint8
+
+const (
+	frInject frKind = iota
+	frRoute
+	frFlit
+	frDeliver
+	frKill
+	frWatchdog
+)
+
+var frKindNames = [...]string{"inject", "route", "flit", "deliver", "kill", "watchdog"}
+
+// frEvent is one ring slot: a flat, pointer-free record (40 bytes) so
+// the ring is a single allocation that the garbage collector never has
+// to scan.
+type frEvent struct {
+	cycle int64
+	msg   int64
+	src   int32
+	dst   int32
+	node  int32
+	flit  int32
+	kind  frKind
+	dir   uint8
+	vc    uint8
+	cause uint8
+}
+
+// FlightRecorder is a Tracer that keeps the most recent events in a
+// preallocated ring. It is not safe for concurrent use; like every
+// Tracer it runs synchronously on the simulation goroutine.
+type FlightRecorder struct {
+	buf   []frEvent
+	next  int   // next slot to overwrite
+	total int64 // events ever recorded
+
+	// IncludeFlits controls whether per-flit link traversals are
+	// recorded (default true). Flit events dominate the volume, so a
+	// ring that should retain a long header-level history can drop them;
+	// a ring meant for deadlock post-mortems should keep them — the last
+	// flit movements show exactly where progress stopped.
+	IncludeFlits bool
+}
+
+// DefaultFlightRecorderEvents is the ring capacity drivers use when the
+// caller does not specify one: deep enough to span the tail of a stall
+// at header-event granularity, small enough (~160 KiB) to forget about.
+const DefaultFlightRecorderEvents = 4096
+
+// NewFlightRecorder builds a recorder holding the last `capacity`
+// events. Capacities < 1 fall back to DefaultFlightRecorderEvents.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = DefaultFlightRecorderEvents
+	}
+	return &FlightRecorder{buf: make([]frEvent, 0, capacity), IncludeFlits: true}
+}
+
+// Cap returns the ring capacity in events.
+func (f *FlightRecorder) Cap() int { return cap(f.buf) }
+
+// Len returns the number of events currently held (≤ Cap).
+func (f *FlightRecorder) Len() int { return len(f.buf) }
+
+// Total returns the number of events ever recorded, including those the
+// ring has since overwritten.
+func (f *FlightRecorder) Total() int64 { return f.total }
+
+// Reset empties the ring, retaining its storage.
+func (f *FlightRecorder) Reset() {
+	f.buf = f.buf[:0]
+	f.next = 0
+	f.total = 0
+}
+
+// record appends one event, overwriting the oldest slot once the ring
+// is full. The two branches keep the append allocation-free: the grow
+// path re-slices within the preallocated capacity.
+func (f *FlightRecorder) record(e frEvent) {
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else {
+		f.buf[f.next] = e
+		f.next++
+		if f.next == len(f.buf) {
+			f.next = 0
+		}
+	}
+	f.total++
+}
+
+// MessageInjected implements Tracer.
+func (f *FlightRecorder) MessageInjected(m *Message, cycle int64) {
+	f.record(frEvent{cycle: cycle, kind: frInject, msg: m.ID, src: int32(m.Src), dst: int32(m.Dst)})
+}
+
+// HeaderRouted implements Tracer.
+func (f *FlightRecorder) HeaderRouted(m *Message, node topology.NodeID, ch Channel, cycle int64) {
+	f.record(frEvent{
+		cycle: cycle, kind: frRoute, msg: m.ID, src: int32(m.Src), dst: int32(m.Dst),
+		node: int32(node), dir: uint8(ch.Dir), vc: ch.VC,
+	})
+}
+
+// FlitMoved implements Tracer.
+func (f *FlightRecorder) FlitMoved(fl Flit, from topology.NodeID, ch Channel, cycle int64) {
+	if !f.IncludeFlits {
+		return
+	}
+	f.record(frEvent{
+		cycle: cycle, kind: frFlit, msg: fl.Msg.ID, src: int32(fl.Msg.Src), dst: int32(fl.Msg.Dst),
+		node: int32(from), dir: uint8(ch.Dir), vc: ch.VC, flit: fl.Index,
+	})
+}
+
+// MessageDelivered implements Tracer.
+func (f *FlightRecorder) MessageDelivered(m *Message, cycle int64) {
+	f.record(frEvent{cycle: cycle, kind: frDeliver, msg: m.ID, src: int32(m.Src), dst: int32(m.Dst)})
+}
+
+// MessageKilled implements Tracer.
+func (f *FlightRecorder) MessageKilled(m *Message, cause KillCause, cycle int64) {
+	f.record(frEvent{cycle: cycle, kind: frKill, msg: m.ID, src: int32(m.Src), dst: int32(m.Dst), cause: uint8(cause)})
+}
+
+// WatchdogFired implements Tracer.
+func (f *FlightRecorder) WatchdogFired(victim *Message, cycle int64) {
+	e := frEvent{cycle: cycle, kind: frWatchdog}
+	if victim != nil {
+		e.msg, e.src, e.dst = victim.ID, int32(victim.Src), int32(victim.Dst)
+	}
+	f.record(e)
+}
+
+// decode expands one ring slot into the JSONL TraceEvent shape.
+func (e frEvent) decode() TraceEvent {
+	out := TraceEvent{
+		Cycle: e.cycle, Kind: frKindNames[e.kind], Msg: e.msg,
+		Src: e.src, Dst: e.dst,
+	}
+	switch e.kind {
+	case frRoute, frFlit:
+		out.Node = e.node
+		out.Dir = topology.Direction(e.dir).String()
+		out.VC = e.vc
+		out.Flit = e.flit
+	case frKill:
+		out.Cause = KillCause(e.cause).String()
+	}
+	return out
+}
+
+// at returns the i-th oldest held event (0 = oldest). Callers keep i in
+// [0, Len).
+func (f *FlightRecorder) at(i int) frEvent {
+	if len(f.buf) < cap(f.buf) {
+		return f.buf[i] // ring has not wrapped yet: slot 0 is the oldest
+	}
+	j := f.next + i
+	if j >= len(f.buf) {
+		j -= len(f.buf)
+	}
+	return f.buf[j]
+}
+
+// Events decodes the held events, oldest first, into the TraceEvent
+// shape. It allocates; use it on the dump path, not per cycle.
+func (f *FlightRecorder) Events() []TraceEvent {
+	out := make([]TraceEvent, f.Len())
+	for i := range out {
+		out[i] = f.at(i).decode()
+	}
+	return out
+}
+
+// Last decodes the most recent n held events, oldest of those first.
+// n larger than Len returns everything.
+func (f *FlightRecorder) Last(n int) []TraceEvent {
+	if n > f.Len() {
+		n = f.Len()
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]TraceEvent, n)
+	start := f.Len() - n
+	for i := range out {
+		out[i] = f.at(start + i).decode()
+	}
+	return out
+}
+
+// WriteTrace dumps the held events as JSON lines — the same format the
+// live Recorder streams, so ReadTrace and tracesummary consume flight
+// dumps unchanged.
+func (f *FlightRecorder) WriteTrace(w io.Writer) error {
+	rec := NewRecorder(w)
+	for i := 0; i < f.Len(); i++ {
+		rec.emit(f.at(i).decode())
+	}
+	return rec.Close()
+}
+
+// SetFlightRecorder installs (or, with nil, removes) the flight
+// recorder. It composes with SetTracer through an internal tee: the
+// engine still branches on a single observer slot per event, so the
+// fully disabled path keeps its one-branch cost.
+func (n *Network) SetFlightRecorder(f *FlightRecorder) {
+	n.flight = f
+	n.rewireTracer()
+}
+
+// FlightRecorder returns the installed flight recorder, or nil. The
+// post-mortem layer uses it to attach the last recorded events to its
+// reports.
+func (n *Network) FlightRecorder() *FlightRecorder { return n.flight }

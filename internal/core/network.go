@@ -63,8 +63,19 @@ type Network struct {
 
 	stats      Stats
 	statsStart int64
-	tracer     Tracer
-	par        *parallelEngine
+
+	// Observation. tracer is the single slot the engine branches on per
+	// event (nil = disabled, one branch). It is derived from the two
+	// installable observers — the user Tracer and the FlightRecorder —
+	// by rewireTracer, tee'ing when both are present. postmortemFn,
+	// when set, receives a Diagnose() report each time the global
+	// watchdog fires, before the victim is torn down.
+	tracer       Tracer
+	userTracer   Tracer
+	flight       *FlightRecorder
+	postmortemFn func(*Postmortem)
+
+	par *parallelEngine
 
 	// Reused scratch buffers (inner-loop allocation avoidance).
 	cands    CandidateSet
@@ -78,7 +89,7 @@ type Network struct {
 	// switch-phase scratch, truncated per router.
 	sendq    [NumPorts][]*vcState
 	sendVCs  []*vcState
-	victims  []*Message
+	victims  []victim
 	outOrder [NumPorts]topology.Direction
 	dirBuf   []topology.Direction
 	msgSeq   int64
@@ -128,6 +139,9 @@ const InjectPort = topology.InjectPort
 func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng *rand.Rand) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.StallScanInterval <= 0 {
+		cfg.StallScanInterval = 1024 // historical hardcoded cadence
 	}
 	if f == nil {
 		f = fault.None(m)
@@ -262,6 +276,9 @@ func (n *Network) Reset(f *fault.Model, alg Algorithm, rng *rand.Rand) error {
 	n.statsStart = 0
 	n.msgSeq = 0
 	n.tracer = nil
+	n.userTracer = nil
+	n.flight = nil
+	n.postmortemFn = nil
 	n.stats.reset()
 	// valSeen/valEpoch are epoch-stamped and monotonic: stale marks can
 	// never be mistaken for fresh ones, so they carry over untouched.

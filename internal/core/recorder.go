@@ -8,10 +8,12 @@ import (
 	"wormmesh/internal/topology"
 )
 
-// TraceEvent is the JSON shape of one recorded engine event.
+// TraceEvent is the JSON shape of one recorded engine event. Besides
+// the live Recorder stream it is also the dump format of the in-memory
+// FlightRecorder, so offline tooling reads both the same way.
 type TraceEvent struct {
 	Cycle int64  `json:"cycle"`
-	Kind  string `json:"kind"` // inject | route | flit | deliver | kill
+	Kind  string `json:"kind"` // inject | route | flit | deliver | kill | watchdog
 	Msg   int64  `json:"msg"`
 	Src   int32  `json:"src"`
 	Dst   int32  `json:"dst"`
@@ -19,6 +21,8 @@ type TraceEvent struct {
 	Dir   string `json:"dir,omitempty"`
 	VC    uint8  `json:"vc,omitempty"`
 	Flit  int32  `json:"flit,omitempty"`
+	// Cause qualifies kill events: global | stall | livelock.
+	Cause string `json:"cause,omitempty"`
 }
 
 // Recorder is a Tracer that streams events as JSON lines, one object
@@ -94,8 +98,18 @@ func (r *Recorder) MessageDelivered(m *Message, cycle int64) {
 }
 
 // MessageKilled implements Tracer.
-func (r *Recorder) MessageKilled(m *Message, cycle int64) {
-	r.emit(TraceEvent{Cycle: cycle, Kind: "kill", Msg: m.ID, Src: int32(m.Src), Dst: int32(m.Dst)})
+func (r *Recorder) MessageKilled(m *Message, cause KillCause, cycle int64) {
+	r.emit(TraceEvent{Cycle: cycle, Kind: "kill", Msg: m.ID, Src: int32(m.Src), Dst: int32(m.Dst), Cause: cause.String()})
+}
+
+// WatchdogFired implements Tracer. The victim fields are zero when the
+// watchdog found no resource-holding message to tear down.
+func (r *Recorder) WatchdogFired(victim *Message, cycle int64) {
+	e := TraceEvent{Cycle: cycle, Kind: "watchdog"}
+	if victim != nil {
+		e.Msg, e.Src, e.Dst = victim.ID, int32(victim.Src), int32(victim.Dst)
+	}
+	r.emit(e)
 }
 
 // ReadTrace parses a JSONL trace back into events (for tests and

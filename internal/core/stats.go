@@ -26,7 +26,10 @@ type Stats struct {
 	HopsSum       int64 // header hops of those messages
 	MinHopsSum    int64 // their minimal distances (detour accounting)
 
-	Killed         int64 // messages torn down by recovery
+	Killed         int64 // messages torn down by recovery (all causes)
+	KilledGlobal   int64 // victims of the global deadlock watchdog
+	KilledStall    int64 // per-message stall kills (MessageStallCycles)
+	KilledLivelock int64 // livelock-guard kills (MaxHops exceeded)
 	DeadlockEvents int64 // global watchdog firings
 	RingEntries    int64 // headers that began an f-ring traversal
 

@@ -2,10 +2,42 @@ package core
 
 import "wormmesh/internal/topology"
 
+// KillCause distinguishes the three watchdog mechanisms that can tear a
+// message down. The paper's deadlock-recovery accounting needs them kept
+// apart: a global recovery means the whole network stopped (a candidate
+// true deadlock), a stall kill means one message sat still while the
+// rest made progress (a local cycle or starvation), and a livelock kill
+// means a header circled past the hop budget without ever blocking.
+type KillCause uint8
+
+// Kill causes.
+const (
+	// KillCauseGlobal is the global watchdog: no flit anywhere moved for
+	// Config.DeadlockCycles, and this message was the chosen victim.
+	KillCauseGlobal KillCause = iota
+	// KillCauseStall is the per-message check: the message's flits sat
+	// still for Config.MessageStallCycles while the network moved.
+	KillCauseStall
+	// KillCauseLivelock is the hop budget: the header exceeded
+	// Config.MaxHops.
+	KillCauseLivelock
+)
+
+var killCauseNames = [...]string{"global", "stall", "livelock"}
+
+// String returns the cause mnemonic used in traces and reports.
+func (c KillCause) String() string {
+	if int(c) < len(killCauseNames) {
+		return killCauseNames[c]
+	}
+	return "unknown"
+}
+
 // Tracer observes engine events. All callbacks run synchronously on
 // the simulation goroutine; implementations must be fast and must not
 // mutate the network. A nil tracer (the default) costs one branch per
-// event.
+// event; installing both a Tracer and a FlightRecorder fans out through
+// an internal tee, keeping that single branch on the disabled path.
 type Tracer interface {
 	// MessageInjected fires when a header flit leaves its source
 	// queue.
@@ -19,12 +51,78 @@ type Tracer interface {
 	// destination.
 	MessageDelivered(m *Message, cycle int64)
 	// MessageKilled fires when deadlock/livelock recovery tears a
-	// message down.
-	MessageKilled(m *Message, cycle int64)
+	// message down; cause says which watchdog mechanism fired.
+	MessageKilled(m *Message, cause KillCause, cycle int64)
+	// WatchdogFired fires when the GLOBAL watchdog trips (no flit moved
+	// for Config.DeadlockCycles), before the victim is torn down.
+	// victim is the message recovery chose, or nil when no message
+	// held network resources.
+	WatchdogFired(victim *Message, cycle int64)
 }
 
-// SetTracer installs (or, with nil, removes) the event observer.
-func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+// SetTracer installs (or, with nil, removes) the event observer. It
+// composes with SetFlightRecorder: when both are installed, events fan
+// out to the flight recorder first, then the tracer.
+func (n *Network) SetTracer(t Tracer) {
+	n.userTracer = t
+	n.rewireTracer()
+}
+
+// rewireTracer folds the user tracer and the flight recorder into the
+// single n.tracer observation point the engine branches on. The tee is
+// rebuilt on every (re)wire — it is one small allocation per install,
+// never per event.
+func (n *Network) rewireTracer() {
+	switch {
+	case n.flight != nil && n.userTracer != nil:
+		n.tracer = &teeTracer{first: n.flight, second: n.userTracer}
+	case n.flight != nil:
+		n.tracer = n.flight
+	default:
+		n.tracer = n.userTracer
+	}
+}
+
+// teeTracer fans every event out to two observers in order.
+type teeTracer struct {
+	first, second Tracer
+}
+
+// MessageInjected implements Tracer.
+func (t *teeTracer) MessageInjected(m *Message, cycle int64) {
+	t.first.MessageInjected(m, cycle)
+	t.second.MessageInjected(m, cycle)
+}
+
+// HeaderRouted implements Tracer.
+func (t *teeTracer) HeaderRouted(m *Message, node topology.NodeID, ch Channel, cycle int64) {
+	t.first.HeaderRouted(m, node, ch, cycle)
+	t.second.HeaderRouted(m, node, ch, cycle)
+}
+
+// FlitMoved implements Tracer.
+func (t *teeTracer) FlitMoved(f Flit, from topology.NodeID, ch Channel, cycle int64) {
+	t.first.FlitMoved(f, from, ch, cycle)
+	t.second.FlitMoved(f, from, ch, cycle)
+}
+
+// MessageDelivered implements Tracer.
+func (t *teeTracer) MessageDelivered(m *Message, cycle int64) {
+	t.first.MessageDelivered(m, cycle)
+	t.second.MessageDelivered(m, cycle)
+}
+
+// MessageKilled implements Tracer.
+func (t *teeTracer) MessageKilled(m *Message, cause KillCause, cycle int64) {
+	t.first.MessageKilled(m, cause, cycle)
+	t.second.MessageKilled(m, cause, cycle)
+}
+
+// WatchdogFired implements Tracer.
+func (t *teeTracer) WatchdogFired(victim *Message, cycle int64) {
+	t.first.WatchdogFired(victim, cycle)
+	t.second.WatchdogFired(victim, cycle)
+}
 
 // NopTracer implements Tracer with empty methods; embed it to observe
 // a subset of events.
@@ -43,4 +141,7 @@ func (NopTracer) FlitMoved(Flit, topology.NodeID, Channel, int64) {}
 func (NopTracer) MessageDelivered(*Message, int64) {}
 
 // MessageKilled implements Tracer.
-func (NopTracer) MessageKilled(*Message, int64) {}
+func (NopTracer) MessageKilled(*Message, KillCause, int64) {}
+
+// WatchdogFired implements Tracer.
+func (NopTracer) WatchdogFired(*Message, int64) {}

@@ -72,7 +72,7 @@ func (o *orderTracer) MessageDelivered(m *Message, cycle int64) {
 	}
 }
 
-func (o *orderTracer) MessageKilled(m *Message, cycle int64) {
+func (o *orderTracer) MessageKilled(m *Message, cause KillCause, cycle int64) {
 	if o.delivered[m] {
 		o.t.Errorf("message %d killed after delivery", m.ID)
 	}

@@ -13,7 +13,15 @@ type TraceSummary struct {
 	Messages  int
 	Delivered int
 	Killed    int
-	FlitMoves int64
+	// KilledByCause splits Killed by recovery mechanism: "global"
+	// (network-wide watchdog), "stall" (per-message stall scan),
+	// "livelock" (hop-budget guard). Traces recorded before the cause
+	// field existed land under "" and still sum into Killed.
+	KilledByCause map[string]int
+	// WatchdogFires counts global-watchdog events, including those
+	// that found no resource-holding victim to tear down.
+	WatchdogFires int
+	FlitMoves     int64
 	// Hops[msg] counts route grants per message; Journeys maps each
 	// delivered message to its injection→delivery span in cycles.
 	Hops     map[int64]int
@@ -34,14 +42,17 @@ type NodeActivity struct {
 // without a deliver event simply stay undelivered in the counts.
 func SummarizeTrace(events []TraceEvent) TraceSummary {
 	s := TraceSummary{
-		Hops:     map[int64]int{},
-		Journeys: map[int64]int64{},
+		Hops:          map[int64]int{},
+		Journeys:      map[int64]int64{},
+		KilledByCause: map[string]int{},
 	}
 	injected := map[int64]int64{}
 	routedBy := map[int32]int{}
 	seen := map[int64]bool{}
 	for _, e := range events {
-		if !seen[e.Msg] {
+		// Watchdog events carry the victim's ID (or zeros when no
+		// victim held resources); neither names a new message.
+		if e.Kind != "watchdog" && !seen[e.Msg] {
 			seen[e.Msg] = true
 			s.Messages++
 		}
@@ -60,6 +71,9 @@ func SummarizeTrace(events []TraceEvent) TraceSummary {
 			}
 		case "kill":
 			s.Killed++
+			s.KilledByCause[e.Cause]++
+		case "watchdog":
+			s.WatchdogFires++
 		}
 	}
 	for node, n := range routedBy {
@@ -74,8 +88,19 @@ func SummarizeTrace(events []TraceEvent) TraceSummary {
 	return s
 }
 
-// String renders the headline numbers.
+// String renders the headline numbers, splitting kills by cause when
+// any occurred.
 func (s TraceSummary) String() string {
-	return fmt.Sprintf("trace: %d messages (%d delivered, %d killed), %d flit moves",
+	out := fmt.Sprintf("trace: %d messages (%d delivered, %d killed), %d flit moves",
 		s.Messages, s.Delivered, s.Killed, s.FlitMoves)
+	if s.Killed > 0 {
+		out += fmt.Sprintf(" [killed: %d global, %d stall, %d livelock]",
+			s.KilledByCause[KillCauseGlobal.String()],
+			s.KilledByCause[KillCauseStall.String()],
+			s.KilledByCause[KillCauseLivelock.String()])
+	}
+	if s.WatchdogFires > 0 {
+		out += fmt.Sprintf(", %d watchdog firings", s.WatchdogFires)
+	}
+	return out
 }

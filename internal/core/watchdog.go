@@ -4,37 +4,71 @@ import (
 	"wormmesh/internal/topology"
 )
 
+// victim is one message the stall scan selected for recovery, tagged
+// with the watchdog mechanism that condemned it.
+type victim struct {
+	m     *Message
+	cause KillCause
+}
+
 // watchdog detects global and per-message stalls and applies the
 // configured recovery. Minimal-Adaptive routing (and, under faults,
 // some BC corner cases) are not provably deadlock-free; the watchdog
 // makes such configurations simulable while keeping an honest count of
-// recoveries in the statistics.
+// recoveries in the statistics — broken down by cause (global
+// recoveries vs. per-message stall kills vs. livelock kills) so the
+// paper's recovery accounting can tell a network-wide deadlock from a
+// local cycle from a circling header.
+//
+// When the GLOBAL watchdog fires, the event is observable twice over:
+// the tracer's WatchdogFired callback (recorded by the flight recorder,
+// if installed), and — when a post-mortem hook is set — a full
+// Diagnose() report of the wait-for graph captured BEFORE the victim is
+// torn down, so the report shows the cycle that actually formed.
 func (n *Network) watchdog() {
 	if len(n.active) == 0 {
 		n.lastGlobalMove = n.cycle
 		return
 	}
 	if n.cycle-n.lastGlobalMove > n.Cfg.DeadlockCycles {
-		n.recover()
+		v := n.recoveryVictim()
+		if n.tracer != nil {
+			n.tracer.WatchdogFired(v, n.cycle)
+		}
+		if n.postmortemFn != nil {
+			pm := n.diagnose(TriggerWatchdog)
+			if v != nil {
+				pm.Victim = v.ID
+			}
+			n.postmortemFn(pm)
+		}
+		if v != nil {
+			n.stats.DeadlockEvents++
+			n.kill(v, KillCauseGlobal)
+		}
 		n.lastGlobalMove = n.cycle
 		return
 	}
-	if (n.Cfg.MessageStallCycles > 0 || n.Cfg.MaxHops > 0) && n.cycle-n.lastStallScan >= 1024 {
+	if (n.Cfg.MessageStallCycles > 0 || n.Cfg.MaxHops > 0) && n.cycle-n.lastStallScan >= n.Cfg.StallScanInterval {
 		n.lastStallScan = n.cycle
 		// Collect victims first: kill mutates the active set (and, with
 		// KillReinject, appends to it), so the scan must not run over a
 		// set that is shifting under it.
 		n.victims = n.victims[:0]
 		for _, m := range n.active {
-			stalled := n.Cfg.MessageStallCycles > 0 && n.holdsResources(m) &&
-				n.cycle-m.lastMove > n.Cfg.MessageStallCycles
-			livelocked := n.Cfg.MaxHops > 0 && m.Hops > n.Cfg.MaxHops
-			if stalled || livelocked {
-				n.victims = append(n.victims, m)
+			// Stall takes precedence over livelock when both hold — the
+			// historical condition order, preserved so the cause split
+			// changes no behavior.
+			switch {
+			case n.Cfg.MessageStallCycles > 0 && n.holdsResources(m) &&
+				n.cycle-m.lastMove > n.Cfg.MessageStallCycles:
+				n.victims = append(n.victims, victim{m: m, cause: KillCauseStall})
+			case n.Cfg.MaxHops > 0 && m.Hops > n.Cfg.MaxHops:
+				n.victims = append(n.victims, victim{m: m, cause: KillCauseLivelock})
 			}
 		}
-		for _, m := range n.victims {
-			n.kill(m)
+		for _, v := range n.victims {
+			n.kill(v.m, v.cause)
 		}
 	}
 }
@@ -47,9 +81,10 @@ func (m *Message) holdsResourcesIn(n *Network) bool {
 
 func (n *Network) holdsResources(m *Message) bool { return m.holdsResourcesIn(n) }
 
-// recover picks the longest-stalled resource-holding message and tears
-// it down.
-func (n *Network) recover() {
+// recoveryVictim picks the longest-stalled resource-holding message —
+// the one the global watchdog will tear down — or nil when no message
+// holds network resources.
+func (n *Network) recoveryVictim() *Message {
 	var victim *Message
 	for _, m := range n.active {
 		if !n.holdsResources(m) {
@@ -60,18 +95,14 @@ func (n *Network) recover() {
 			victim = m
 		}
 	}
-	if victim == nil {
-		return
-	}
-	n.stats.DeadlockEvents++
-	n.kill(victim)
+	return victim
 }
 
 // kill removes every flit of m from the network, releases the virtual
 // channels it owns (including channels claimed but not yet entered),
 // and either drops or re-injects it per the kill policy. A pooled
 // victim is recycled once every engine structure has let go of it.
-func (n *Network) kill(m *Message) {
+func (n *Network) kill(m *Message, cause KillCause) {
 	for i := range n.routers {
 		r := &n.routers[i]
 		// Iterate backwards: release swap-removes from the active list.
@@ -93,10 +124,18 @@ func (n *Network) kill(m *Message) {
 	n.removeActive(m)
 	m.Killed = true
 	if n.tracer != nil {
-		n.tracer.MessageKilled(m, n.cycle)
+		n.tracer.MessageKilled(m, cause, n.cycle)
 	}
 	if n.cycle >= n.statsStart {
 		n.stats.Killed++
+		switch cause {
+		case KillCauseGlobal:
+			n.stats.KilledGlobal++
+		case KillCauseStall:
+			n.stats.KilledStall++
+		case KillCauseLivelock:
+			n.stats.KilledLivelock++
+		}
 	}
 	if n.Cfg.Kill == KillReinject {
 		clone := n.AcquireMessage(n.NextMessageID(), m.Src, m.Dst, m.Length)
@@ -114,6 +153,14 @@ func (n *Network) kill(m *Message) {
 	n.recycle(m)
 }
 
+// SetPostmortemHook installs (or, with nil, removes) the function the
+// engine calls with a Diagnose() report each time the GLOBAL watchdog
+// fires, before recovery tears the victim down. The hook runs
+// synchronously on the simulation goroutine and must treat the report
+// as read-only context; it fires only on deadlock recovery, so it may
+// allocate and perform I/O freely.
+func (n *Network) SetPostmortemHook(fn func(*Postmortem)) { n.postmortemFn = fn }
+
 // ResetStats starts a fresh measurement window at the current cycle
 // (the paper discards the first 10 000 of 30 000 cycles as warm-up).
 func (n *Network) ResetStats() {
@@ -121,6 +168,34 @@ func (n *Network) ResetStats() {
 	n.statsStart = n.cycle
 	for i := range n.routers {
 		n.routers[i].crossings = 0
+	}
+}
+
+// LiveCounters is the scalar subset of the running statistics that live
+// telemetry samples every few hundred cycles. Unlike Snapshot it copies
+// no per-VC or per-node arrays, so sampling it mid-run costs nothing
+// but a handful of loads.
+type LiveCounters struct {
+	Cycle          int64
+	Generated      int64
+	Injected       int64
+	Delivered      int64
+	DeliveredFlits int64
+	Killed         int64
+	DeadlockEvents int64
+}
+
+// LiveCounters returns the current scalar counters (measurement window
+// to date). It is read-only and allocation-free.
+func (n *Network) LiveCounters() LiveCounters {
+	return LiveCounters{
+		Cycle:          n.cycle,
+		Generated:      n.stats.Generated,
+		Injected:       n.stats.Injected,
+		Delivered:      n.stats.Delivered,
+		DeliveredFlits: n.stats.DeliveredFlits,
+		Killed:         n.stats.Killed,
+		DeadlockEvents: n.stats.DeadlockEvents,
 	}
 }
 

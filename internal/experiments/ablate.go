@@ -42,7 +42,7 @@ func (o Options) runAblation(param, alg string, values []string, configure func(
 		points = append(points, sweep.Point{Key: values[i], Params: p})
 	}
 	o.logf("ablation %s on %s: %d runs", param, alg, len(points))
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}
@@ -174,7 +174,7 @@ func (o Options) ModelValidation(rates []float64) (*ModelValidationResult, error
 		points = append(points, sweep.Point{Key: fmt.Sprintf("%g", rate), Params: p})
 	}
 	o.logf("model validation: %d simulator runs", len(points))
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}

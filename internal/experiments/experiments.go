@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 
+	"wormmesh/internal/metrics"
 	"wormmesh/internal/sim"
+	"wormmesh/internal/sweep"
 	"wormmesh/internal/topology"
 )
 
@@ -28,7 +30,13 @@ type Options struct {
 	Seed          int64
 
 	// Progress, when non-nil, receives one line per completed run.
-	Progress io.Writer
+	Progress io.Writer `json:"-"`
+
+	// SweepMetrics, when non-nil, publishes live batch progress
+	// (points total/done, elapsed, ETA) for every sweep these options
+	// run — cmd/experiments wires it to a -metrics-addr listener so a
+	// multi-hour figure regeneration is observable from the outside.
+	SweepMetrics *metrics.Sweep `json:"-"`
 }
 
 // Paper returns the publication-scale options: 10×10 mesh, 100-flit
@@ -71,6 +79,17 @@ func (o Options) baseParams() sim.Params {
 		p.Config.NumVCs = o.NumVCs
 	}
 	return p
+}
+
+// runSweep executes one batch of points with the configured worker
+// count, bracketing it with the live sweep metrics when installed.
+func (o Options) runSweep(points []sweep.Point) []sweep.Outcome {
+	if o.SweepMetrics == nil {
+		return sweep.Run(points, o.Workers, nil)
+	}
+	o.SweepMetrics.Start(len(points))
+	defer o.SweepMetrics.Finish()
+	return sweep.Run(points, o.Workers, o.SweepMetrics.Progress)
 }
 
 func (o Options) logf(format string, args ...interface{}) {

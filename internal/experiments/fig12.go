@@ -54,7 +54,7 @@ func TrafficSweep(o Options, algorithms []string, rates []float64) (*TrafficSwee
 		}
 	}
 	o.logf("traffic sweep: %d runs (%d algorithms x %d rates)", len(points), len(algorithms), len(rates))
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}

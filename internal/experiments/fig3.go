@@ -39,7 +39,7 @@ func VCUsage(o Options, algorithms []string, faultPercent int) (*VCUsageResult, 
 	}
 	o.logf("VC usage: %d runs (%d algorithms x %d fault sets, %d%% faults)",
 		len(points), len(algorithms), o.FaultSets, faultPercent)
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}

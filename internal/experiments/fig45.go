@@ -50,7 +50,7 @@ func FaultSweep(o Options, algorithms []string, faultPercents []int) (*FaultSwee
 	}
 	o.logf("fault sweep: %d runs (%d algorithms x %v%% faults x %d sets)",
 		len(points), len(algorithms), faultPercents, o.FaultSets)
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func RingLoad(o Options, algorithms []string) (*RingLoadResult, error) {
 	}
 	o.logf("ring load: %d runs (%d algorithms, canned pattern of %d faults + fault-free)",
 		len(points), len(algorithms), len(faultNodes))
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}

@@ -55,7 +55,7 @@ func Scale(o Options, algorithms []string, sizes []int) (*ScaleResult, error) {
 		}
 	}
 	o.logf("scaling study: %d runs (%d algorithms x %v sizes)", len(points), len(algorithms), sizes)
-	outcomes := sweep.Run(points, o.Workers, nil)
+	outcomes := o.runSweep(points)
 	if err := sweep.FirstError(outcomes); err != nil {
 		return nil, err
 	}

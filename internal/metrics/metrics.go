@@ -1,0 +1,240 @@
+// Package metrics is the simulator's live telemetry layer: a small
+// registry of atomic counters and gauges that the simulation loop
+// updates on a coarse cadence and an HTTP scraper reads concurrently,
+// exposed in Prometheus text format and through expvar. A multi-hour
+// sweep is otherwise a black box until its CSVs land; with a registry
+// wired in, `curl localhost:PORT/metrics` answers "is it alive, how
+// far along, how fast" without perturbing the run — publication is
+// one-way (the sim goroutine stores, scrapers load) and touches no
+// engine state or RNG.
+//
+// Metric naming follows the Prometheus conventions: a `wormmesh_`
+// namespace, an `_engine_`/`_sweep_` subsystem, `_total` suffixes on
+// counters, base units (cycles, seconds, messages) on gauges. See
+// DESIGN.md §4.4.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric is one named value in a Registry. Writers mutate the concrete
+// types (Counter, Gauge, FloatGauge) through atomic stores; readers —
+// the Prometheus handler, expvar — only ever call Value.
+type Metric interface {
+	Name() string
+	Help() string
+	// Kind is the Prometheus type: "counter" or "gauge".
+	Kind() string
+	// Value returns the current value as a float64 (atomically).
+	Value() float64
+}
+
+// Counter is a monotonically non-decreasing cumulative count.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Get returns the current count.
+func (c *Counter) Get() int64 { return c.v.Load() }
+
+// Name implements Metric.
+func (c *Counter) Name() string { return c.name }
+
+// Help implements Metric.
+func (c *Counter) Help() string { return c.help }
+
+// Kind implements Metric.
+func (c *Counter) Kind() string { return "counter" }
+
+// Value implements Metric.
+func (c *Counter) Value() float64 { return float64(c.v.Load()) }
+
+// Gauge is an instantaneous integer value.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Get returns the current value.
+func (g *Gauge) Get() int64 { return g.v.Load() }
+
+// Name implements Metric.
+func (g *Gauge) Name() string { return g.name }
+
+// Help implements Metric.
+func (g *Gauge) Help() string { return g.help }
+
+// Kind implements Metric.
+func (g *Gauge) Kind() string { return "gauge" }
+
+// Value implements Metric.
+func (g *Gauge) Value() float64 { return float64(g.v.Load()) }
+
+// FloatGauge is an instantaneous float64 value (stored as IEEE-754
+// bits in a uint64, so loads and stores stay atomic and lock-free).
+type FloatGauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Get returns the current value.
+func (g *FloatGauge) Get() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name implements Metric.
+func (g *FloatGauge) Name() string { return g.name }
+
+// Help implements Metric.
+func (g *FloatGauge) Help() string { return g.help }
+
+// Kind implements Metric.
+func (g *FloatGauge) Kind() string { return "gauge" }
+
+// Value implements Metric.
+func (g *FloatGauge) Value() float64 { return g.Get() }
+
+// Registry owns a set of metrics. Registration happens once at setup
+// time (and panics on duplicate names, a programming error); reads and
+// writes after that are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Metric
+	byName  map[string]Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Metric{}}
+}
+
+func (r *Registry) register(m Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.Name()]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", m.Name()))
+	}
+	r.byName[m.Name()] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// NewGauge registers and returns an integer gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// NewFloatGauge registers and returns a float gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Get returns the metric registered under name, or nil.
+func (r *Registry) Get(name string) Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
+}
+
+// snapshot returns the metric list in sorted-name order (stable scrape
+// output regardless of registration order).
+func (r *Registry) snapshot() []Metric {
+	r.mu.Lock()
+	out := append([]Metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4: HELP, TYPE, then the sample).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			m.Name(), m.Help(), m.Name(), m.Kind(),
+			m.Name(), formatValue(m.Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format (for mounting at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar additionally exposes every currently registered metric
+// through the process-global expvar namespace (visible at /debug/vars).
+// Re-publishing an existing name is a no-op, so the call is idempotent
+// and safe across multiple registries in tests.
+func (r *Registry) PublishExpvar() {
+	for _, m := range r.snapshot() {
+		if expvar.Get(m.Name()) != nil {
+			continue
+		}
+		m := m // capture
+		expvar.Publish(m.Name(), expvar.Func(func() any { return m.Value() }))
+	}
+}
+
+// Serve starts an HTTP listener on addr exposing the registry at
+// /metrics and the expvar namespace at /debug/vars, serving in a
+// background goroutine. It returns the server (Close it to stop) and
+// the bound address — pass ":0" to let the kernel pick a free port.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

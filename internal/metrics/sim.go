@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"wormmesh/internal/core"
+)
+
+// Sim is the engine-facing metric set: instantaneous gauges over the
+// network's live state plus cumulative counters derived from the
+// engine's LiveCounters. The simulation loop calls Sample on a coarse
+// cadence (sim.Params.MetricsInterval cycles); scrapers read the
+// atomics concurrently. Sample costs a handful of loads and atomic
+// stores — it reads only scalar engine state and draws nothing from
+// the RNG, so enabling metrics does not perturb results.
+type Sim struct {
+	Cycle          *Gauge
+	BusyRouters    *Gauge
+	ActiveMessages *Gauge
+	ArenaIdle      *Gauge
+	QueuedRuns     *Gauge // runs completed by this process (multi-run drivers)
+
+	Generated      *Counter
+	Injected       *Counter
+	Delivered      *Counter
+	DeliveredFlits *Counter
+	Killed         *Counter
+	DeadlockEvents *Counter
+
+	InjectedRate  *FloatGauge // messages per cycle since the last sample
+	DeliveredRate *FloatGauge
+	KilledRate    *FloatGauge
+
+	// last sample state (touched only by the sampling goroutine).
+	lastCycle int64
+	last      core.LiveCounters
+}
+
+// NewSim registers the engine metric set on r.
+func NewSim(r *Registry) *Sim {
+	return &Sim{
+		Cycle:          r.NewGauge("wormmesh_engine_cycle", "Current simulation cycle of the active run."),
+		BusyRouters:    r.NewGauge("wormmesh_engine_busy_routers", "Routers holding engine state (dirty-set population)."),
+		ActiveMessages: r.NewGauge("wormmesh_engine_active_messages", "Messages generated but not yet delivered or killed."),
+		ArenaIdle:      r.NewGauge("wormmesh_engine_arena_idle_messages", "Idle messages in the engine's recycling arena."),
+		QueuedRuns:     r.NewGauge("wormmesh_engine_runs_completed", "Simulations completed by this process."),
+		Generated:      r.NewCounter("wormmesh_engine_generated_total", "Messages offered and accepted."),
+		Injected:       r.NewCounter("wormmesh_engine_injected_total", "Headers that left their source queue."),
+		Delivered:      r.NewCounter("wormmesh_engine_delivered_total", "Tails ejected at their destination."),
+		DeliveredFlits: r.NewCounter("wormmesh_engine_delivered_flits_total", "Flits consumed at destinations."),
+		Killed:         r.NewCounter("wormmesh_engine_killed_total", "Messages torn down by deadlock/livelock recovery."),
+		DeadlockEvents: r.NewCounter("wormmesh_engine_deadlock_events_total", "Global watchdog firings."),
+		InjectedRate:   r.NewFloatGauge("wormmesh_engine_injected_per_cycle", "Injection rate over the last sampling interval."),
+		DeliveredRate:  r.NewFloatGauge("wormmesh_engine_delivered_per_cycle", "Delivery rate over the last sampling interval."),
+		KilledRate:     r.NewFloatGauge("wormmesh_engine_killed_per_cycle", "Kill rate over the last sampling interval."),
+	}
+}
+
+// Sample publishes the network's current state. The engine's window
+// counters reset at measurement boundaries (and the cycle restarts
+// across runs on a reused Runner), so cumulative counters advance by
+// clamped deltas: a backwards step re-bases on the new window instead
+// of going negative — Prometheus counters must never decrease.
+func (s *Sim) Sample(n *core.Network) {
+	lc := n.LiveCounters()
+	s.Cycle.Set(lc.Cycle)
+	s.BusyRouters.Set(int64(n.BusyRouters()))
+	s.ActiveMessages.Set(int64(n.InFlight()))
+	s.ArenaIdle.Set(int64(n.PoolSize()))
+
+	s.Generated.Add(counterDelta(lc.Generated, s.last.Generated))
+	injected := counterDelta(lc.Injected, s.last.Injected)
+	s.Injected.Add(injected)
+	delivered := counterDelta(lc.Delivered, s.last.Delivered)
+	s.Delivered.Add(delivered)
+	s.DeliveredFlits.Add(counterDelta(lc.DeliveredFlits, s.last.DeliveredFlits))
+	killed := counterDelta(lc.Killed, s.last.Killed)
+	s.Killed.Add(killed)
+	s.DeadlockEvents.Add(counterDelta(lc.DeadlockEvents, s.last.DeadlockEvents))
+
+	if dc := lc.Cycle - s.lastCycle; dc > 0 {
+		s.InjectedRate.Set(float64(injected) / float64(dc))
+		s.DeliveredRate.Set(float64(delivered) / float64(dc))
+		s.KilledRate.Set(float64(killed) / float64(dc))
+	}
+	s.lastCycle = lc.Cycle
+	s.last = lc
+}
+
+// RunStarted re-bases the delta tracking for a fresh run on a reused
+// network (cycle restarts at zero). Call it before the first Sample of
+// each run.
+func (s *Sim) RunStarted() {
+	s.lastCycle = 0
+	s.last = core.LiveCounters{}
+}
+
+// RunFinished counts one completed simulation.
+func (s *Sim) RunFinished() { s.QueuedRuns.Add(1) }
+
+// counterDelta returns the non-negative advance of a window counter,
+// re-basing when the window was reset (cur < last).
+func counterDelta(cur, last int64) int64 {
+	if d := cur - last; d >= 0 {
+		return d
+	}
+	return cur
+}

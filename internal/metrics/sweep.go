@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Sweep is the batch-progress metric set: how many experimental points
+// a sweep holds, how many are done, and a wall-clock ETA extrapolated
+// from the completion rate so far. Progress callbacks run on worker
+// goroutines; every update here is an atomic store, so no extra
+// locking is needed.
+type Sweep struct {
+	PointsTotal    *Gauge
+	PointsDone     *Gauge
+	Running        *Gauge // 1 while a sweep is active
+	ElapsedSeconds *FloatGauge
+	EtaSeconds     *FloatGauge
+
+	startNanos atomic.Int64
+}
+
+// NewSweep registers the sweep metric set on r.
+func NewSweep(r *Registry) *Sweep {
+	return &Sweep{
+		PointsTotal:    r.NewGauge("wormmesh_sweep_points_total", "Simulation points in the current sweep."),
+		PointsDone:     r.NewGauge("wormmesh_sweep_points_done", "Simulation points completed so far."),
+		Running:        r.NewGauge("wormmesh_sweep_running", "1 while a sweep is in progress."),
+		ElapsedSeconds: r.NewFloatGauge("wormmesh_sweep_elapsed_seconds", "Wall time since the sweep started."),
+		EtaSeconds:     r.NewFloatGauge("wormmesh_sweep_eta_seconds", "Estimated wall time to sweep completion."),
+	}
+}
+
+// Start marks the beginning of a sweep of `total` points.
+func (s *Sweep) Start(total int) {
+	s.startNanos.Store(time.Now().UnixNano())
+	s.PointsTotal.Set(int64(total))
+	s.PointsDone.Set(0)
+	s.ElapsedSeconds.Set(0)
+	s.EtaSeconds.Set(0)
+	s.Running.Set(1)
+}
+
+// Progress records that `done` of `total` points have completed and
+// refreshes the ETA. It matches the sweep.RunContext progress-callback
+// signature, so wiring is one line:
+//
+//	sweep.RunContext(ctx, points, workers, sw.Progress)
+func (s *Sweep) Progress(done, total int) {
+	elapsed := time.Since(time.Unix(0, s.startNanos.Load())).Seconds()
+	s.PointsDone.Set(int64(done))
+	s.PointsTotal.Set(int64(total))
+	s.ElapsedSeconds.Set(elapsed)
+	if done > 0 && done <= total {
+		s.EtaSeconds.Set(elapsed / float64(done) * float64(total-done))
+	}
+}
+
+// Finish marks the sweep complete.
+func (s *Sweep) Finish() {
+	s.ElapsedSeconds.Set(time.Since(time.Unix(0, s.startNanos.Load())).Seconds())
+	s.EtaSeconds.Set(0)
+	s.Running.Set(0)
+}

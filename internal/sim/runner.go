@@ -200,6 +200,12 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		// Livelock guard: far above any legitimate detour.
 		cfg.MaxHops = int32(16 * mesh.Diameter())
 	}
+	if cfg.StallScanInterval <= 0 {
+		// Mirror NewNetwork's normalization BEFORE the reuse comparison
+		// below, so a hand-built Config with the zero value still matches
+		// the stored (normalized) Cfg and keeps the network reusable.
+		cfg.StallScanInterval = 1024
+	}
 	alg, clones, err := r.algorithms(p.Algorithm, f, cfg.NumVCs, p.EngineWorkers)
 	if err != nil {
 		return Result{}, err
@@ -241,6 +247,31 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		recorder.IncludeFlits = p.TraceFlits
 		net.SetTracer(recorder)
 	}
+	// Observability. Recording and diagnosis are strictly read-only
+	// (no engine mutation, no RNG draws), so none of this changes the
+	// run's statistics — the flightrec golden test locks that in.
+	if p.FlightRecorderEvents > 0 {
+		net.SetFlightRecorder(core.NewFlightRecorder(p.FlightRecorderEvents))
+	} else if p.PostmortemWriter != nil {
+		net.SetFlightRecorder(core.NewFlightRecorder(0)) // default capacity
+	}
+	var pmErr error
+	if p.PostmortemWriter != nil {
+		w := p.PostmortemWriter
+		net.SetPostmortemHook(func(pm *core.Postmortem) {
+			if err := pm.Render(w); err != nil && pmErr == nil {
+				pmErr = err
+			}
+		})
+	}
+	met := p.Metrics
+	metricsInterval := p.MetricsInterval
+	if metricsInterval <= 0 {
+		metricsInterval = 1024
+	}
+	if met != nil {
+		met.RunStarted()
+	}
 	pat, err := r.pattern(p.Pattern, f)
 	if err != nil {
 		return Result{}, err
@@ -273,6 +304,13 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		if windows != nil {
 			windows.tick()
 		}
+		if met != nil && cycle%metricsInterval == 0 {
+			met.Sample(net)
+		}
+	}
+	if met != nil {
+		met.Sample(net)
+		met.RunFinished()
 	}
 
 	res := Result{
@@ -292,6 +330,9 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		if err := recorder.Close(); err != nil {
 			return res, fmt.Errorf("sim: trace: %w", err)
 		}
+	}
+	if pmErr != nil {
+		return res, fmt.Errorf("sim: postmortem: %w", pmErr)
 	}
 	for id := topology.NodeID(0); int(id) < mesh.NodeCount(); id++ {
 		if !f.IsFaulty(id) && f.OnAnyRing(id) {

@@ -11,6 +11,7 @@ import (
 
 	"wormmesh/internal/core"
 	"wormmesh/internal/fault"
+	"wormmesh/internal/metrics"
 	"wormmesh/internal/topology"
 )
 
@@ -42,9 +43,28 @@ type Params struct {
 	EngineWorkers int
 	// TraceWriter, when non-nil, receives the engine's event stream
 	// as JSON lines (core.Recorder); TraceFlits additionally records
-	// every flit hop.
-	TraceWriter io.Writer
+	// every flit hop. Writers are excluded from JSON manifests.
+	TraceWriter io.Writer `json:"-"`
 	TraceFlits  bool
+
+	// PostmortemWriter, when non-nil, receives a rendered deadlock
+	// post-mortem (core.Postmortem.Render) each time the global
+	// watchdog fires: the message→VC wait-for graph captured before
+	// the recovery victim is torn down. Setting it also installs a
+	// flight recorder so reports carry the last engine events.
+	PostmortemWriter io.Writer `json:"-"`
+	// FlightRecorderEvents, when > 0, installs a core.FlightRecorder
+	// with that ring capacity for the run — a zero-allocation black
+	// box cheap enough to leave on during sweeps. Zero leaves it off
+	// unless PostmortemWriter is set, which installs one at the
+	// default capacity (core.DefaultFlightRecorderEvents).
+	FlightRecorderEvents int
+
+	// Metrics, when non-nil, receives live engine telemetry every
+	// MetricsInterval cycles (default 1024) plus once at run end.
+	// Sampling is read-only and RNG-free, so results are unchanged.
+	Metrics         *metrics.Sim `json:"-"`
+	MetricsInterval int64
 
 	// Faults is the number of randomly failed nodes. FaultNodes, when
 	// non-nil, overrides random generation with an explicit pattern
