@@ -4,19 +4,23 @@
 //
 // Usage:
 //
-//	benchdiff old.json new.json
+//	benchdiff [-threshold PCT] old.json new.json
 //
 // Digests made with `./bench.sh 5` contain five entries per benchmark;
 // benchdiff aggregates repeats by median before diffing, matching the
 // median-of-N methodology the repository's recorded numbers use (the
-// standalone benchstat tool is not assumed to be installed). Exit
-// status is always 0 on a successful comparison — the tool reports,
-// it does not judge; thresholds belong to the reader or the CI
-// wrapper.
+// standalone benchstat tool is not assumed to be installed).
+//
+// By default exit status is 0 on a successful comparison — the tool
+// reports, it does not judge. With -threshold PCT it also judges:
+// when any benchmark present in both digests regresses its median
+// ns/op by more than PCT percent, the offenders are listed on stderr
+// and the exit status is 1, so CI can gate on it.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -42,15 +46,23 @@ type bench struct {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff old.json new.json")
+	threshold := flag.Float64("threshold", -1,
+		"fail (exit 1) when any benchmark's median ns/op regresses by more than this percentage; negative disables the gate")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	old, err := load(os.Args[1])
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	old, err := load(oldPath)
 	if err != nil {
 		fatal(err)
 	}
-	new_, err := load(os.Args[2])
+	new_, err := load(newPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,20 +81,41 @@ func main() {
 	sort.Strings(names)
 
 	fmt.Printf("%-44s %26s %26s %26s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	var offenders []string
 	for _, name := range names {
 		o, haveOld := old[name]
 		n, haveNew := new_[name]
 		switch {
 		case !haveOld:
-			fmt.Printf("%-44s %s\n", name, "only in "+os.Args[2])
+			fmt.Printf("%-44s %s\n", name, "only in "+newPath)
 			continue
 		case !haveNew:
-			fmt.Printf("%-44s %s\n", name, "only in "+os.Args[1])
+			fmt.Printf("%-44s %s\n", name, "only in "+oldPath)
 			continue
 		}
 		fmt.Printf("%-44s %26s %26s %26s\n", name,
 			delta(o.ns, n.ns), delta(o.bytes, n.bytes), delta(o.allocs, n.allocs))
+		if pct, ok := nsRegression(o, n); ok && *threshold >= 0 && pct > *threshold {
+			offenders = append(offenders, fmt.Sprintf("%s: ns/op +%.1f%% (threshold %.1f%%)", name, pct, *threshold))
+		}
 	}
+	if len(offenders) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past the threshold:\n", len(offenders))
+		for _, o := range offenders {
+			fmt.Fprintln(os.Stderr, "  "+o)
+		}
+		os.Exit(1)
+	}
+}
+
+// nsRegression returns the ns/op regression in percent (positive =
+// slower) for a benchmark present in both digests, and whether both
+// sides report the metric with a non-zero baseline.
+func nsRegression(o, n bench) (float64, bool) {
+	if o.ns == nil || n.ns == nil || *o.ns == 0 {
+		return 0, false
+	}
+	return (*n.ns - *o.ns) / *o.ns * 100, true
 }
 
 // load parses a digest file and aggregates duplicate benchmark names

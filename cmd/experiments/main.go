@@ -9,6 +9,7 @@
 //	experiments [flags] saturation    # per-algorithm saturation points
 //	experiments [flags] adaptivity    # routing freedom per decision
 //	experiments [flags] scale         # larger meshes on the parallel engine
+//	experiments [flags] hotspot       # on-ring vs off-ring blocked-cycle maps
 //
 // Each target prints an ASCII chart plus the underlying data table;
 // -csv DIR additionally writes the table as CSV.
@@ -245,6 +246,22 @@ func main() {
 		fmt.Println("scaling study (5% faults, 0.1 flits/node/cycle offered)")
 		must(res.Table().Write(os.Stdout))
 		saveCSV("scale", res.Table())
+		fmt.Println()
+	}
+	if want["hotspot"] {
+		res, err := experiments.Hotspot(opt, algorithms, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("hotspot study: blocked cycles on f-ring links vs. the rest (saturating load)")
+		for _, alg := range res.Algorithms {
+			if lv := res.Views[alg]; lv != nil {
+				must(lv.Write(os.Stdout))
+				fmt.Println()
+			}
+		}
+		must(res.Table().Write(os.Stdout))
+		saveCSV("hotspot", res.Table())
 		fmt.Println()
 	}
 	if want["saturation"] {

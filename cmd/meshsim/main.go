@@ -23,9 +23,9 @@ import (
 func main() {
 	p := wormmesh.DefaultParams()
 	var total int64
-	var list, heat, traceFlits bool
+	var list, heat, traceFlits, latBreakdown bool
 	var windows int64
-	var traceFile, postmortemFile, metricsAddr, manifestFile string
+	var traceFile, postmortemFile, metricsAddr, manifestFile, linkmapFile string
 	var engineWorkers, reps, flightrecEvents int
 	var cpuProfile, memProfile string
 	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
@@ -43,6 +43,8 @@ func main() {
 	flag.Int64Var(&total, "cycles", p.WarmupCycles+p.MeasureCycles, "total cycles including warm-up")
 	flag.BoolVar(&list, "list", false, "list algorithms and exit")
 	flag.BoolVar(&heat, "heatmap", false, "print the per-node traffic load heatmap")
+	flag.StringVar(&linkmapFile, "linkmap", "", "enable per-link telemetry, write the per-link counter CSV to this file and print directional congestion maps (single run only)")
+	flag.BoolVar(&latBreakdown, "latbreakdown", false, "print the latency-anatomy table (per-component means, shares, percentiles; single run only)")
 	flag.Int64Var(&windows, "windows", 0, "collect time-series windows of this many cycles")
 	flag.StringVar(&traceFile, "trace", "", "write the event stream as JSON lines to this file (with -reps > 1, only the first replication is traced)")
 	flag.BoolVar(&traceFlits, "trace-flits", false, "include per-flit hops in the trace")
@@ -73,6 +75,17 @@ func main() {
 	if p.MeasureCycles <= 0 {
 		fmt.Fprintln(os.Stderr, "meshsim: -cycles must exceed -warmup")
 		os.Exit(2)
+	}
+	// Per-run telemetry reports describe ONE run; replications aggregate
+	// many. Reject the combination up front (like -trace documents its
+	// first-replication-only behavior, but these flags would silently
+	// report an arbitrary replication).
+	if reps > 1 && (linkmapFile != "" || latBreakdown) {
+		fmt.Fprintln(os.Stderr, "meshsim: -linkmap and -latbreakdown report a single run; drop them or use -reps 1")
+		os.Exit(2)
+	}
+	if linkmapFile != "" {
+		p.Config.ChannelTelemetry = true
 	}
 	p.WindowCycles = windows
 	p.EngineWorkers = engineWorkers
@@ -178,6 +191,49 @@ func main() {
 		fmt.Println("\ntime series (per window):")
 		for _, w := range res.Windows {
 			fmt.Printf("  %v thr=%.4f\n", w, w.Throughput(st.HealthyNodes))
+		}
+	}
+	if latBreakdown {
+		fmt.Println("\nlatency anatomy (generation to tail delivery):")
+		if err := wormmesh.LatencyAnatomy(st).Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+	}
+	if linkmapFile != "" {
+		lt, err := res.LinkTable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(linkmapFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		if err := lt.WriteCSV(f); err == nil {
+			err = f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "meshsim:", err)
+				os.Exit(1)
+			}
+		} else {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "meshsim: wrote %s\n", linkmapFile)
+		for _, metric := range []wormmesh.LinkMetric{wormmesh.LinkFlits, wormmesh.LinkBlocked} {
+			lv, err := res.LinkView(metric)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "meshsim:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if err := lv.Write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "meshsim:", err)
+				os.Exit(1)
+			}
 		}
 	}
 	if heat {

@@ -84,17 +84,21 @@ func BenchmarkStepLowLoad(b *testing.B) {
 // performs zero heap allocations (asserted by TestStepLoadedAllocs).
 // The flightrec variant runs the same workload with a saturated
 // 4096-event flight recorder ring installed, pricing the black-box
-// observation the sweeps can now leave on (the budget is <= 10% over
-// plain, still at zero allocs/op — diff the pair with cmd/benchdiff).
+// observation the sweeps can now leave on; the telemetry variant runs
+// with Config.ChannelTelemetry, pricing the per-link congestion
+// counters (each budget is <= 10% over plain, still at zero allocs/op
+// — diff the set with cmd/benchdiff).
 func BenchmarkStepLoaded(b *testing.B) {
 	for _, variant := range []struct {
-		name     string
-		flightRe bool
-	}{{"plain", false}, {"flightrec", true}} {
+		name      string
+		flightRe  bool
+		telemetry bool
+	}{{"plain", false, false}, {"flightrec", true, false}, {"telemetry", false, true}} {
 		b.Run(variant.name, func(b *testing.B) {
 			mesh := topology.New(10, 10)
 			cfg := DefaultConfig()
 			cfg.MaxSourceQueue = 4
+			cfg.ChannelTelemetry = variant.telemetry
 			n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
 			if err != nil {
 				b.Fatal(err)

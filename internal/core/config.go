@@ -55,6 +55,13 @@ type Config struct {
 	// generated messages are refused (counted as rejected offers).
 	// Zero means unbounded.
 	MaxSourceQueue int
+	// ChannelTelemetry enables the per-link congestion counters (flits
+	// forwarded, busy cycles, blocked cycles per directional physical
+	// link, with f-ring tagging — see telemetry.go). Recording is
+	// read-only and RNG-free, so Stats are bit-identical either way;
+	// the arrays are sized at construction, so toggling requires a new
+	// network (a Runner rebuilds automatically on a Config change).
+	ChannelTelemetry bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

@@ -36,10 +36,25 @@ type Message struct {
 	RingIdx int32
 	RingCW  bool
 
+	// Latency decomposition (telemetry.go): every cycle between
+	// generation and tail delivery is attributed to exactly one of the
+	// four disjoint buckets below; LatRing is an overlay counting the
+	// cycles spent inside f-ring traversals. Always on — the accounting
+	// is read-only, RNG-free and allocation-free.
+	LatQueue   int64 // waiting in the source queue
+	LatRoute   int64 // header awaiting VC allocation at a router
+	LatBlocked int64 // routed but stalled (credits, switch, ejection)
+	LatMoving  int64 // cycles in which at least one flit moved
+	LatRing    int64 // cycles spent traversing f-rings (overlay)
+
 	// Engine bookkeeping.
 	flitsInjected int   // flits that have left the source queue
 	lastMove      int64 // cycle of the message's last flit movement
 	activeIdx     int32 // position in Network.active, -1 when not in flight
+	acctFrom      int64 // last cycle already attributed (decomposition)
+	acctMoved     int64 // cycle of the last accounted move, -1 never
+	ringSince     int64 // cycle the open f-ring traversal began, -1 none
+	acctState     uint8 // wait bucket for unattributed cycles
 	pooled        bool  // drawn from the network's arena; recycled on completion
 	Killed        bool  // torn down by deadlock recovery
 }
@@ -66,6 +81,8 @@ func NewMessage(id int64, src, dst topology.NodeID, length int) *Message {
 		RingIdx:     -1,
 		Prev:        topology.Invalid,
 		activeIdx:   -1,
+		acctMoved:   -1,
+		ringSince:   -1,
 	}
 }
 
@@ -99,6 +116,8 @@ func (n *Network) AcquireMessage(id int64, src, dst topology.NodeID, length int)
 		RingIdx:     -1,
 		Prev:        topology.Invalid,
 		activeIdx:   -1,
+		acctMoved:   -1,
+		ringSince:   -1,
 		pooled:      true,
 	}
 	return m

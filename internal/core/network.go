@@ -64,6 +64,14 @@ type Network struct {
 	stats      Stats
 	statsStart int64
 
+	// Per-link congestion counters (telemetry.go), LinkID-indexed; all
+	// nil unless Cfg.ChannelTelemetry — the nil check IS the feature
+	// flag, hoisted out of the inner loops where possible.
+	linkFlits   []int64
+	linkBusy    []int64
+	linkBlocked []int64
+	linkOnRing  []bool
+
 	// Observation. tracer is the single slot the engine branches on per
 	// event (nil = disabled, one branch). It is derived from the two
 	// installable observers — the user Tracer and the FlightRecorder —
@@ -193,6 +201,9 @@ func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng 
 		}
 	}
 	n.stats.init(cfg.NumVCs, m.NodeCount())
+	if cfg.ChannelTelemetry {
+		n.initLinkTelemetry()
+	}
 	return n, nil
 }
 
@@ -280,6 +291,8 @@ func (n *Network) Reset(f *fault.Model, alg Algorithm, rng *rand.Rand) error {
 	n.flight = nil
 	n.postmortemFn = nil
 	n.stats.reset()
+	n.resetLinkCounters()
+	n.buildRingLinks() // ring membership follows the new fault model
 	// valSeen/valEpoch are epoch-stamped and monotonic: stale marks can
 	// never be mistaken for fresh ones, so they carry over untouched.
 	return nil
@@ -350,6 +363,11 @@ func (n *Network) Offer(m *Message) bool {
 	}
 	n.Alg.InitMessage(m)
 	m.lastMove = n.cycle
+	// Latency decomposition starts here: cycles after GenTime count as
+	// source-queue wait until the injection grant (telemetry.go).
+	m.acctFrom = m.GenTime
+	m.acctState = acctQueued
+	m.ringSince = -1
 	r.srcQ = append(r.srcQ, m)
 	n.markBusy(m.Src)
 	n.addActive(m)
@@ -470,10 +488,19 @@ func (n *Network) routingPhase() {
 			s.out = ch
 			s.dvc = dvc
 		}
+		// Decomposition: the wait that just ended was queue wait (inject
+		// grant) or routing wait (intermediate hop); from here until the
+		// next flit move the head is credit/switch blocked.
+		m.settleWait(n.cycle, acctBlocked)
 		ringBefore := m.RingIdx
 		n.Alg.Advance(m, req.node, ch)
-		if ringBefore < 0 && m.RingIdx >= 0 && n.cycle >= n.statsStart {
-			n.stats.RingEntries++
+		if ringBefore < 0 && m.RingIdx >= 0 {
+			m.ringSince = n.cycle
+			if n.cycle >= n.statsStart {
+				n.stats.RingEntries++
+			}
+		} else if ringBefore >= 0 && m.RingIdx < 0 {
+			m.closeRing(n.cycle)
 		}
 		if n.tracer != nil {
 			n.tracer.HeaderRouted(m, req.node, ch, n.cycle)
@@ -502,6 +529,9 @@ func (n *Network) gatherRequests(r *router) {
 			s.routed = true
 			s.out = Channel{Dir: topology.Local}
 			s.dvc = nil
+			// Routing wait ends: the header resolved to the ejection
+			// port; remaining stalls are ejection-bandwidth blocked.
+			s.owner.settleWait(n.cycle, acctBlocked)
 			continue
 		}
 		n.requests = append(n.requests, request{node: r.id, port: s.port, vc: s.idx})
@@ -595,6 +625,7 @@ func (n *Network) switchAllocRouter(r *router) {
 	if len(r.active) == 0 && r.inj.msg == nil {
 		return
 	}
+	tel := n.linkBusy != nil // ChannelTelemetry, hoisted out of the loops
 	var portUsed [NumPorts]bool
 	// Random output service order for fairness between outputs that
 	// contend for the same input ports.
@@ -637,6 +668,7 @@ func (n *Network) switchAllocRouter(r *router) {
 		if out == topology.Local {
 			capacity = n.Cfg.EjectBW
 		}
+		forwarded := false
 		for capacity > 0 {
 			n.sendVCs = n.sendVCs[:0]
 			for _, s := range bucket {
@@ -662,6 +694,7 @@ func (n *Network) switchAllocRouter(r *router) {
 				portUsed[InjectPort] = true
 				r.inj.dvc.stagedIn = n.cycle
 				n.moves = append(n.moves, move{kind: moveInject, node: r.id})
+				forwarded = true
 			case out == topology.Local:
 				portUsed[w.port] = true
 				w.stagedOut = n.cycle
@@ -671,8 +704,18 @@ func (n *Network) switchAllocRouter(r *router) {
 				w.stagedOut = n.cycle
 				w.dvc.stagedIn = n.cycle
 				n.moves = append(n.moves, move{kind: moveLink, node: r.id, port: w.port, vc: w.idx})
+				forwarded = true
 			}
 			capacity--
+		}
+		// Link occupancy: the output had demand this cycle (busy); if
+		// nothing was staged, every sender was credit- or port-blocked.
+		if tel && out != topology.Local {
+			li := LinkID(r.id, out)
+			n.linkBusy[li]++
+			if !forwarded {
+				n.linkBlocked[li]++
+			}
 		}
 	}
 }
@@ -690,16 +733,27 @@ func (n *Network) hasCredit(dvc *vcState) bool {
 // commit applies the staged moves simultaneously.
 func (n *Network) commit() {
 	measuring := n.cycle >= n.statsStart
+	tel := n.linkFlits != nil // ChannelTelemetry, hoisted out of the loop
 	for _, mv := range n.moves {
 		r := &n.routers[mv.node]
 		switch mv.kind {
 		case moveInject:
 			m := r.inj.msg
+			if tel {
+				n.linkFlits[LinkID(mv.node, r.inj.out.Dir)]++
+			}
+			if m.acctMoved != n.cycle {
+				m.acctMoved = n.cycle
+				m.settleMove(n.cycle)
+			}
 			idx := m.flitsInjected
 			m.flitsInjected++
 			r.inj.dvc.pushBack(int32(idx))
 			if idx == 0 {
 				m.InjectTime = n.cycle
+				// The header now sits in a neighbor's input VC awaiting
+				// VC allocation there.
+				m.acctState = acctRouteWait
 				if measuring {
 					n.stats.Injected++
 				}
@@ -725,10 +779,21 @@ func (n *Network) commit() {
 			}
 		case moveLink:
 			s := r.vc(topology.Direction(mv.port), int(mv.vc), n.Cfg.NumVCs)
+			if tel {
+				n.linkFlits[LinkID(mv.node, s.out.Dir)]++
+			}
 			f := s.popFront()
 			s.dvc.pushBack(f.Index)
 			if f.Tail() {
 				n.releaseVC(r, s)
+			}
+			if f.Msg.acctMoved != n.cycle {
+				f.Msg.acctMoved = n.cycle
+				f.Msg.settleMove(n.cycle)
+			}
+			if f.Head() {
+				// The header advanced into the next router's input VC.
+				f.Msg.acctState = acctRouteWait
 			}
 			f.Msg.lastMove = n.cycle
 			n.lastGlobalMove = n.cycle
@@ -743,10 +808,20 @@ func (n *Network) commit() {
 			s := r.vc(topology.Direction(mv.port), int(mv.vc), n.Cfg.NumVCs)
 			f := s.popFront()
 			m := f.Msg
+			if m.acctMoved != n.cycle {
+				m.acctMoved = n.cycle
+				m.settleMove(n.cycle)
+			}
+			if f.Head() {
+				// Header consumed; remaining stalls are body-flit
+				// (credit/ejection-bandwidth) blocked.
+				m.acctState = acctBlocked
+			}
 			tail := f.Tail()
 			if tail {
 				n.releaseVC(r, s)
 				m.DeliverTime = n.cycle
+				m.closeRing(n.cycle)
 				n.removeActive(m)
 				if n.tracer != nil {
 					n.tracer.MessageDelivered(m, n.cycle)

@@ -292,6 +292,10 @@ func (n *Network) routeNodeParallel(worker, i int) {
 			s.routed = true
 			s.out = Channel{Dir: topology.Local}
 			s.dvc = nil
+			// Routing wait ends at the ejection port. Safe on a worker:
+			// a message has exactly one header VC, so exactly one node's
+			// P1 touches its accounting fields.
+			s.owner.settleWait(n.cycle, acctBlocked)
 			continue
 		}
 		consider(s.port, s.idx, s.owner)
@@ -383,10 +387,18 @@ func (n *Network) stepParallel() {
 				s.out = req.choice
 				s.dvc = dvc
 			}
+			// Decomposition: queue wait (inject grant) or routing wait
+			// (intermediate hop) ends; blocked until the next move.
+			req.msg.settleWait(n.cycle, acctBlocked)
 			ringBefore := req.msg.RingIdx
 			n.Alg.Advance(req.msg, r.id, req.choice)
-			if ringBefore < 0 && req.msg.RingIdx >= 0 && n.cycle >= n.statsStart {
-				n.stats.RingEntries++
+			if ringBefore < 0 && req.msg.RingIdx >= 0 {
+				req.msg.ringSince = n.cycle
+				if n.cycle >= n.statsStart {
+					n.stats.RingEntries++
+				}
+			} else if ringBefore >= 0 && req.msg.RingIdx < 0 {
+				req.msg.closeRing(n.cycle)
 			}
 			if n.tracer != nil {
 				n.tracer.HeaderRouted(req.msg, r.id, req.choice, n.cycle)
@@ -476,6 +488,7 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 	if len(r.active) == 0 && r.inj.msg == nil {
 		return out
 	}
+	tel := n.linkBusy != nil // ChannelTelemetry; link rows are per-node, race-free
 	pe := n.par
 	rng := newPRNG(pe.hashKey, uint64(n.cycle), r.id, 2)
 	var portUsed [NumPorts]bool
@@ -512,6 +525,7 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 		if outDir == topology.Local {
 			capacity = n.Cfg.EjectBW
 		}
+		forwarded := false
 		for capacity > 0 {
 			senders = senders[:0]
 			for _, s := range bucket {
@@ -537,6 +551,7 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 				portUsed[InjectPort] = true
 				r.inj.dvc.stagedIn = n.cycle
 				out = append(out, move{kind: moveInject, node: r.id})
+				forwarded = true
 			case outDir == topology.Local:
 				portUsed[w.port] = true
 				w.stagedOut = n.cycle
@@ -546,8 +561,18 @@ func (n *Network) switchAllocateNode(i int, out []move, worker int) []move {
 				w.stagedOut = n.cycle
 				w.dvc.stagedIn = n.cycle
 				out = append(out, move{kind: moveLink, node: r.id, port: w.port, vc: w.idx})
+				forwarded = true
 			}
 			capacity--
+		}
+		// Link occupancy (see switchAllocRouter): demand existed if we
+		// got past the skip above.
+		if tel && outDir != topology.Local {
+			li := LinkID(r.id, outDir)
+			n.linkBusy[li]++
+			if !forwarded {
+				n.linkBlocked[li]++
+			}
 		}
 	}
 	pe.senders[worker] = senders[:0]

@@ -26,6 +26,20 @@ type Stats struct {
 	HopsSum       int64 // header hops of those messages
 	MinHopsSum    int64 // their minimal distances (detour accounting)
 
+	// Latency decomposition: per-component sums over the same measured
+	// messages as LatencySum, so each mean component is Sum/LatencyCount
+	// and Queue+Route+Blocked+Moving == LatencySum exactly (LatRingSum
+	// is an overlay, counted inside the other buckets too).
+	LatQueueSum   int64 // source-queue wait
+	LatRouteSum   int64 // header routing (VC-allocation) wait
+	LatBlockedSum int64 // credit/switch blocked
+	LatMovingSum  int64 // cycles with flit movement
+	LatRingSum    int64 // f-ring traversal overlay
+
+	// LatencyHist is the log2-bucketed histogram of measured message
+	// latencies; Percentile reads p50/p95/p99 from it.
+	LatencyHist LatencyHist
+
 	Killed         int64 // messages torn down by recovery (all causes)
 	KilledGlobal   int64 // victims of the global deadlock watchdog
 	KilledStall    int64 // per-message stall kills (MessageStallCycles)
@@ -96,6 +110,19 @@ func (s *Stats) recordDelivery(m *Message, statsStart int64, minHops int) {
 	s.NetLatencySum += m.DeliverTime - m.InjectTime
 	s.HopsSum += int64(m.Hops)
 	s.MinHopsSum += int64(minHops)
+	s.LatQueueSum += m.LatQueue
+	s.LatRouteSum += m.LatRoute
+	s.LatBlockedSum += m.LatBlocked
+	s.LatMovingSum += m.LatMoving
+	s.LatRingSum += m.LatRing
+	s.LatencyHist.Add(lat)
+}
+
+// Percentile returns an upper bound on the p-th percentile message
+// latency in cycles (p in [0,100]), read from the log2-bucketed
+// histogram; -1 when no message was measured. See LatencyHist.
+func (s Stats) Percentile(p float64) int64 {
+	return s.LatencyHist.Percentile(p)
 }
 
 // AvgDetour returns the mean number of extra hops beyond the minimal

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"wormmesh/internal/topology"
+)
+
+// Spatial and per-message telemetry.
+//
+// Two layers live here:
+//
+//  1. Per-link congestion counters, gated by Config.ChannelTelemetry:
+//     dense LinkID-indexed arrays counting flits forwarded, busy cycles
+//     (the link had at least one would-be sender) and blocked cycles
+//     (it had senders but forwarded nothing — credit exhaustion or
+//     switch contention), plus an f-ring membership tag per link so
+//     reports can split on-ring from off-ring congestion. Recording is
+//     an array index plus an add on the hot path; the disabled path
+//     costs one nil check hoisted per router (switch phase) or per
+//     commit batch.
+//
+//  2. Per-message latency decomposition, always on: every cycle of a
+//     message's life between generation and tail delivery is attributed
+//     to exactly one of {source-queue wait, header-routing wait,
+//     credit/switch blocked, moving}, with f-ring traversal tracked as
+//     an overlay. The accounting is settled lazily — at each committed
+//     flit move, at each routing transition, and at teardown — so the
+//     steady-state cost is a handful of integer ops per move, no
+//     allocation, and no RNG interaction.
+//
+// Both layers are read-only with respect to engine decisions: they
+// never branch the routing, allocation or arbitration paths and never
+// draw from any random stream, so Stats are bit-identical with
+// telemetry on or off (locked in by internal/sim's TestTelemetryNeutral
+// tests).
+
+// ---------------------------------------------------------------------
+// Per-message latency decomposition.
+
+// Accounting states: what the message has been doing since acctFrom.
+// The state tracks the HEAD of the message — when nothing moves in a
+// cycle, the head's situation is why.
+const (
+	// acctQueued: the header is still in its source queue.
+	acctQueued uint8 = iota
+	// acctRouteWait: the header sits at the front of an input VC
+	// awaiting VC allocation (routing).
+	acctRouteWait
+	// acctBlocked: the header is routed (or ejecting) but the message
+	// could not move — downstream credits, switch contention, or
+	// ejection bandwidth.
+	acctBlocked
+)
+
+// addWait folds gap cycles into the bucket named by the current state.
+func (m *Message) addWait(gap int64) {
+	switch m.acctState {
+	case acctQueued:
+		m.LatQueue += gap
+	case acctRouteWait:
+		m.LatRoute += gap
+	default:
+		m.LatBlocked += gap
+	}
+}
+
+// settleWait attributes the waiting cycles (acctFrom, c-1] to the
+// current bucket and switches the state. Called at routing transitions
+// during cycle c, before any of cycle c's moves commit, so cycle c
+// itself stays available for the move accounting.
+func (m *Message) settleWait(c int64, newState uint8) {
+	if gap := c - 1 - m.acctFrom; gap > 0 {
+		m.addWait(gap)
+		m.acctFrom = c - 1
+	}
+	m.acctState = newState
+}
+
+// settleMove attributes (acctFrom, c-1] to the current wait bucket and
+// cycle c to LatMoving. The caller guards with acctMoved so this runs
+// at most once per message per cycle (the first committed flit move).
+func (m *Message) settleMove(c int64) {
+	if c <= m.acctFrom {
+		return // same-cycle offer+inject: cycle c is outside the latency span
+	}
+	if gap := c - 1 - m.acctFrom; gap > 0 {
+		m.addWait(gap)
+	}
+	m.LatMoving++
+	m.acctFrom = c
+}
+
+// settleTeardown closes the books on a message torn down at cycle c
+// (deadlock/livelock recovery): the open wait interval is attributed
+// through c and any open f-ring traversal is closed, so kill events and
+// post-mortems observe the victim's final decomposition.
+func (m *Message) settleTeardown(c int64) {
+	if gap := c - m.acctFrom; gap > 0 {
+		m.addWait(gap)
+		m.acctFrom = c
+	}
+	m.closeRing(c)
+}
+
+// closeRing ends an open f-ring traversal at cycle c.
+func (m *Message) closeRing(c int64) {
+	if m.ringSince >= 0 {
+		m.LatRing += c - m.ringSince
+		m.ringSince = -1
+	}
+}
+
+// LatencyTotal returns the sum of the four disjoint decomposition
+// buckets. For a delivered message this equals DeliverTime - GenTime
+// (the partition invariant TestLatencyDecompositionSums locks in).
+func (m *Message) LatencyTotal() int64 {
+	return m.LatQueue + m.LatRoute + m.LatBlocked + m.LatMoving
+}
+
+// ---------------------------------------------------------------------
+// Log2-bucketed latency histogram.
+
+// LatencyBuckets is the number of log2 buckets tracked per window:
+// bucket b counts latencies in [2^(b-1), 2^b), so 40 buckets cover
+// every latency a practical run can produce.
+const LatencyBuckets = 40
+
+// LatencyHist is a log2-bucketed histogram of message latencies.
+// Bucket index is bits.Len64(latency): latency 1 lands in bucket 1,
+// [2,3] in bucket 2, [4,7] in bucket 3, and so on; bucket b's upper
+// bound is 2^b - 1. The fixed-size array keeps Stats reset/clone/
+// DeepEqual semantics trivial and the per-delivery fold allocation-free.
+type LatencyHist [LatencyBuckets]int64
+
+// Add folds one latency sample into the histogram.
+func (h *LatencyHist) Add(lat int64) {
+	if lat < 0 {
+		lat = 0
+	}
+	b := bits.Len64(uint64(lat))
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	h[b]++
+}
+
+// Total returns the number of samples folded in.
+func (h *LatencyHist) Total() int64 {
+	var t int64
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Percentile returns the upper bound (2^b - 1) of the bucket containing
+// the p-th percentile sample (p in [0,100]), or -1 when the histogram
+// is empty. Because buckets are log2-sized the result is an upper bound
+// on the true percentile, tight to within a factor of two — enough to
+// tell a 300-cycle p99 from a 30,000-cycle one.
+func (h *LatencyHist) Percentile(p float64) int64 {
+	total := h.Total()
+	if total == 0 {
+		return -1
+	}
+	need := int64(math.Ceil(p / 100 * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	if need > total {
+		need = total
+	}
+	var cum int64
+	for b, c := range h {
+		cum += c
+		if cum >= need {
+			if b == 0 {
+				return 0
+			}
+			return (int64(1) << uint(b)) - 1
+		}
+	}
+	return -1 // unreachable: cum reaches total
+}
+
+// ---------------------------------------------------------------------
+// Per-link congestion counters (Config.ChannelTelemetry).
+
+// LinkID densely encodes one directional physical link — node id's
+// outgoing link in direction dir — as id*NumDirs + dir, the same row
+// layout as the healthy-neighbor table. Links toward the mesh edge or a
+// faulty neighbor simply never accumulate counts.
+func LinkID(id topology.NodeID, dir topology.Direction) int {
+	return int(id)*topology.NumDirs + int(dir)
+}
+
+// NumLinks returns the length of any LinkID-indexed table.
+func (n *Network) NumLinks() int { return n.Mesh.NodeCount() * topology.NumDirs }
+
+// LinkStats is a snapshot of the per-link telemetry counters for one
+// measurement window, taken by Network.LinkSnapshot. All slices are
+// LinkID-indexed copies, safe to retain after the network resets.
+type LinkStats struct {
+	Width, Height int
+
+	// Flits counts flits forwarded across the link inside the window.
+	Flits []int64
+	// Busy counts cycles the link had at least one would-be sender (a
+	// routed VC with buffered flits, or a pending injection).
+	Busy []int64
+	// Blocked counts busy cycles in which no flit was forwarded: every
+	// sender was stopped by downstream credit exhaustion or switch
+	// contention. Blocked <= Busy per link.
+	Blocked []int64
+	// OnRing marks links that lie on an f-ring: both endpoints are
+	// consecutive nodes of some fault ring, in either orientation.
+	OnRing []bool
+}
+
+// LinkTelemetryEnabled reports whether per-link counters are being
+// collected (Config.ChannelTelemetry at construction).
+func (n *Network) LinkTelemetryEnabled() bool { return n.linkFlits != nil }
+
+// LinkSnapshot copies the per-link counters for the current measurement
+// window (since the last ResetStats), or nil when ChannelTelemetry is
+// off. It allocates; call it once per run, not per cycle.
+func (n *Network) LinkSnapshot() *LinkStats {
+	if n.linkFlits == nil {
+		return nil
+	}
+	return &LinkStats{
+		Width:   n.Mesh.Width,
+		Height:  n.Mesh.Height,
+		Flits:   append([]int64(nil), n.linkFlits...),
+		Busy:    append([]int64(nil), n.linkBusy...),
+		Blocked: append([]int64(nil), n.linkBlocked...),
+		OnRing:  append([]bool(nil), n.linkOnRing...),
+	}
+}
+
+// LinkCounters exposes the LIVE per-link counter rows for samplers that
+// must not allocate (internal/metrics). All slices are nil when
+// ChannelTelemetry is off. Callers must treat them as read-only and
+// must not retain them across a Network.Reset.
+func (n *Network) LinkCounters() (flits, busy, blocked []int64, onRing []bool) {
+	return n.linkFlits, n.linkBusy, n.linkBlocked, n.linkOnRing
+}
+
+// initLinkTelemetry allocates the counter arrays (construction time,
+// ChannelTelemetry on).
+func (n *Network) initLinkTelemetry() {
+	links := n.NumLinks()
+	n.linkFlits = make([]int64, links)
+	n.linkBusy = make([]int64, links)
+	n.linkBlocked = make([]int64, links)
+	n.linkOnRing = make([]bool, links)
+	n.buildRingLinks()
+}
+
+// resetLinkCounters zeroes the window counters in place (ResetStats and
+// Network.Reset; no-op when telemetry is off).
+func (n *Network) resetLinkCounters() {
+	for i := range n.linkFlits {
+		n.linkFlits[i] = 0
+	}
+	for i := range n.linkBusy {
+		n.linkBusy[i] = 0
+	}
+	for i := range n.linkBlocked {
+		n.linkBlocked[i] = 0
+	}
+}
+
+// buildRingLinks recomputes the per-link f-ring membership tags from
+// the current fault model: a directional link is on-ring when its
+// endpoints are consecutive nodes of some f-ring (both orientations are
+// tagged — ring traffic flows clockwise and counter-clockwise).
+// Consecutive ring nodes are mesh-adjacent by construction; the
+// adjacency probe below simply finds which direction connects them
+// (and skips the clipped-chain wraparound pair, which need not be
+// adjacent).
+func (n *Network) buildRingLinks() {
+	if n.linkOnRing == nil {
+		return
+	}
+	for i := range n.linkOnRing {
+		n.linkOnRing[i] = false
+	}
+	for _, ring := range n.Faults.Rings() {
+		for _, id := range ring.Nodes {
+			next, ok := ring.Next(id, true)
+			if !ok {
+				continue // terminal node of an open chain
+			}
+			for d := topology.Direction(0); d < topology.NumDirs; d++ {
+				if n.Mesh.NeighborID(id, d) == next {
+					n.linkOnRing[LinkID(id, d)] = true
+					n.linkOnRing[LinkID(next, d.Opposite())] = true
+					break
+				}
+			}
+		}
+	}
+}

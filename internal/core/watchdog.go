@@ -123,6 +123,10 @@ func (n *Network) kill(m *Message, cause KillCause) {
 	n.checkIdle(src) // the teardown may have emptied the source router
 	n.removeActive(m)
 	m.Killed = true
+	// Close the victim's latency decomposition before the kill event
+	// fires, so tracers and post-mortems see how long each phase starved
+	// (telemetry.go).
+	m.settleTeardown(n.cycle)
 	if n.tracer != nil {
 		n.tracer.MessageKilled(m, cause, n.cycle)
 	}
@@ -142,6 +146,14 @@ func (n *Network) kill(m *Message, cause KillCause) {
 		clone.GenTime = m.GenTime
 		n.Alg.InitMessage(clone)
 		clone.lastMove = n.cycle
+		// The clone inherits the victim's decomposition and resumes
+		// accounting from the kill cycle, so its eventual delivery still
+		// satisfies the partition invariant for the preserved GenTime.
+		clone.LatQueue, clone.LatRoute = m.LatQueue, m.LatRoute
+		clone.LatBlocked, clone.LatMoving = m.LatBlocked, m.LatMoving
+		clone.LatRing = m.LatRing
+		clone.acctFrom = n.cycle
+		clone.acctState = acctQueued
 		// Push to the queue front so recovery does not reorder behind
 		// younger traffic (in place: slide the queue right by one).
 		src.srcQ = append(src.srcQ, nil)
@@ -169,6 +181,8 @@ func (n *Network) ResetStats() {
 	for i := range n.routers {
 		n.routers[i].crossings = 0
 	}
+	// The per-link telemetry counters share the measurement window.
+	n.resetLinkCounters()
 }
 
 // LiveCounters is the scalar subset of the running statistics that live
@@ -182,6 +196,9 @@ type LiveCounters struct {
 	Delivered      int64
 	DeliveredFlits int64
 	Killed         int64
+	KilledGlobal   int64
+	KilledStall    int64
+	KilledLivelock int64
 	DeadlockEvents int64
 }
 
@@ -195,8 +212,18 @@ func (n *Network) LiveCounters() LiveCounters {
 		Delivered:      n.stats.Delivered,
 		DeliveredFlits: n.stats.DeliveredFlits,
 		Killed:         n.stats.Killed,
+		KilledGlobal:   n.stats.KilledGlobal,
+		KilledStall:    n.stats.KilledStall,
+		KilledLivelock: n.stats.KilledLivelock,
 		DeadlockEvents: n.stats.DeadlockEvents,
 	}
+}
+
+// LiveLatencyHist returns the current latency histogram (measurement
+// window to date) by value — read-only, allocation-free, for interval
+// percentile sampling (internal/metrics).
+func (n *Network) LiveLatencyHist() LatencyHist {
+	return n.stats.LatencyHist
 }
 
 // Snapshot finalizes and returns the statistics for the window from

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotspotRingLocalization is the acceptance check for the hotspot
+// study: on the Figure 6 canned pattern at the knee load, at least one
+// BC-fortified algorithm blocks disproportionately on its f-ring links
+// (on-ring mean blocked cycles > off-ring mean), while the structural
+// outputs (row grid, link splits, views, table) are complete.
+func TestHotspotRingLocalization(t *testing.T) {
+	o := tiny()
+	// The ring-localization signal needs the knee regime to settle;
+	// tiny()'s 800 cycles are too noisy for a ratio assertion.
+	o.WarmupCycles = 1000
+	o.MeasureCycles = 4000
+	algs := []string{"Duato-Nbc", "Nbc"}
+	res, err := Hotspot(o, algs, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(algs) * 2 /* cases: fig6, 5 */ * 2 /* loads */
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	for _, row := range res.Rows {
+		if row.Blocked.OnRingLinks == 0 || row.Blocked.OffRingLinks == 0 {
+			t.Errorf("%s@%s/%s: degenerate link split %d/%d",
+				row.Algorithm, row.Case, row.Load, row.Blocked.OnRingLinks, row.Blocked.OffRingLinks)
+		}
+		if row.P50 > row.P99 {
+			t.Errorf("%s@%s/%s: p50 %d > p99 %d", row.Algorithm, row.Case, row.Load, row.P50, row.P99)
+		}
+		if row.BlockedShare < 0 || row.BlockedShare > 1 {
+			t.Errorf("%s@%s/%s: blocked share %v outside [0,1]",
+				row.Algorithm, row.Case, row.Load, row.BlockedShare)
+		}
+	}
+
+	// The headline claim: congestion localizes on the rings at the knee
+	// for at least one BC-fortified algorithm.
+	localized := false
+	for _, alg := range algs {
+		row := res.Row(alg, "fig6", "knee")
+		if row == nil {
+			t.Fatalf("missing fig6/knee row for %s", alg)
+		}
+		if r := row.Blocked.Ratio(); r > 1 {
+			localized = true
+			t.Logf("%s: fig6@knee blocked ratio %.2f", alg, r)
+		}
+	}
+	if !localized {
+		t.Error("no BC-fortified algorithm showed on-ring blocked mean > off-ring at the knee")
+	}
+
+	// Each algorithm's fig6 knee view renders and marks the fault block.
+	for _, alg := range algs {
+		lv, ok := res.Views[alg]
+		if !ok {
+			t.Fatalf("no fig6 knee view for %s", alg)
+		}
+		var sb strings.Builder
+		if err := lv.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "X") {
+			t.Errorf("%s view does not mark faulty nodes", alg)
+		}
+	}
+
+	tab := res.Table()
+	if len(tab.Rows) != wantRows {
+		t.Errorf("table rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "blocked_ratio") {
+		t.Error("hotspot CSV missing blocked_ratio column")
+	}
+}

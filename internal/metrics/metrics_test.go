@@ -241,3 +241,87 @@ func TestSimMetricsSampling(t *testing.T) {
 		t.Errorf("cycle gauge = %g, want %g (total cycles run)", got, want)
 	}
 }
+
+// TestSimMetricsTelemetryAndKillSeries drives a saturated faulty run
+// with link telemetry on and an aggressive stall watchdog, and checks
+// the new series: per-cause kill counters partition the total, the
+// interval latency percentile gauges land in order, and the hottest-
+// link gauges publish a real link with a descending flit ranking.
+func TestSimMetricsTelemetryAndKillSeries(t *testing.T) {
+	p := sim.DefaultParams()
+	p.Width, p.Height = 6, 6
+	p.Rate = 0.2 // far past saturation: guarantees blocking
+	p.MessageLength = 8
+	p.WarmupCycles = 0
+	p.MeasureCycles = 1500
+	p.Seed = 9
+	p.Faults = 4
+	p.FaultSeed = 3
+	p.Config = sim.DefaultEngineConfig()
+	p.Config.ChannelTelemetry = true
+	p.Config.MessageStallCycles = 64
+	p.Config.StallScanInterval = 16
+
+	r := metrics.NewRegistry()
+	p.Metrics = metrics.NewSim(r)
+	p.MetricsInterval = 64
+	if _, err := sim.Run(p); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(name string) float64 {
+		t.Helper()
+		m := r.Get(name)
+		if m == nil {
+			t.Fatalf("metric %s not registered", name)
+		}
+		return m.Value()
+	}
+
+	total := get("wormmesh_engine_killed_total")
+	byCause := get("wormmesh_engine_killed_global_total") +
+		get("wormmesh_engine_killed_stall_total") +
+		get("wormmesh_engine_killed_livelock_total")
+	if total != byCause {
+		t.Errorf("killed_total %g != sum of per-cause counters %g", total, byCause)
+	}
+	if get("wormmesh_engine_killed_stall_total") == 0 {
+		t.Error("aggressive stall watchdog on a saturated faulty mesh killed nothing")
+	}
+
+	p50 := get("wormmesh_engine_latency_p50_cycles")
+	p95 := get("wormmesh_engine_latency_p95_cycles")
+	p99 := get("wormmesh_engine_latency_p99_cycles")
+	if p50 <= 0 {
+		t.Errorf("p50 gauge %g: no deliveries in the final sampling interval of a saturated run", p50)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Errorf("percentile gauges out of order: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+
+	id0 := get("wormmesh_engine_hot_link_0_id")
+	if id0 < 0 || id0 >= float64(4*p.Width*p.Height) {
+		t.Errorf("hot_link_0_id %g outside the mesh's link id range", id0)
+	}
+	f0 := get("wormmesh_engine_hot_link_0_flits")
+	f1 := get("wormmesh_engine_hot_link_1_flits")
+	f2 := get("wormmesh_engine_hot_link_2_flits")
+	if f0 == 0 {
+		t.Error("hottest link recorded no interval flits on a saturated run")
+	}
+	if f0 < f1 || f1 < f2 {
+		t.Errorf("hot-link flits not descending: %g %g %g", f0, f1, f2)
+	}
+
+	// Telemetry off: the hot-link series stay at their defaults.
+	r2 := metrics.NewRegistry()
+	p2 := p
+	p2.Config.ChannelTelemetry = false
+	p2.Metrics = metrics.NewSim(r2)
+	if _, err := sim.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if v := r2.Get("wormmesh_engine_hot_link_0_flits").Value(); v != 0 {
+		t.Errorf("telemetry off but hot_link_0_flits = %g", v)
+	}
+}

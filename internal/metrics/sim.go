@@ -23,16 +23,41 @@ type Sim struct {
 	Delivered      *Counter
 	DeliveredFlits *Counter
 	Killed         *Counter
+	KilledGlobal   *Counter // global-watchdog victims
+	KilledStall    *Counter // per-message stall kills
+	KilledLivelock *Counter // livelock-guard kills (MaxHops)
 	DeadlockEvents *Counter
 
 	InjectedRate  *FloatGauge // messages per cycle since the last sample
 	DeliveredRate *FloatGauge
 	KilledRate    *FloatGauge
 
+	// Interval latency percentiles: upper bounds read from the engine's
+	// log2 histogram over the messages DELIVERED since the last sample
+	// (-1 until the first delivery of an interval). The registry has no
+	// label support, so each quantile is its own series.
+	LatencyP50 *FloatGauge
+	LatencyP95 *FloatGauge
+	LatencyP99 *FloatGauge
+
+	// Hottest links by flits forwarded since the last sample, published
+	// only when the network collects link telemetry
+	// (core.Config.ChannelTelemetry). Rank k's pair of series carries
+	// the link id (node*4+dir) and its flit count, so a scraper can
+	// watch congestion migrate without per-link label cardinality.
+	HotLinkID    [HotLinks]*Gauge
+	HotLinkFlits [HotLinks]*Gauge
+
 	// last sample state (touched only by the sampling goroutine).
 	lastCycle int64
 	last      core.LiveCounters
+	lastHist  core.LatencyHist
+	lastFlits []int64 // per-link flit counts at the previous sample
+	histDelta core.LatencyHist
 }
+
+// HotLinks is how many top links by interval flits Sample publishes.
+const HotLinks = 3
 
 // NewSim registers the engine metric set on r.
 func NewSim(r *Registry) *Sim {
@@ -47,10 +72,26 @@ func NewSim(r *Registry) *Sim {
 		Delivered:      r.NewCounter("wormmesh_engine_delivered_total", "Tails ejected at their destination."),
 		DeliveredFlits: r.NewCounter("wormmesh_engine_delivered_flits_total", "Flits consumed at destinations."),
 		Killed:         r.NewCounter("wormmesh_engine_killed_total", "Messages torn down by deadlock/livelock recovery."),
+		KilledGlobal:   r.NewCounter("wormmesh_engine_killed_global_total", "Recovery victims of the global deadlock watchdog."),
+		KilledStall:    r.NewCounter("wormmesh_engine_killed_stall_total", "Per-message stall kills (MessageStallCycles exceeded)."),
+		KilledLivelock: r.NewCounter("wormmesh_engine_killed_livelock_total", "Livelock-guard kills (MaxHops exceeded)."),
 		DeadlockEvents: r.NewCounter("wormmesh_engine_deadlock_events_total", "Global watchdog firings."),
 		InjectedRate:   r.NewFloatGauge("wormmesh_engine_injected_per_cycle", "Injection rate over the last sampling interval."),
 		DeliveredRate:  r.NewFloatGauge("wormmesh_engine_delivered_per_cycle", "Delivery rate over the last sampling interval."),
 		KilledRate:     r.NewFloatGauge("wormmesh_engine_killed_per_cycle", "Kill rate over the last sampling interval."),
+		LatencyP50:     r.NewFloatGauge("wormmesh_engine_latency_p50_cycles", "p50 latency upper bound (log2 buckets) of messages delivered in the last sampling interval."),
+		LatencyP95:     r.NewFloatGauge("wormmesh_engine_latency_p95_cycles", "p95 latency upper bound (log2 buckets) of messages delivered in the last sampling interval."),
+		LatencyP99:     r.NewFloatGauge("wormmesh_engine_latency_p99_cycles", "p99 latency upper bound (log2 buckets) of messages delivered in the last sampling interval."),
+		HotLinkID: [HotLinks]*Gauge{
+			r.NewGauge("wormmesh_engine_hot_link_0_id", "Link id (node*4+dir) of the hottest link by interval flits (link telemetry only)."),
+			r.NewGauge("wormmesh_engine_hot_link_1_id", "Link id of the second-hottest link by interval flits."),
+			r.NewGauge("wormmesh_engine_hot_link_2_id", "Link id of the third-hottest link by interval flits."),
+		},
+		HotLinkFlits: [HotLinks]*Gauge{
+			r.NewGauge("wormmesh_engine_hot_link_0_flits", "Interval flit count of the hottest link (link telemetry only)."),
+			r.NewGauge("wormmesh_engine_hot_link_1_flits", "Interval flit count of the second-hottest link."),
+			r.NewGauge("wormmesh_engine_hot_link_2_flits", "Interval flit count of the third-hottest link."),
+		},
 	}
 }
 
@@ -74,6 +115,9 @@ func (s *Sim) Sample(n *core.Network) {
 	s.DeliveredFlits.Add(counterDelta(lc.DeliveredFlits, s.last.DeliveredFlits))
 	killed := counterDelta(lc.Killed, s.last.Killed)
 	s.Killed.Add(killed)
+	s.KilledGlobal.Add(counterDelta(lc.KilledGlobal, s.last.KilledGlobal))
+	s.KilledStall.Add(counterDelta(lc.KilledStall, s.last.KilledStall))
+	s.KilledLivelock.Add(counterDelta(lc.KilledLivelock, s.last.KilledLivelock))
 	s.DeadlockEvents.Add(counterDelta(lc.DeadlockEvents, s.last.DeadlockEvents))
 
 	if dc := lc.Cycle - s.lastCycle; dc > 0 {
@@ -83,6 +127,61 @@ func (s *Sim) Sample(n *core.Network) {
 	}
 	s.lastCycle = lc.Cycle
 	s.last = lc
+
+	// Interval latency percentiles: difference the engine's cumulative
+	// window histogram per bucket (clamped, like the scalar counters —
+	// a measurement-window reset re-bases on the new window).
+	hist := n.LiveLatencyHist()
+	for b := range hist {
+		s.histDelta[b] = counterDelta(hist[b], s.lastHist[b])
+	}
+	s.lastHist = hist
+	s.LatencyP50.Set(float64(s.histDelta.Percentile(50)))
+	s.LatencyP95.Set(float64(s.histDelta.Percentile(95)))
+	s.LatencyP99.Set(float64(s.histDelta.Percentile(99)))
+
+	s.sampleHotLinks(n)
+}
+
+// sampleHotLinks publishes the top-HotLinks links by flits forwarded
+// since the previous sample. A no-op (series stay at their defaults)
+// when the network collects no link telemetry. The scan is O(links)
+// with an insertion into a HotLinks-sized array — allocation-free, as
+// the engine-off sampling budget requires.
+func (s *Sim) sampleHotLinks(n *core.Network) {
+	flits, _, _, _ := n.LinkCounters()
+	if flits == nil {
+		return
+	}
+	if len(s.lastFlits) != len(flits) {
+		s.lastFlits = make([]int64, len(flits))
+	}
+	var topID [HotLinks]int64
+	var topV [HotLinks]int64
+	for i := range topID {
+		topID[i] = -1
+	}
+	for li, cur := range flits {
+		d := counterDelta(cur, s.lastFlits[li])
+		s.lastFlits[li] = cur
+		if d <= topV[HotLinks-1] && topID[HotLinks-1] >= 0 {
+			continue
+		}
+		// Insertion sort into the fixed top list (ties keep the lower
+		// link id, scan order being ascending).
+		for r := 0; r < HotLinks; r++ {
+			if topID[r] < 0 || d > topV[r] {
+				copy(topID[r+1:], topID[r:HotLinks-1])
+				copy(topV[r+1:], topV[r:HotLinks-1])
+				topID[r], topV[r] = int64(li), d
+				break
+			}
+		}
+	}
+	for r := 0; r < HotLinks; r++ {
+		s.HotLinkID[r].Set(topID[r])
+		s.HotLinkFlits[r].Set(topV[r])
+	}
 }
 
 // RunStarted re-bases the delta tracking for a fresh run on a reused
@@ -91,6 +190,8 @@ func (s *Sim) Sample(n *core.Network) {
 func (s *Sim) RunStarted() {
 	s.lastCycle = 0
 	s.last = core.LiveCounters{}
+	s.lastHist = core.LatencyHist{}
+	s.lastFlits = nil
 }
 
 // RunFinished counts one completed simulation.

@@ -27,9 +27,13 @@ func (h *Heatmap) Write(w io.Writer) error {
 	if len(h.Values) != h.Width*h.Height {
 		return fmt.Errorf("report: heatmap needs %d values, got %d", h.Width*h.Height, len(h.Values))
 	}
+	// The scale maximum is taken over FINITE values only: a single +Inf
+	// cell must not flatten every real value to the cold end of the ramp
+	// (and Inf/Inf would hand int() a NaN, whose conversion is
+	// platform-defined). Infinities render explicitly instead.
 	max := 0.0
 	for _, v := range h.Values {
-		if !math.IsNaN(v) && v > max {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
 			max = v
 		}
 	}
@@ -48,6 +52,10 @@ func (h *Heatmap) Write(w io.Writer) error {
 			switch {
 			case math.IsNaN(v):
 				ch = 'X'
+			case math.IsInf(v, 1):
+				ch = ramp[len(ramp)-1] // hotter than every finite cell
+			case math.IsInf(v, -1):
+				ch = ramp[0]
 			case max == 0:
 				ch = ramp[0]
 			default:

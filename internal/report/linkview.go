@@ -1,0 +1,150 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Direction indices for LinkView.Dir, matching the engine's direction
+// order without importing the topology package.
+const (
+	LinkEast = iota
+	LinkWest
+	LinkNorth
+	LinkSouth
+	linkDirs
+)
+
+// LinkView renders a composite map of all four directional links of a
+// Width×Height mesh as ASCII shading, +Y upward. Each node becomes a
+// 3×3 character block:
+//
+//	. N .
+//	W c E
+//	. S .
+//
+// where N/E/S/W are the shading of the node's outgoing link in that
+// direction and c is the node's mark (NodeMark, e.g. 'X' for faulty or
+// 'o' for f-ring membership). All four directions share one scale so a
+// hot eastbound link and a hot northbound link compare directly.
+type LinkView struct {
+	Title  string
+	Width  int
+	Height int
+	// Dir[d][y*Width+x] is the value of node (x,y)'s outgoing link in
+	// direction d (LinkEast..LinkSouth). NaN cells (nonexistent or
+	// faulty links) render as blank.
+	Dir [linkDirs][]float64
+	// NodeMark[y*Width+x], when non-zero, replaces the center '.' of
+	// the node's block.
+	NodeMark []byte
+	// Legend, when true, appends the value scale.
+	Legend bool
+}
+
+// cell returns the shading character for one link value against max.
+func linkCell(v, max float64) byte {
+	switch {
+	case math.IsNaN(v):
+		return ' '
+	case math.IsInf(v, 1):
+		return ramp[len(ramp)-1]
+	case math.IsInf(v, -1), max == 0:
+		return ramp[0]
+	default:
+		idx := int(v / max * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		return ramp[idx]
+	}
+}
+
+// Write renders the composite link view.
+func (lv *LinkView) Write(w io.Writer) error {
+	n := lv.Width * lv.Height
+	for d := 0; d < linkDirs; d++ {
+		if len(lv.Dir[d]) != n {
+			return fmt.Errorf("report: link view dir %d needs %d values, got %d", d, n, len(lv.Dir[d]))
+		}
+	}
+	if lv.NodeMark != nil && len(lv.NodeMark) != n {
+		return fmt.Errorf("report: link view needs %d node marks, got %d", n, len(lv.NodeMark))
+	}
+	// Shared scale over finite values of every direction (see Heatmap:
+	// infinities must not flatten the ramp).
+	max := 0.0
+	for d := 0; d < linkDirs; d++ {
+		for _, v := range lv.Dir[d] {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
+				max = v
+			}
+		}
+	}
+	if lv.Title != "" {
+		if _, err := fmt.Fprintln(w, lv.Title); err != nil {
+			return err
+		}
+	}
+	// Each mesh row is three text rows; a blank column separates node
+	// blocks so the blocks read as units.
+	for y := lv.Height - 1; y >= 0; y-- {
+		for sub := 0; sub < 3; sub++ {
+			if sub == 1 {
+				if _, err := fmt.Fprintf(w, "%3d  ", y); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprint(w, "     "); err != nil {
+					return err
+				}
+			}
+			for x := 0; x < lv.Width; x++ {
+				i := y*lv.Width + x
+				var a, b, c byte
+				switch sub {
+				case 0: // top row: north link
+					a, b, c = ' ', linkCell(lv.Dir[LinkNorth][i], max), ' '
+				case 1: // middle row: west, center mark, east
+					mark := byte('.')
+					if lv.NodeMark != nil && lv.NodeMark[i] != 0 {
+						mark = lv.NodeMark[i]
+					}
+					a = linkCell(lv.Dir[LinkWest][i], max)
+					b = mark
+					c = linkCell(lv.Dir[LinkEast][i], max)
+				case 2: // bottom row: south link
+					a, b, c = ' ', linkCell(lv.Dir[LinkSouth][i], max), ' '
+				}
+				if _, err := fmt.Fprintf(w, "%c%c%c ", a, b, c); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprint(w, "     "); err != nil {
+		return err
+	}
+	for x := 0; x < lv.Width; x++ {
+		if _, err := fmt.Fprintf(w, " %-3d", x%100); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if lv.Legend {
+		if _, err := fmt.Fprintf(w, "scale: '%c' = 0 … '%c' = %s (blank = no link)\n",
+			ramp[0], ramp[len(ramp)-1], FormatFloat(max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testView builds a 2×2 link view with distinct values per direction
+// so rendering positions are checkable.
+func testView() *LinkView {
+	lv := &LinkView{Width: 2, Height: 2}
+	for d := 0; d < linkDirs; d++ {
+		lv.Dir[d] = make([]float64, 4)
+		for i := range lv.Dir[d] {
+			lv.Dir[d][i] = math.NaN()
+		}
+	}
+	return lv
+}
+
+func TestLinkViewRendersBlocksAndMarks(t *testing.T) {
+	lv := testView()
+	lv.Title = "links"
+	lv.Legend = true
+	// Node (0,0): hot east link, cold north link; node (1,1) faulty.
+	lv.Dir[LinkEast][0] = 10
+	lv.Dir[LinkNorth][0] = 0
+	lv.Dir[LinkWest][1] = 5
+	lv.NodeMark = []byte{0, 0, 0, 'X'}
+	var sb strings.Builder
+	if err := lv.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "links") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("node mark not rendered")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("max link not rendered with hottest rune")
+	}
+	if !strings.Contains(out, "scale:") || !strings.Contains(out, "blank = no link") {
+		t.Error("legend missing")
+	}
+	// 2 mesh rows × 3 text rows + title + x-axis + legend = 9 lines.
+	if lines := strings.Count(out, "\n"); lines != 9 {
+		t.Errorf("rendered %d lines, want 9:\n%s", lines, out)
+	}
+	// Row y=0 middle line: node (0,0)'s block is ".(mark)@" — hot east
+	// link at the block's right, NaN west link blank.
+	mid := strings.Split(out, "\n")[5]
+	if !strings.HasPrefix(mid, "  0   .@ ") {
+		t.Errorf("y=0 middle row = %q, want leading \"  0   .@ \"", mid)
+	}
+}
+
+func TestLinkViewSizeMismatch(t *testing.T) {
+	lv := testView()
+	lv.Dir[LinkSouth] = lv.Dir[LinkSouth][:2]
+	var sb strings.Builder
+	if err := lv.Write(&sb); err == nil {
+		t.Error("direction length mismatch accepted")
+	}
+	lv = testView()
+	lv.NodeMark = []byte{1}
+	if err := lv.Write(&sb); err == nil {
+		t.Error("node mark length mismatch accepted")
+	}
+}
+
+func TestLinkViewInfAndDegenerateScales(t *testing.T) {
+	// A +Inf link renders hottest without flattening the finite scale;
+	// -Inf and all-zero render coldest.
+	if got := linkCell(math.Inf(1), 100); got != '@' {
+		t.Errorf("+Inf cell = %q, want '@'", got)
+	}
+	if got := linkCell(math.Inf(-1), 100); got != ' ' {
+		t.Errorf("-Inf cell = %q, want coldest ' '", got)
+	}
+	if got := linkCell(5, 0); got != ' ' {
+		t.Errorf("zero-max cell = %q, want coldest ' '", got)
+	}
+	if got := linkCell(math.NaN(), 100); got != ' ' {
+		t.Errorf("NaN cell = %q, want blank", got)
+	}
+	// All-equal finite values land on the hottest rune (v == max).
+	if got := linkCell(3, 3); got != '@' {
+		t.Errorf("all-equal cell = %q, want '@'", got)
+	}
+
+	lv := testView()
+	lv.Dir[LinkEast][0] = math.Inf(1)
+	lv.Dir[LinkEast][1] = 4
+	lv.Dir[LinkEast][2] = 2
+	var sb strings.Builder
+	if err := lv.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The finite max (4) must still render hottest despite the Inf cell.
+	if strings.Count(out, "@") < 2 {
+		t.Errorf("Inf cell flattened the finite scale:\n%s", out)
+	}
+}
+
+func TestHeatmapInfCells(t *testing.T) {
+	h := Heatmap{
+		Width:  3,
+		Height: 1,
+		Values: []float64{math.Inf(1), 8, math.Inf(-1)},
+		Legend: true,
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// +Inf and the finite max 8 both render '@'; -Inf renders coldest.
+	row := strings.Split(out, "\n")[0]
+	if !strings.HasPrefix(row, "  0  @ @   ") {
+		t.Errorf("row = %q, want \"  0  @ @   \" (Inf hot, 8 hot, -Inf cold)", row)
+	}
+	// Legend scale is the finite max, not Inf.
+	if !strings.Contains(out, "'@' = 8") {
+		t.Errorf("legend does not use the finite max:\n%s", out)
+	}
+}
+
+func TestHeatmapSingleCell(t *testing.T) {
+	h := Heatmap{Width: 1, Height: 1, Values: []float64{42}}
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "@") {
+		t.Error("single non-zero cell not rendered hottest")
+	}
+}

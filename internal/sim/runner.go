@@ -322,6 +322,7 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		Regions:          len(f.Regions()),
 		Elapsed:          time.Since(start),
 		UndeliveredAtEnd: net.InFlight(),
+		Links:            net.LinkSnapshot(),
 	}
 	if windows != nil {
 		res.Windows = windows.windows

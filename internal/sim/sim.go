@@ -126,6 +126,10 @@ type Result struct {
 	// Windows holds the per-window time series when
 	// Params.WindowCycles is set.
 	Windows []Window
+
+	// Links holds the per-link congestion counters for the measurement
+	// window when Params.Config.ChannelTelemetry is set; nil otherwise.
+	Links *core.LinkStats
 }
 
 // Run executes one simulation.

@@ -35,6 +35,7 @@ import (
 	"wormmesh/internal/core"
 	"wormmesh/internal/experiments"
 	"wormmesh/internal/fault"
+	"wormmesh/internal/report"
 	"wormmesh/internal/routing"
 	"wormmesh/internal/sim"
 	"wormmesh/internal/sweep"
@@ -75,6 +76,25 @@ type (
 	SweepPoint   = sweep.Point
 	SweepOutcome = sweep.Outcome
 )
+
+// LinkMetric selects a per-link telemetry counter for reporting
+// (Result.LinkView, Result.RingSplit); collection is gated by
+// Config.ChannelTelemetry.
+type LinkMetric = sim.LinkMetric
+
+// The three per-link counters.
+const (
+	LinkFlits   = sim.LinkFlits
+	LinkBusy    = sim.LinkBusy
+	LinkBlocked = sim.LinkBlocked
+)
+
+// ParseLinkMetric maps "flits"|"busy"|"blocked" to a LinkMetric.
+func ParseLinkMetric(s string) (LinkMetric, error) { return sim.ParseLinkMetric(s) }
+
+// LatencyAnatomy renders a run's latency decomposition: mean cycles and
+// share per component plus histogram percentiles.
+func LatencyAnatomy(st Stats) *report.Table { return sim.LatencyAnatomy(st) }
 
 // DefaultParams returns the paper's baseline configuration (10×10
 // mesh, 100-flit messages, 24 VCs per physical channel, 30k cycles
