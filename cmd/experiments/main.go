@@ -10,6 +10,7 @@
 //	experiments [flags] adaptivity    # routing freedom per decision
 //	experiments [flags] scale         # larger meshes on the parallel engine
 //	experiments [flags] hotspot       # on-ring vs off-ring blocked-cycle maps
+//	experiments [flags] topology      # mesh vs torus backends, torus-enabled roster
 //
 // Each target prints an ASCII chart plus the underlying data table;
 // -csv DIR additionally writes the table as CSV.
@@ -23,6 +24,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"wormmesh"
 
 	"wormmesh/internal/experiments"
 	"wormmesh/internal/metrics"
@@ -38,6 +41,7 @@ func main() {
 	var cpuProfile, memProfile string
 	var metricsAddr string
 	flag.BoolVar(&quick, "quick", false, "reduced cycle counts (CI scale)")
+	flag.StringVar(&opt.Topology, "topology", "mesh", "network topology: mesh|torus (re-bases every study)")
 	flag.IntVar(&opt.FaultSets, "sets", opt.FaultSets, "fault sets per case")
 	flag.Int64Var(&opt.WarmupCycles, "warmup", opt.WarmupCycles, "warm-up cycles")
 	flag.Int64Var(&opt.MeasureCycles, "cycles", opt.MeasureCycles, "measured cycles")
@@ -77,9 +81,31 @@ func main() {
 	var manifest *metrics.Manifest
 	csvDigests := map[string]string{}
 
+	// Reject unusable topology/algorithm combinations up front: torus
+	// runs are limited to the fortifications that stay deadlock-free
+	// over wrap links.
+	topo, err := wormmesh.NewTopology(opt.Topology, opt.Width, opt.Height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	var algorithms []string
 	if algs != "" {
 		algorithms = strings.Split(algs, ",")
+		for _, a := range algorithms {
+			if err := wormmesh.SupportsTopology(a, topo); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
+	} else if topo.Kind() == "torus" {
+		// Figure defaults include mesh-only algorithms; on the torus the
+		// implicit roster is the torus-enabled subset.
+		for _, a := range wormmesh.Algorithms() {
+			if wormmesh.SupportsTopology(a, topo) == nil {
+				algorithms = append(algorithms, a)
+			}
+		}
 	}
 
 	targets := flag.Args()
@@ -262,6 +288,16 @@ func main() {
 		}
 		must(res.Table().Write(os.Stdout))
 		saveCSV("hotspot", res.Table())
+		fmt.Println()
+	}
+	if want["topology"] {
+		res, err := experiments.TopologyCompare(opt, algorithms)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("topology study: mesh vs torus, each normalized to its own bisection capacity")
+		must(res.Table().Write(os.Stdout))
+		saveCSV("topology", res.Table())
 		fmt.Println()
 	}
 	if want["saturation"] {

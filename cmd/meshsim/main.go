@@ -29,6 +29,7 @@ func main() {
 	var engineWorkers, reps, flightrecEvents int
 	var cpuProfile, memProfile string
 	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
+	flag.StringVar(&p.Topology, "topology", "mesh", "network topology: mesh|torus")
 	flag.IntVar(&p.Width, "width", p.Width, "mesh width")
 	flag.IntVar(&p.Height, "height", p.Height, "mesh height")
 	flag.Float64Var(&p.Rate, "rate", p.Rate, "traffic rate (messages/node/cycle)")
@@ -74,6 +75,18 @@ func main() {
 	p.MeasureCycles = total - p.WarmupCycles
 	if p.MeasureCycles <= 0 {
 		fmt.Fprintln(os.Stderr, "meshsim: -cycles must exceed -warmup")
+		os.Exit(2)
+	}
+	// Reject unusable topology/algorithm combinations before any run
+	// setup: not every fortification is deadlock-free over wrap links
+	// (the rejection message explains why).
+	topo, err := wormmesh.NewTopology(p.Topology, p.Width, p.Height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
+		os.Exit(2)
+	}
+	if err := wormmesh.SupportsTopology(p.Algorithm, topo); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(2)
 	}
 	// Per-run telemetry reports describe ONE run; replications aggregate
@@ -143,8 +156,8 @@ func main() {
 	st := res.Stats
 	writeManifest(manifest, manifestFile, st)
 
-	fmt.Printf("%dx%d mesh, %s, %s traffic, rate %g msg/node/cycle, %d-flit messages, %d VCs\n",
-		p.Width, p.Height, p.Algorithm, p.Pattern, p.Rate, p.MessageLength, p.Config.NumVCs)
+	fmt.Printf("%v, %s, %s traffic, rate %g msg/node/cycle, %d-flit messages, %d VCs\n",
+		topo, p.Algorithm, p.Pattern, p.Rate, p.MessageLength, p.Config.NumVCs)
 	if res.FaultCount > 0 {
 		fmt.Printf("faults: %d seed (+%d deactivated) in %d block regions, %d f-ring nodes\n",
 			res.SeedFaults, res.FaultCount-res.SeedFaults, res.Regions, res.RingNodes)
@@ -245,11 +258,14 @@ func main() {
 				values[id] = float64(c) / float64(st.Cycles)
 			}
 		}
+		wraps := topo.Kind() == "torus"
 		hm := report.Heatmap{
 			Title:  "\nper-node traffic load (crossbar flits/cycle):",
 			Width:  p.Width,
 			Height: p.Height,
 			Values: values,
+			WrapX:  wraps,
+			WrapY:  wraps,
 			Legend: true,
 		}
 		if err := hm.Write(os.Stdout); err != nil {

@@ -1,7 +1,11 @@
 // Command routecheck verifies routing safety for a fault pattern:
 // every healthy source-destination pair must be deliverable by every
 // algorithm (or a chosen one), with no walk entering a faulty node or
-// exceeding the hop bound. Exit status is non-zero on any violation.
+// exceeding the hop bound, and the channel dependencies of the
+// deterministic walks must form an acyclic graph (the wormhole
+// deadlock-freedom witness — on the torus this certifies the dateline
+// discipline over the wrap links). Exit status is non-zero on any
+// violation.
 //
 // Usage:
 //
@@ -9,6 +13,7 @@
 //	routecheck -pattern double-wall          # canned pattern
 //	routecheck -nodes 33,34,44 -alg Nbc      # explicit pattern, one algorithm
 //	routecheck -random 5                     # additionally: 5 random-choice passes
+//	routecheck -topology torus               # torus backend, torus-enabled roster
 package main
 
 import (
@@ -28,29 +33,42 @@ import (
 func main() {
 	var width, height, faults, randomPasses int
 	var seed int64
-	var nodes, pattern, algName string
+	var nodes, pattern, algName, topoKind string
 	flag.IntVar(&width, "width", 10, "mesh width")
 	flag.IntVar(&height, "height", 10, "mesh height")
+	flag.StringVar(&topoKind, "topology", "mesh", "network topology: mesh|torus")
 	flag.IntVar(&faults, "faults", 10, "number of random node faults")
 	flag.Int64Var(&seed, "seed", 1, "fault pattern seed")
 	flag.StringVar(&nodes, "nodes", "", "comma-separated failed node IDs")
 	flag.StringVar(&pattern, "pattern", "", "canned pattern: "+strings.Join(fault.PatternNames(), "|"))
-	flag.StringVar(&algName, "alg", "", "check only this algorithm (default: all)")
+	flag.StringVar(&algName, "alg", "", "check only this algorithm (default: all enabled on the topology)")
 	flag.IntVar(&randomPasses, "random", 0, "extra passes with random candidate choice")
 	flag.Parse()
 
-	mesh := wormmesh.NewMesh(width, height)
-	model, err := buildModel(mesh, pattern, nodes, faults, seed)
+	topo, err := wormmesh.NewTopology(topoKind, width, height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routecheck:", err)
+		os.Exit(2)
+	}
+	model, err := buildModel(topo, pattern, nodes, faults, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "routecheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%v: %d faulty nodes in %d regions, %d healthy\n",
-		mesh, model.FaultCount(), len(model.Regions()), model.HealthyCount())
+		topo, model.FaultCount(), len(model.Regions()), model.HealthyCount())
 
-	algorithms := wormmesh.Algorithms()
+	var algorithms []string
 	if algName != "" {
+		if err := wormmesh.SupportsTopology(algName, topo); err != nil {
+			fmt.Fprintln(os.Stderr, "routecheck:", err)
+			os.Exit(2)
+		}
 		algorithms = []string{algName}
+	} else {
+		// All enabled algorithms: the full roster on the mesh, the
+		// torus-enabled subset over wrap links.
+		algorithms = routing.TorusAlgorithmNames(topo)
 	}
 	failed := false
 	for _, name := range algorithms {
@@ -66,16 +84,28 @@ func main() {
 			failed = true
 			continue
 		}
+		dag, err := routing.CheckChannelDAG(model, alg)
+		if err != nil {
+			fmt.Printf("  %-18s FAIL: %v\n", name, err)
+			failed = true
+			continue
+		}
+		bad := false
 		for pass := 0; pass < randomPasses; pass++ {
 			if _, err := routing.CheckReachability(model, alg, rand.New(rand.NewSource(seed+int64(pass)))); err != nil {
 				fmt.Printf("  %-18s FAIL (random pass %d): %v\n", name, pass, err)
 				failed = true
+				bad = true
 				break
 			}
 		}
-		if !failed {
-			fmt.Printf("  %-18s ok: %d pairs, max %d hops, %d detoured\n",
-				name, res.Pairs, res.MaxHops, res.Detoured)
+		if !bad {
+			wrap := ""
+			if dag.WrapChannels > 0 {
+				wrap = fmt.Sprintf(", %d wrap channels cycle-free", dag.WrapChannels)
+			}
+			fmt.Printf("  %-18s ok: %d pairs, max %d hops, %d detoured; CDG %d channels, %d forced deps%s\n",
+				name, res.Pairs, res.MaxHops, res.Detoured, dag.Channels, dag.Edges, wrap)
 		}
 	}
 	if failed {
@@ -83,14 +113,14 @@ func main() {
 	}
 }
 
-func buildModel(mesh wormmesh.Mesh, pattern, nodes string, faults int, seed int64) (*fault.Model, error) {
+func buildModel(topo wormmesh.Topology, pattern, nodes string, faults int, seed int64) (*fault.Model, error) {
 	switch {
 	case pattern != "":
-		ids, err := fault.NamedPattern(pattern, mesh)
+		ids, err := fault.NamedPattern(pattern, topo)
 		if err != nil {
 			return nil, err
 		}
-		return fault.New(mesh, ids)
+		return fault.New(topo, ids)
 	case nodes != "":
 		var ids []topology.NodeID
 		for _, s := range strings.Split(nodes, ",") {
@@ -100,8 +130,8 @@ func buildModel(mesh wormmesh.Mesh, pattern, nodes string, faults int, seed int6
 			}
 			ids = append(ids, topology.NodeID(v))
 		}
-		return fault.New(mesh, ids)
+		return fault.New(topo, ids)
 	default:
-		return wormmesh.GenerateFaults(mesh, faults, seed)
+		return wormmesh.GenerateFaults(topo, faults, seed)
 	}
 }

@@ -46,7 +46,7 @@ func main() {
 // walk traces the path a lone message takes: at every node it asks the
 // algorithm for candidates and follows the first channel of the best
 // tier (an uncontended network always grants it).
-func walk(mesh topology.Mesh, model *fault.Model, algName string, src, dst topology.Coord) {
+func walk(mesh topology.Topology, model *fault.Model, algName string, src, dst topology.Coord) {
 	alg, err := routing.New(algName, model, 24)
 	if err != nil {
 		log.Fatal(err)

@@ -75,8 +75,8 @@ var ErrSaturated = errors.New("analytic: offered load beyond saturation")
 // distinct nodes under uniform traffic.
 func MeanDistance(m topology.Mesh) float64 {
 	n := float64(m.NodeCount())
-	dx := meanAbsDiff(m.Width)
-	dy := meanAbsDiff(m.Height)
+	dx := meanAbsDiff(m.Width())
+	dy := meanAbsDiff(m.Height())
 	// dx+dy averages over ordered pairs with repetition (including
 	// distance-0 self pairs); rescale to distinct pairs.
 	return (dx + dy) * n / (n - 1)
@@ -92,7 +92,7 @@ func meanAbsDiff(k int) float64 {
 // ChannelCount returns the number of directed physical channels in the
 // fault-free mesh.
 func ChannelCount(m topology.Mesh) int {
-	return 2*(m.Width-1)*m.Height + 2*(m.Height-1)*m.Width
+	return 2*(m.Width()-1)*m.Height() + 2*(m.Height()-1)*m.Width()
 }
 
 // cutLoads returns the per-channel flit utilization of the directed
@@ -102,18 +102,18 @@ func ChannelCount(m topology.Mesh) int {
 // loads hold for any minimal routing algorithm.
 func cutLoads(m topology.Mesh, flitRate float64) (x []float64, y []float64) {
 	nodes := float64(m.NodeCount())
-	x = make([]float64, m.Width-1)
+	x = make([]float64, m.Width()-1)
 	for i := range x {
 		// P(x1 <= i < x2) over uniform ordered coordinate pairs.
-		p := float64(i+1) * float64(m.Width-1-i) / float64(m.Width*m.Width)
+		p := float64(i+1) * float64(m.Width()-1-i) / float64(m.Width()*m.Width())
 		// Total eastward flits/cycle over the cut, spread over Height
 		// channels.
-		x[i] = flitRate * nodes * p / float64(m.Height)
+		x[i] = flitRate * nodes * p / float64(m.Height())
 	}
-	y = make([]float64, m.Height-1)
+	y = make([]float64, m.Height()-1)
 	for j := range y {
-		p := float64(j+1) * float64(m.Height-1-j) / float64(m.Height*m.Height)
-		y[j] = flitRate * nodes * p / float64(m.Width)
+		p := float64(j+1) * float64(m.Height()-1-j) / float64(m.Height()*m.Height())
+		y[j] = flitRate * nodes * p / float64(m.Width())
 	}
 	return x, y
 }
@@ -228,7 +228,7 @@ func (mo Model) Predict(rate float64) (Prediction, error) {
 // meanBottleneckStretch enumerates all (src, dst) coordinate pairs and
 // averages 1/(1-rho_max) over each pair's bottleneck cut.
 func meanBottleneckStretch(m topology.Mesh, xs, ys []float64) float64 {
-	w, h := m.Width, m.Height
+	w, h := m.Width(), m.Height()
 	total, count := 0.0, 0
 	for x1 := 0; x1 < w; x1++ {
 		for x2 := 0; x2 < w; x2++ {

@@ -46,12 +46,12 @@ func TestCutLoadsConserveTraffic(t *testing.T) {
 	// rate * N * meanDistance(ordered pairs with repetition).
 	total := 0.0
 	for _, u := range xs {
-		total += 2 * u * float64(m.Height) // east + west symmetric
+		total += 2 * u * float64(m.Height()) // east + west symmetric
 	}
 	for _, u := range ys {
-		total += 2 * u * float64(m.Width)
+		total += 2 * u * float64(m.Width())
 	}
-	want := flitRate * float64(m.NodeCount()) * (meanAbsDiff(m.Width) + meanAbsDiff(m.Height))
+	want := flitRate * float64(m.NodeCount()) * (meanAbsDiff(m.Width()) + meanAbsDiff(m.Height()))
 	if math.Abs(total-want) > 1e-9 {
 		t.Errorf("cut loads sum to %v, want %v", total, want)
 	}

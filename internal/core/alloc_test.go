@@ -10,19 +10,26 @@ import (
 // loadNetwork fills a network with pooled traffic and advances it until
 // the arena and every internal scratch slice have reached steady-state
 // capacity, so the measured region below performs no growth.
-func loadNetwork(tb testing.TB, mesh topology.Mesh, workers int) (*Network, *rand.Rand, *int64) {
+func loadNetwork(tb testing.TB, mesh topology.Topology, workers int) (*Network, *rand.Rand, *int64) {
+	return loadNetworkAlg(tb, mesh, workers, func() Algorithm { return xyAlg{mesh: mesh, vcs: 8} })
+}
+
+// loadNetworkAlg is loadNetwork with a caller-chosen algorithm factory
+// (one instance per worker clone), so torus workloads can use the
+// dateline discipline.
+func loadNetworkAlg(tb testing.TB, mesh topology.Topology, workers int, alg func() Algorithm) (*Network, *rand.Rand, *int64) {
 	tb.Helper()
 	cfg := DefaultConfig()
 	cfg.NumVCs = 8
 	cfg.MaxSourceQueue = 4
-	n, err := NewNetwork(mesh, nil, xyAlg{mesh: mesh, vcs: 8}, cfg, rand.New(rand.NewSource(1)))
+	n, err := NewNetwork(mesh, nil, alg(), cfg, rand.New(rand.NewSource(1)))
 	if err != nil {
 		tb.Fatal(err)
 	}
 	if workers >= 1 {
 		clones := make([]Algorithm, workers)
 		for i := range clones {
-			clones[i] = xyAlg{mesh: mesh, vcs: 8}
+			clones[i] = alg()
 		}
 		if err := n.EnableParallel(workers, clones); err != nil {
 			tb.Fatal(err)
@@ -53,7 +60,7 @@ func loadNetwork(tb testing.TB, mesh topology.Mesh, workers int) (*Network, *ran
 
 // stepLoaded is one cycle of the allocation-budget workload: offer up
 // to four pooled messages, then step.
-func stepLoaded(n *Network, mesh topology.Mesh, rng *rand.Rand, id *int64) {
+func stepLoaded(n *Network, mesh topology.Topology, rng *rand.Rand, id *int64) {
 	for k := 0; k < 4; k++ {
 		src := topology.NodeID(rng.Intn(mesh.NodeCount()))
 		dst := topology.NodeID(rng.Intn(mesh.NodeCount()))
@@ -71,13 +78,31 @@ func stepLoaded(n *Network, mesh topology.Mesh, rng *rand.Rand, id *int64) {
 // serial engine: once the arena is warm, a loaded Step (including the
 // Offer path) must not touch the heap.
 func TestStepLoadedAllocs(t *testing.T) {
-	mesh := topology.New(10, 10)
+	// Interface-typed so the measured closure does not re-box the
+	// concrete Mesh into the Topology parameter on every call.
+	var mesh topology.Topology = topology.New(10, 10)
 	n, rng, id := loadNetwork(t, mesh, 0)
 	allocs := testing.AllocsPerRun(500, func() {
 		stepLoaded(n, mesh, rng, id)
 	})
 	if allocs != 0 {
 		t.Errorf("serial loaded Step allocates %.2f objects/cycle, want 0", allocs)
+	}
+}
+
+// TestStepLoadedAllocsTorus locks in the same zero-allocation budget on
+// the torus backend: wrap links and the dateline VC discipline must not
+// introduce heap traffic into a loaded Step.
+func TestStepLoadedAllocsTorus(t *testing.T) {
+	// Interface-typed so the measured closure does not re-box the
+	// concrete Torus into the Topology parameter on every call.
+	var torus topology.Topology = topology.NewTorus(10, 10)
+	n, rng, id := loadNetworkAlg(t, torus, 0, func() Algorithm { return torusXYAlg{topo: torus, vcs: 8} })
+	allocs := testing.AllocsPerRun(500, func() {
+		stepLoaded(n, torus, rng, id)
+	})
+	if allocs != 0 {
+		t.Errorf("torus loaded Step allocates %.2f objects/cycle, want 0", allocs)
 	}
 }
 
@@ -94,7 +119,7 @@ func TestStepParallelAllocs(t *testing.T) {
 		if workers > 1 {
 			n.par.forceShard = true
 		}
-		mesh := n.Mesh
+		mesh := n.Topo
 		allocs := testing.AllocsPerRun(200, func() {
 			stepLoaded(n, mesh, rng, id)
 		})

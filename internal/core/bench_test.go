@@ -129,13 +129,47 @@ func BenchmarkStepLoaded(b *testing.B) {
 	}
 }
 
+// BenchmarkStepLoadedTorus is BenchmarkStepLoaded's plain workload on
+// the 10×10 torus backend with the dateline XY discipline: the cost of
+// wrap links and wrap-class computation on the loaded per-cycle path
+// (same 0 allocs/op budget, gated by cmd/benchdiff like the rest of
+// the set).
+func BenchmarkStepLoadedTorus(b *testing.B) {
+	var torus topology.Topology = topology.NewTorus(10, 10)
+	cfg := DefaultConfig()
+	cfg.MaxSourceQueue = 4
+	n, err := NewNetwork(torus, nil, torusXYAlg{topo: torus, vcs: cfg.NumVCs}, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	id := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// ~0.3 messages per cycle network-wide: a busy torus.
+		if rng.Float64() < 0.3 {
+			src := topology.NodeID(rng.Intn(torus.NodeCount()))
+			dst := topology.NodeID(rng.Intn(torus.NodeCount()))
+			if src != dst {
+				id++
+				m := n.AcquireMessage(id, src, dst, 16)
+				m.GenTime = n.Cycle()
+				n.Offer(m)
+			}
+		}
+		n.Step()
+	}
+	b.ReportMetric(float64(n.Snapshot().DeliveredFlits)/float64(b.N), "flits/cycle")
+}
+
 // BenchmarkStepParallel measures the parallel request–grant engine on
 // a large mesh across worker counts (run with -cpu to vary GOMAXPROCS
 // as well). The large/ variants exercise the persistent worker pool on
 // a 24×24 mesh; small/ shows the single-shard fallback on the paper's
 // 10×10 mesh, where sharding overhead would dominate.
 func BenchmarkStepParallel(b *testing.B) {
-	run := func(b *testing.B, mesh topology.Mesh, workers int) {
+	run := func(b *testing.B, mesh topology.Topology, workers int) {
 		cfg := DefaultConfig()
 		cfg.NumVCs = 8
 		cfg.MaxSourceQueue = 4

@@ -34,7 +34,7 @@ func (n *Network) chansPerRouter() int32 {
 // NumChannels returns the number of input virtual channels in the
 // network — the length of any ChannelID-indexed table.
 func (n *Network) NumChannels() int {
-	return n.Mesh.NodeCount() * topology.NumDirs * n.Cfg.NumVCs
+	return n.Topo.NodeCount() * topology.NumDirs * n.Cfg.NumVCs
 }
 
 // ChanID encodes (node, input port, vc) as a dense ChannelID.

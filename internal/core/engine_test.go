@@ -11,7 +11,7 @@ import (
 // xyAlg is a minimal deterministic dimension-order algorithm used to
 // test the engine in isolation from the real routing package.
 type xyAlg struct {
-	mesh topology.Mesh
+	mesh topology.Topology
 	vcs  int
 }
 
@@ -30,6 +30,35 @@ func (a xyAlg) Candidates(m *Message, node topology.NodeID, out *CandidateSet) {
 }
 func (a xyAlg) Advance(m *Message, from topology.NodeID, ch Channel) { m.Hops++ }
 
+// torusXYAlg is xyAlg's torus form: dimension-order routing over the
+// topology's minimal-direction choice, with each hop restricted to the
+// half of the VC pool selected by the wrap class — the classic
+// dateline discipline, so the wrap rings stay deadlock-free.
+type torusXYAlg struct {
+	topo topology.Topology
+	vcs  int
+}
+
+func (a torusXYAlg) Name() string           { return "test-torus-xy" }
+func (a torusXYAlg) NumVCs() int            { return a.vcs }
+func (a torusXYAlg) InitMessage(m *Message) {}
+func (a torusXYAlg) Candidates(m *Message, node topology.NodeID, out *CandidateSet) {
+	cur, dst := a.topo.CoordOf(node), a.topo.CoordOf(m.Dst)
+	dim := 0
+	d, ok := a.topo.DirTowards(cur, dst, 0)
+	if !ok {
+		dim = 1
+		d, ok = a.topo.DirTowards(cur, dst, 1)
+	}
+	if !ok {
+		return
+	}
+	half := a.vcs / 2
+	lo := int(a.topo.WrapClass(cur, dst, dim)) * half
+	out.AddVCs(0, d, lo, lo+half-1)
+}
+func (a torusXYAlg) Advance(m *Message, from topology.NodeID, ch Channel) { m.Hops++ }
+
 // stuckAlg grants a first hop and then never offers candidates again,
 // wedging every message one hop in — used to exercise stall recovery.
 type stuckAlg struct{ xyAlg }
@@ -47,7 +76,7 @@ func testConfig() Config {
 	return cfg
 }
 
-func newTestNetwork(t *testing.T, mesh topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, seed int64) *Network {
+func newTestNetwork(t *testing.T, mesh topology.Topology, f *fault.Model, alg Algorithm, cfg Config, seed int64) *Network {
 	t.Helper()
 	n, err := NewNetwork(mesh, f, alg, cfg, rand.New(rand.NewSource(seed)))
 	if err != nil {
@@ -58,7 +87,7 @@ func newTestNetwork(t *testing.T, mesh topology.Mesh, f *fault.Model, alg Algori
 
 func offer(t *testing.T, n *Network, id int64, src, dst topology.Coord, length int) *Message {
 	t.Helper()
-	m := NewMessage(id, n.Mesh.ID(src), n.Mesh.ID(dst), length)
+	m := NewMessage(id, n.Topo.ID(src), n.Topo.ID(dst), length)
 	m.GenTime = n.Cycle()
 	if !n.Offer(m) {
 		t.Fatalf("offer refused for msg %d", id)
@@ -340,7 +369,7 @@ func TestMaxHopsLivelockGuard(t *testing.T) {
 }
 
 // spinAlg routes clockwise around the bottom-left 2x2 square.
-type spinAlg struct{ mesh topology.Mesh }
+type spinAlg struct{ mesh topology.Topology }
 
 func (a spinAlg) Name() string           { return "test-spin" }
 func (a spinAlg) NumVCs() int            { return 1 }
@@ -502,7 +531,7 @@ func TestRandomTrafficInvariantsUnderFaults(t *testing.T) {
 
 // xyPathClear reports whether the dimension-order path between two
 // nodes avoids every faulty node.
-func xyPathClear(m topology.Mesh, f *fault.Model, src, dst topology.NodeID) bool {
+func xyPathClear(m topology.Topology, f *fault.Model, src, dst topology.NodeID) bool {
 	cur := m.CoordOf(src)
 	target := m.CoordOf(dst)
 	for cur != target {

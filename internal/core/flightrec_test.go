@@ -167,7 +167,8 @@ func TestFlightRecorderSummarizes(t *testing.T) {
 // flight recorder ring wrapping every cycle must still never touch the
 // heap. This is the recorder's admission ticket for long sweeps.
 func TestStepLoadedAllocsWithFlightRecorder(t *testing.T) {
-	mesh := topology.New(10, 10)
+	var mesh topology.Topology = topology.New(10, 10) // box once, not per call
+
 	n, rng, id := loadNetwork(t, mesh, 0)
 	fr := NewFlightRecorder(1024)
 	n.SetFlightRecorder(fr)

@@ -19,7 +19,7 @@ import (
 // epoch-stamped grant table — so a steady-state Step performs zero heap
 // allocations. See DESIGN.md "Memory layout & determinism contract".
 type Network struct {
-	Mesh   topology.Mesh
+	Topo   topology.Topology
 	Faults *fault.Model
 	Alg    Algorithm
 	Cfg    Config
@@ -144,7 +144,7 @@ const InjectPort = topology.InjectPort
 // routing algorithm. The algorithm's NumVCs must not exceed
 // cfg.NumVCs; the surplus channels, if any, simply stay idle so that
 // hardware cost comparisons remain fair.
-func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng *rand.Rand) (*Network, error) {
+func NewNetwork(m topology.Topology, f *fault.Model, alg Algorithm, cfg Config, rng *rand.Rand) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,14 +154,14 @@ func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng 
 	if f == nil {
 		f = fault.None(m)
 	}
-	if f.Mesh != m {
-		return nil, fmt.Errorf("core: fault model built for %v, network is %v", f.Mesh, m)
+	if f.Topo != m {
+		return nil, fmt.Errorf("core: fault model built for %v, network is %v", f.Topo, m)
 	}
 	if alg.NumVCs() > cfg.NumVCs {
 		return nil, fmt.Errorf("core: algorithm %s needs %d VCs, config provides %d", alg.Name(), alg.NumVCs(), cfg.NumVCs)
 	}
 	n := &Network{
-		Mesh:           m,
+		Topo:           m,
 		Faults:         f,
 		Alg:            alg,
 		Cfg:            cfg,
@@ -223,10 +223,10 @@ func NewNetwork(m topology.Mesh, f *fault.Model, alg Algorithm, cfg Config, rng 
 // stepping after a parallel run must call DisableParallel.
 func (n *Network) Reset(f *fault.Model, alg Algorithm, rng *rand.Rand) error {
 	if f == nil {
-		f = fault.None(n.Mesh)
+		f = fault.None(n.Topo)
 	}
-	if f.Mesh != n.Mesh {
-		return fmt.Errorf("core: fault model built for %v, network is %v", f.Mesh, n.Mesh)
+	if f.Topo != n.Topo {
+		return fmt.Errorf("core: fault model built for %v, network is %v", f.Topo, n.Topo)
 	}
 	if alg.NumVCs() > n.Cfg.NumVCs {
 		return fmt.Errorf("core: algorithm %s needs %d VCs, config provides %d", alg.Name(), alg.NumVCs(), n.Cfg.NumVCs)
@@ -270,7 +270,7 @@ func (n *Network) Reset(f *fault.Model, alg Algorithm, rng *rand.Rand) error {
 	for i := range n.routers {
 		id := topology.NodeID(i)
 		for d := topology.Direction(0); d < topology.NumDirs; d++ {
-			nb := n.Mesh.NeighborID(id, d)
+			nb := n.Topo.NeighborID(id, d)
 			if nb != topology.Invalid && f.IsFaulty(nb) {
 				nb = topology.Invalid
 			}
@@ -827,7 +827,7 @@ func (n *Network) commit() {
 					n.tracer.MessageDelivered(m, n.cycle)
 				}
 				if measuring {
-					n.stats.recordDelivery(m, n.statsStart, n.Mesh.Distance(n.Mesh.CoordOf(m.Src), n.Mesh.CoordOf(m.Dst)))
+					n.stats.recordDelivery(m, n.statsStart, n.Topo.Distance(n.Topo.CoordOf(m.Src), n.Topo.CoordOf(m.Dst)))
 				}
 			}
 			m.lastMove = n.cycle

@@ -151,8 +151,8 @@ func (n *Network) EnableParallel(workers int, algs []Algorithm) error {
 		workers:    workers,
 		algs:       algs,
 		hashKey:    uint64(n.rng.Int63()),
-		reqs:       make([][]pRequest, n.Mesh.NodeCount()),
-		moved:      make([][]move, n.Mesh.NodeCount()),
+		reqs:       make([][]pRequest, n.Topo.NodeCount()),
+		moved:      make([][]move, n.Topo.NodeCount()),
 		cands:      make([]CandidateSet, workers),
 		sendq:      make([][NumPorts][]*vcState, workers),
 		senders:    make([][]*vcState, workers),

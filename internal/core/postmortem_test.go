@@ -15,12 +15,12 @@ import (
 // textbook wormhole deadlock: four messages, each holding the channel
 // the previous one wants.
 type ringAlg struct {
-	mesh topology.Mesh
+	mesh topology.Topology
 	next map[topology.NodeID]topology.NodeID
 	vcs  int
 }
 
-func newRingAlg(mesh topology.Mesh, loop []topology.Coord, vcs int) ringAlg {
+func newRingAlg(mesh topology.Topology, loop []topology.Coord, vcs int) ringAlg {
 	next := make(map[topology.NodeID]topology.NodeID, len(loop))
 	for i, c := range loop {
 		next[mesh.ID(c)] = mesh.ID(loop[(i+1)%len(loop)])
@@ -60,7 +60,7 @@ func (a ringAlg) Advance(m *Message, from topology.NodeID, ch Channel) { m.Hops+
 // hops, so after its first hop its header owns loop[i+1]'s input VC
 // and waits for loop[i+2]'s, which message i+1 owns. Returns the
 // network once all four headers are wedged.
-func deadlockNetwork(t *testing.T, mesh topology.Mesh, f *fault.Model, loop []topology.Coord, cfg Config) (*Network, []*Message) {
+func deadlockNetwork(t *testing.T, mesh topology.Topology, f *fault.Model, loop []topology.Coord, cfg Config) (*Network, []*Message) {
 	t.Helper()
 	n := newTestNetwork(t, mesh, f, newRingAlg(mesh, loop, 1), cfg, 1)
 	msgs := make([]*Message, 4)
@@ -226,7 +226,7 @@ func TestDiagnoseInjectionStarvation(t *testing.T) {
 		if !b.Injecting {
 			t.Error("msg#5 should be waiting to inject")
 		}
-		if b.WaitNode != n.Mesh.ID(loop[0]) {
+		if b.WaitNode != n.Topo.ID(loop[0]) {
 			t.Errorf("msg#5 wait node = %d, want its source", b.WaitNode)
 		}
 		if len(b.Holds) != 0 {

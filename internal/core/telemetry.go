@@ -197,7 +197,7 @@ func LinkID(id topology.NodeID, dir topology.Direction) int {
 }
 
 // NumLinks returns the length of any LinkID-indexed table.
-func (n *Network) NumLinks() int { return n.Mesh.NodeCount() * topology.NumDirs }
+func (n *Network) NumLinks() int { return n.Topo.NodeCount() * topology.NumDirs }
 
 // LinkStats is a snapshot of the per-link telemetry counters for one
 // measurement window, taken by Network.LinkSnapshot. All slices are
@@ -231,8 +231,8 @@ func (n *Network) LinkSnapshot() *LinkStats {
 		return nil
 	}
 	return &LinkStats{
-		Width:   n.Mesh.Width,
-		Height:  n.Mesh.Height,
+		Width:   n.Topo.Width(),
+		Height:  n.Topo.Height(),
 		Flits:   append([]int64(nil), n.linkFlits...),
 		Busy:    append([]int64(nil), n.linkBusy...),
 		Blocked: append([]int64(nil), n.linkBlocked...),
@@ -295,7 +295,7 @@ func (n *Network) buildRingLinks() {
 				continue // terminal node of an open chain
 			}
 			for d := topology.Direction(0); d < topology.NumDirs; d++ {
-				if n.Mesh.NeighborID(id, d) == next {
+				if n.Topo.NeighborID(id, d) == next {
 					n.linkOnRing[LinkID(id, d)] = true
 					n.linkOnRing[LinkID(next, d.Opposite())] = true
 					break

@@ -104,7 +104,7 @@ func TestStatsPercentileFromRun(t *testing.T) {
 
 // figRingModel builds a fault model with one 2x2 block so the network
 // has a proper closed f-ring.
-func figRingModel(t *testing.T, mesh topology.Mesh) *fault.Model {
+func figRingModel(t *testing.T, mesh topology.Topology) *fault.Model {
 	t.Helper()
 	f, err := fault.New(mesh, []topology.NodeID{
 		mesh.ID(topology.Coord{X: 2, Y: 2}),
@@ -225,7 +225,7 @@ func TestLinkCountersConsistency(t *testing.T) {
 // traffic in both the serial and the parallel engine.
 func TestStepLoadedAllocsTelemetry(t *testing.T) {
 	for _, workers := range []int{0, 4} {
-		mesh := topology.New(10, 10)
+		var mesh topology.Topology = topology.New(10, 10) // box once, not per call
 		if workers > 0 {
 			mesh = topology.New(24, 24)
 		}

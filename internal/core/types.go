@@ -49,7 +49,9 @@ func (d DirClass) String() string {
 	return fmt.Sprintf("DirClass(%d)", uint8(d))
 }
 
-// ClassifyDir computes the direction class of a (src, dst) pair.
+// ClassifyDir computes the direction class of a (src, dst) pair on a
+// mesh, where the travel direction per dimension is the coordinate
+// ordering. Topology-aware callers use ClassifyDirOn.
 func ClassifyDir(src, dst topology.Coord) DirClass {
 	switch {
 	case dst.X > src.X:
@@ -61,6 +63,23 @@ func ClassifyDir(src, dst topology.Coord) DirClass {
 	default:
 		return SN
 	}
+}
+
+// ClassifyDirOn computes the direction class of a (src, dst) pair on
+// any topology via its minimal-direction choice: on a torus the class
+// reflects which way around the ring the message travels. On a mesh it
+// is identical to ClassifyDir.
+func ClassifyDirOn(t topology.Topology, src, dst topology.Coord) DirClass {
+	if d, ok := t.DirTowards(src, dst, 0); ok {
+		if d == topology.East {
+			return WE
+		}
+		return EW
+	}
+	if d, ok := t.DirTowards(src, dst, 1); ok && d == topology.North {
+		return NS
+	}
+	return SN
 }
 
 // MaxTiers is the number of preference tiers a routing algorithm may

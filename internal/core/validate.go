@@ -95,7 +95,7 @@ func (n *Network) Validate() error {
 							return fmt.Errorf("node %d: VC routed Local but owner's dst is %d", id, s.owner.Dst)
 						}
 					} else {
-						nb := n.Mesh.NeighborID(id, s.out.Dir)
+						nb := n.Topo.NeighborID(id, s.out.Dir)
 						if nb == topology.Invalid {
 							return fmt.Errorf("node %d: VC routed off-mesh (%v)", id, s.out.Dir)
 						}

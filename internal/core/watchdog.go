@@ -259,7 +259,7 @@ func (n *Network) countPhysicalChannels() int {
 			continue
 		}
 		for d := topology.Direction(0); d < topology.NumDirs; d++ {
-			nb := n.Mesh.NeighborID(id, d)
+			nb := n.Topo.NeighborID(id, d)
 			if nb != topology.Invalid && !n.Faults.IsFaulty(nb) {
 				count++
 			}

@@ -37,7 +37,7 @@ func Adaptivity(o Options, algorithms []string, faultPercent, samples int) (*Ada
 		return nil, err
 	}
 	healthy := f.HealthyNodes()
-	mesh := f.Mesh
+	mesh := f.Topo
 	res := &AdaptivityResult{
 		Algorithms: algorithms,
 		Channels:   map[string]float64{},

@@ -20,6 +20,10 @@ import (
 // cycle counts for tests and benchmarks while preserving shapes.
 type Options struct {
 	Width, Height int
+	// Topology selects the network backend ("mesh" or "torus"; empty
+	// means mesh). It re-bases every study; algorithm defaults should
+	// be intersected with the torus roster by the caller.
+	Topology      string
 	MessageLength int
 	NumVCs        int
 
@@ -70,6 +74,7 @@ func Quick() Options {
 func (o Options) baseParams() sim.Params {
 	p := sim.DefaultParams()
 	p.Width, p.Height = o.Width, o.Height
+	p.Topology = o.Topology
 	p.MessageLength = o.MessageLength
 	p.WarmupCycles = o.WarmupCycles
 	p.MeasureCycles = o.MeasureCycles

@@ -58,7 +58,7 @@ func RingLoad(o Options, algorithms []string) (*RingLoadResult, error) {
 		// Score the fault-free run on the nodes that ring the canned
 		// pattern in the faulty run.
 		ringSet := map[topology.NodeID]bool{}
-		for id := topology.NodeID(0); int(id) < faulty.Faults.Mesh.NodeCount(); id++ {
+		for id := topology.NodeID(0); int(id) < faulty.Faults.Topo.NodeCount(); id++ {
 			if !faulty.Faults.IsFaulty(id) && faulty.Faults.OnAnyRing(id) {
 				ringSet[id] = true
 			}

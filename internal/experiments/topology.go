@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormmesh/internal/report"
+	"wormmesh/internal/routing"
+	"wormmesh/internal/sweep"
+	"wormmesh/internal/topology"
+)
+
+// TopologyRow is one measured cell of the mesh-vs-torus study.
+type TopologyRow struct {
+	Algorithm string
+	Kind      string // "mesh" or "torus"
+	Faults    int
+	Latency   float64
+	Thr       float64 // flits/node/cycle
+	Norm      float64 // fraction of the topology's own bisection capacity
+	Detour    float64
+	Killed    float64 // killed fraction of generated messages
+}
+
+// TopologyResult compares the mesh and torus backends head-to-head:
+// the torus-enabled algorithm roster run on both topologies at the
+// same dimensions, offered load, and fault budget. Raw throughput is
+// not directly comparable across kinds (the wrap links double the
+// bisection), so Norm reports each run against its own topology's
+// capacity via Result.NormalizedThroughput.
+type TopologyResult struct {
+	Algorithms []string
+	Rows       []TopologyRow
+}
+
+// TopologyCompare runs the study. The algorithm set is intersected
+// with the torus roster for the options' dimensions (mesh-only
+// fortifications have nothing to compare); nil selects the whole
+// roster. Each algorithm runs fault-free and with 5% node faults on
+// both kinds, at 0.1 flits/node/cycle offered — below either
+// topology's saturation, so latencies compare.
+func TopologyCompare(o Options, algorithms []string) (*TopologyResult, error) {
+	torus := topology.NewTorus(o.Width, o.Height)
+	roster := routing.TorusAlgorithmNames(torus)
+	if algorithms == nil {
+		algorithms = roster
+	} else {
+		enabled := make(map[string]bool, len(roster))
+		for _, a := range roster {
+			enabled[a] = true
+		}
+		kept := algorithms[:0:0]
+		for _, a := range algorithms {
+			if enabled[a] {
+				kept = append(kept, a)
+			}
+		}
+		algorithms = kept
+	}
+	if len(algorithms) == 0 {
+		return nil, fmt.Errorf("experiments: no torus-enabled algorithms selected on %v", torus)
+	}
+	kinds := []string{"mesh", "torus"}
+	faults := []int{0, o.Width * o.Height / 20}
+	var points []sweep.Point
+	for _, alg := range algorithms {
+		for _, kind := range kinds {
+			for _, nf := range faults {
+				p := o.baseParams()
+				p.Topology = kind
+				p.Algorithm = alg
+				p.Rate = 0.1 / float64(o.MessageLength)
+				p.Faults = nf
+				t, err := topology.Make(kind, o.Width, o.Height)
+				if err != nil {
+					return nil, err
+				}
+				if min, err := routing.MinVCs(alg, t); err == nil && min > p.Config.NumVCs {
+					p.Config.NumVCs = min
+				}
+				points = append(points, sweep.Point{
+					Key:    fmt.Sprintf("%s@%s/f%d", alg, kind, nf),
+					Params: p,
+				})
+			}
+		}
+	}
+	o.logf("topology study: %d runs (%d algorithms x %v x faults %v)",
+		len(points), len(algorithms), kinds, faults)
+	outcomes := o.runSweep(points)
+	if err := sweep.FirstError(outcomes); err != nil {
+		return nil, err
+	}
+	res := &TopologyResult{Algorithms: algorithms}
+	for i, pt := range points {
+		r := outcomes[i].Result
+		st := r.Stats
+		killed := 0.0
+		if st.Generated > 0 {
+			killed = float64(st.Killed) / float64(st.Generated)
+		}
+		res.Rows = append(res.Rows, TopologyRow{
+			Algorithm: pt.Params.Algorithm,
+			Kind:      pt.Params.Topology,
+			Faults:    pt.Params.Faults,
+			Latency:   st.AvgLatency(),
+			Thr:       st.Throughput(),
+			Norm:      r.NormalizedThroughput(),
+			Detour:    st.AvgDetour(),
+			Killed:    killed,
+		})
+	}
+	for _, alg := range algorithms {
+		var mesh0, torus0 float64
+		for _, row := range res.Rows {
+			if row.Algorithm == alg && row.Faults == 0 {
+				if row.Kind == "mesh" {
+					mesh0 = row.Latency
+				} else {
+					torus0 = row.Latency
+				}
+			}
+		}
+		o.logf("  %-18s fault-free latency mesh %.1f vs torus %.1f", alg, mesh0, torus0)
+	}
+	return res, nil
+}
+
+// Table renders the study.
+func (r *TopologyResult) Table() *report.Table {
+	t := report.NewTable("algorithm", "topology", "faults", "latency",
+		"throughput", "normalized", "detour", "killed")
+	for _, row := range r.Rows {
+		t.AddRow(row.Algorithm, row.Kind, row.Faults, row.Latency,
+			row.Thr, row.Norm, row.Detour, row.Killed)
+	}
+	return t
+}

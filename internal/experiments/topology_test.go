@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestTopologyComparePlumbing(t *testing.T) {
+	o := tiny()
+	res, err := TopologyCompare(o, []string{"Duato", "Minimal-Adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal-Adaptive is mesh-only and must be filtered out, leaving
+	// Duato alone: 2 kinds x 2 fault counts = 4 rows.
+	if len(res.Algorithms) != 1 || res.Algorithms[0] != "Duato" {
+		t.Fatalf("algorithms = %v, want [Duato]", res.Algorithms)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	kinds := map[string]int{}
+	for _, row := range res.Rows {
+		kinds[row.Kind]++
+		if row.Latency <= 0 {
+			t.Errorf("%s/%s: nonpositive latency %v", row.Algorithm, row.Kind, row.Latency)
+		}
+		if row.Norm <= 0 || row.Norm > 1 {
+			t.Errorf("%s/%s: normalized throughput %v outside (0,1]", row.Algorithm, row.Kind, row.Norm)
+		}
+	}
+	if kinds["mesh"] != 2 || kinds["torus"] != 2 {
+		t.Errorf("kind split = %v, want 2 mesh + 2 torus", kinds)
+	}
+	// Same offered load on the same dimensions: the torus's doubled
+	// bisection means its normalized throughput must come out below the
+	// mesh's on the fault-free runs.
+	var meshNorm, torusNorm float64
+	for _, row := range res.Rows {
+		if row.Faults != 0 {
+			continue
+		}
+		if row.Kind == "mesh" {
+			meshNorm = row.Norm
+		} else {
+			torusNorm = row.Norm
+		}
+	}
+	if torusNorm >= meshNorm {
+		t.Errorf("fault-free normalized throughput torus %v >= mesh %v", torusNorm, meshNorm)
+	}
+	if tbl := res.Table(); len(tbl.Rows) != 4 {
+		t.Errorf("table rows = %d, want 4", len(tbl.Rows))
+	}
+
+	if _, err := TopologyCompare(o, []string{"Minimal-Adaptive"}); err == nil {
+		t.Error("all-mesh-only selection accepted")
+	}
+}

@@ -9,6 +9,15 @@
 // patterns are static, non-malicious, and must not disconnect the
 // network; New rejects disconnecting patterns and Generate retries
 // until it finds a connected one.
+//
+// On a torus the same block model applies with wrap-aware adjacency:
+// fault groups may straddle a wrap edge, in which case their bounding
+// box is the minimal circular interval per dimension (Min stays
+// canonical, Max may extend past the dimension). Because the torus has
+// no boundary every f-ring is closed — there are no f-chains — but a
+// region must leave room for the ring one step outside it, so New
+// returns ErrRegionWrap when a coalesced region's extent+2 exceeds a
+// dimension.
 package fault
 
 import (
@@ -22,13 +31,35 @@ import (
 
 // Region is a rectangular block fault region: every node with
 // Min.X <= x <= Max.X and Min.Y <= y <= Max.Y is faulty or deactivated.
+// Min is always canonical (inside the topology); on a torus a region
+// that straddles a wrap edge has Max extending past the dimension
+// (Max < Min + dimension), so the interval reads the same way in the
+// unrolled coordinate space.
 type Region struct {
 	Min, Max topology.Coord
 }
 
-// Contains reports whether c lies inside the region.
+// Contains reports whether c lies inside the region, with c given in
+// the region's own (possibly extended) coordinate space. For canonical
+// coordinates on a torus use ContainsOn, which re-lifts them past a
+// wrap edge first.
 func (r Region) Contains(c topology.Coord) bool {
 	return c.X >= r.Min.X && c.X <= r.Max.X && c.Y >= r.Min.Y && c.Y <= r.Max.Y
+}
+
+// ContainsOn reports whether the canonical coordinate c lies inside the
+// region on the given topology: coordinates below Min are lifted by one
+// period before the interval test, so wrapped torus regions answer
+// correctly. On a mesh it is equivalent to Contains.
+func (r Region) ContainsOn(t topology.Topology, c topology.Coord) bool {
+	x, y := c.X, c.Y
+	if x < r.Min.X {
+		x += t.Width()
+	}
+	if y < r.Min.Y {
+		y += t.Height()
+	}
+	return x >= r.Min.X && x <= r.Max.X && y >= r.Min.Y && y <= r.Max.Y
 }
 
 // Width returns the region's extent in X.
@@ -76,7 +107,9 @@ func (r Region) union(o Region) Region {
 // open chain) of fault-free nodes immediately surrounding a fault
 // region. Nodes are ordered clockwise (with +Y drawn upward: east along
 // the top, then down the east side, west along the bottom, and back up
-// the west side).
+// the west side). A torus has no boundary, so torus rings are always
+// closed cycles (Chain is never set), with member coordinates taken
+// modulo the dimensions.
 type Ring struct {
 	Region Region
 	// Nodes lists the ring members in clockwise order. For a closed
@@ -140,7 +173,7 @@ func (r *Ring) Next(id topology.NodeID, clockwise bool) (topology.NodeID, bool) 
 // faults to its bounding box, possibly deactivating healthy nodes), the
 // f-rings around the regions, and the Boura–Das unsafe labeling.
 type Model struct {
-	Mesh topology.Mesh
+	Topo topology.Topology
 
 	faulty      []bool // faulty or deactivated: unusable for routing
 	seed        []bool // the originally failed nodes
@@ -160,8 +193,14 @@ var ErrDisconnected = errors.New("fault: pattern disconnects the network")
 // nodes, so no traffic can flow.
 var ErrAllFaulty = errors.New("fault: fewer than two healthy nodes remain")
 
+// ErrRegionWrap is returned on the torus when a coalesced fault region
+// leaves no room for a closed f-ring in some dimension (extent+2 >
+// dimension): the perimeter one step outside the region would
+// self-intersect, so the pattern is rejected rather than fortified.
+var ErrRegionWrap = errors.New("fault: region too large for a closed f-ring on the torus")
+
 // None returns the empty (fault-free) model for a mesh.
-func None(m topology.Mesh) *Model {
+func None(m topology.Topology) *Model {
 	f, err := New(m, nil)
 	if err != nil {
 		panic("fault: empty pattern rejected: " + err.Error())
@@ -173,10 +212,10 @@ func None(m topology.Mesh) *Model {
 // tolerated. It returns ErrDisconnected if, after block
 // convexification, the healthy nodes are not 4-connected, and
 // ErrAllFaulty when fewer than two healthy nodes remain.
-func New(m topology.Mesh, failed []topology.NodeID) (*Model, error) {
+func New(m topology.Topology, failed []topology.NodeID) (*Model, error) {
 	n := m.NodeCount()
 	f := &Model{
-		Mesh:     m,
+		Topo:     m,
 		faulty:   make([]bool, n),
 		seed:     make([]bool, n),
 		regionOf: make([]int32, n),
@@ -190,13 +229,20 @@ func New(m topology.Mesh, failed []topology.NodeID) (*Model, error) {
 		f.faulty[id] = true
 	}
 	f.buildRegions()
+	if wraps(m) {
+		for _, r := range f.regions {
+			if r.Width()+2 > m.Width() || r.Height()+2 > m.Height() {
+				return nil, fmt.Errorf("%w: %v on %v", ErrRegionWrap, r, m)
+			}
+		}
+	}
 	for i := range f.regionOf {
 		f.regionOf[i] = -1
 	}
 	for ri, r := range f.regions {
 		for y := r.Min.Y; y <= r.Max.Y; y++ {
 			for x := r.Min.X; x <= r.Max.X; x++ {
-				id := m.ID(topology.Coord{X: x, Y: y})
+				id := m.ID(canonical(m, topology.Coord{X: x, Y: y}))
 				f.regionOf[id] = int32(ri)
 				if !f.seed[id] {
 					f.deactivated++
@@ -214,13 +260,30 @@ func New(m topology.Mesh, failed []topology.NodeID) (*Model, error) {
 	return f, nil
 }
 
+// wraps reports whether the topology has wrap links, selecting the
+// torus code paths. The mesh paths are kept verbatim so mesh models
+// stay bit-identical to the pre-torus implementation.
+func wraps(t topology.Topology) bool { return t.Kind() == "torus" }
+
+// canonical reduces a possibly-extended coordinate (from a wrapped
+// region's interval) back into the topology. On a mesh every region
+// coordinate is already canonical, so this is the identity.
+func canonical(t topology.Topology, c topology.Coord) topology.Coord {
+	w, h := t.Width(), t.Height()
+	return topology.Coord{X: ((c.X % w) + w) % w, Y: ((c.Y % h) + h) % h}
+}
+
 // buildRegions coalesces 8-connected groups of faulty nodes, grows each
 // group to its bounding box (marking enclosed healthy nodes faulty),
 // and repeats until the boxes are pairwise non-touching (Chebyshev
 // distance >= 2). Boxes at distance exactly 2 remain distinct regions
 // whose f-rings overlap, matching the paper's overlapping-ring case.
 func (f *Model) buildRegions() {
-	m := f.Mesh
+	if wraps(f.Topo) {
+		f.buildRegionsTorus()
+		return
+	}
+	m := f.Topo
 	// Initial components of seed faults under 8-adjacency.
 	var regions []Region
 	visited := make([]bool, m.NodeCount())
@@ -294,10 +357,130 @@ func (f *Model) buildRegions() {
 	f.regions = regions
 }
 
+// buildRegionsTorus is the wrap-aware block convexification. Instead of
+// the mesh path's pairwise box merge it iterates a single closure:
+// flood-fill 8-connected components of the unusable set (adjacency
+// taken modulo the dimensions), box each component with the minimal
+// circular interval per dimension, deactivate every node inside the
+// boxes, and repeat until no node is added. Two boxes within Chebyshev
+// distance 1 contain 8-adjacent unusable nodes, so the re-fill merges
+// them — the same fixpoint the mesh procedure computes, but correct
+// across wrap edges.
+func (f *Model) buildRegionsTorus() {
+	m := f.Topo
+	w, h := m.Width(), m.Height()
+	for {
+		visited := make([]bool, m.NodeCount())
+		var regions []Region
+		for id := range f.faulty {
+			if !f.faulty[id] || visited[id] {
+				continue
+			}
+			// Flood fill one component, recording per-dimension
+			// occupancy for the circular bounding interval.
+			occX := make([]bool, w)
+			occY := make([]bool, h)
+			stack := []topology.NodeID{topology.NodeID(id)}
+			visited[id] = true
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				c := m.CoordOf(cur)
+				occX[c.X] = true
+				occY[c.Y] = true
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						nid := m.ID(topology.Coord{X: ((c.X+dx)%w + w) % w, Y: ((c.Y+dy)%h + h) % h})
+						if f.faulty[nid] && !visited[nid] {
+							visited[nid] = true
+							stack = append(stack, nid)
+						}
+					}
+				}
+			}
+			x0, x1 := circularInterval(occX)
+			y0, y1 := circularInterval(occY)
+			regions = append(regions, Region{
+				Min: topology.Coord{X: x0, Y: y0},
+				Max: topology.Coord{X: x1, Y: y1},
+			})
+		}
+		grew := false
+		for _, r := range regions {
+			for y := r.Min.Y; y <= r.Max.Y; y++ {
+				for x := r.Min.X; x <= r.Max.X; x++ {
+					id := m.ID(topology.Coord{X: x % w, Y: y % h})
+					if !f.faulty[id] {
+						f.faulty[id] = true
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			// Every box is exactly its (filled) component, so distinct
+			// boxes are pairwise at Chebyshev distance >= 2 and the
+			// closure is complete.
+			sort.Slice(regions, func(i, j int) bool {
+				if regions[i].Min.Y != regions[j].Min.Y {
+					return regions[i].Min.Y < regions[j].Min.Y
+				}
+				return regions[i].Min.X < regions[j].Min.X
+			})
+			f.regions = regions
+			return
+		}
+	}
+}
+
+// circularInterval returns the minimal circular interval [lo, hi]
+// covering every occupied index modulo len(occ): the complement of the
+// longest run of unoccupied indices (first such run on ties, scanning
+// from the lowest occupied index, for determinism). lo is canonical;
+// hi may extend past len(occ) when the interval wraps. A fully
+// occupied dimension yields [0, len(occ)-1]. occ must have at least
+// one occupied index.
+func circularInterval(occ []bool) (lo, hi int) {
+	n := len(occ)
+	first := -1
+	for i, o := range occ {
+		if o {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		panic("fault: circularInterval on empty occupancy")
+	}
+	bestLen, bestEnd := 0, -1
+	runLen := 0
+	for k := 0; k < n; k++ {
+		i := (first + k) % n
+		if !occ[i] {
+			runLen++
+			if runLen > bestLen {
+				bestLen = runLen
+				bestEnd = i
+			}
+		} else {
+			runLen = 0
+		}
+	}
+	if bestLen == 0 {
+		return 0, n - 1
+	}
+	lo = (bestEnd + 1) % n
+	hi = lo + (n - bestLen) - 1
+	return lo, hi
+}
+
 // connected reports whether the healthy nodes form one 4-connected
 // component.
 func (f *Model) connected() bool {
-	m := f.Mesh
+	m := f.Topo
 	start := topology.Invalid
 	healthy := 0
 	for id := range f.faulty {
@@ -334,7 +517,7 @@ func (f *Model) connected() bool {
 // buildRings constructs the ordered f-ring (or f-chain) around every
 // region.
 func (f *Model) buildRings() {
-	m := f.Mesh
+	m := f.Topo
 	for ri, r := range f.regions {
 		ring := buildRing(m, r)
 		f.rings = append(f.rings, ring)
@@ -348,7 +531,7 @@ func (f *Model) buildRings() {
 // clockwise, clipped to the mesh. When clipping removes nodes the
 // result is an open chain; the surviving nodes are rotated so they are
 // contiguous in slice order.
-func buildRing(m topology.Mesh, r Region) *Ring {
+func buildRing(m topology.Topology, r Region) *Ring {
 	x0, y0 := r.Min.X-1, r.Min.Y-1
 	x1, y1 := r.Max.X+1, r.Max.Y+1
 	var cycle []topology.Coord
@@ -367,6 +550,23 @@ func buildRing(m topology.Mesh, r Region) *Ring {
 	for y := y0 + 1; y <= y1-1; y++ {
 		cycle = append(cycle, topology.Coord{X: x0, Y: y})
 	}
+	ring := &Ring{Region: r, pos: make([]int32, m.NodeCount())}
+	for i := range ring.pos {
+		ring.pos[i] = -1
+	}
+	if wraps(m) {
+		// Every perimeter coordinate exists once wrapped, so torus
+		// rings are always closed. New's ring-fit check (extent+2 <=
+		// dimension) guarantees the wrapped perimeter nodes are
+		// distinct.
+		for _, c := range cycle {
+			ring.Nodes = append(ring.Nodes, m.ID(canonical(m, c)))
+		}
+		for i, id := range ring.Nodes {
+			ring.pos[id] = int32(i)
+		}
+		return ring
+	}
 	inside := func(c topology.Coord) bool { return m.Contains(c) }
 	allIn := true
 	firstOut := -1
@@ -377,10 +577,6 @@ func buildRing(m topology.Mesh, r Region) *Ring {
 				firstOut = i
 			}
 		}
-	}
-	ring := &Ring{Region: r, pos: make([]int32, m.NodeCount())}
-	for i := range ring.pos {
-		ring.pos[i] = -1
 	}
 	if allIn {
 		for _, c := range cycle {
@@ -435,7 +631,7 @@ func (f *Model) HealthyCount() int {
 }
 
 // FaultCount returns the number of unusable nodes (seed + deactivated).
-func (f *Model) FaultCount() int { return f.Mesh.NodeCount() - f.HealthyCount() }
+func (f *Model) FaultCount() int { return f.Topo.NodeCount() - f.HealthyCount() }
 
 // SeedCount returns the number of originally failed nodes.
 func (f *Model) SeedCount() int {
@@ -457,6 +653,12 @@ func (f *Model) Regions() []Region { return f.regions }
 
 // Rings returns the f-rings/f-chains, index-aligned with Regions.
 func (f *Model) Rings() []*Ring { return f.rings }
+
+// RegionIndex returns the index (into Regions and Rings) of the region
+// containing a faulty node, or -1 for a healthy node. It is the
+// hot-path form of RegionOf: a single table load, correct for wrapped
+// torus regions where a coordinate box test would not be.
+func (f *Model) RegionIndex(id topology.NodeID) int32 { return f.regionOf[id] }
 
 // RegionOf returns the region containing a faulty node, or nil for a
 // healthy node.
@@ -523,7 +725,7 @@ type Options struct {
 // resulting model, retrying until the pattern is connected, within the
 // growth budget, and (optionally) boundary-free. It returns an error
 // when MaxAttempts patterns in a row are rejected.
-func Generate(m topology.Mesh, count int, rng *rand.Rand, opts Options) (*Model, error) {
+func Generate(m topology.Topology, count int, rng *rand.Rand, opts Options) (*Model, error) {
 	if count < 0 || count >= m.NodeCount() {
 		return nil, fmt.Errorf("fault: cannot fail %d of %d nodes", count, m.NodeCount())
 	}

@@ -7,7 +7,7 @@ import (
 	"wormmesh/internal/topology"
 )
 
-func ids(m topology.Mesh, coords ...topology.Coord) []topology.NodeID {
+func ids(m topology.Topology, coords ...topology.Coord) []topology.NodeID {
 	out := make([]topology.NodeID, len(coords))
 	for i, c := range coords {
 		out[i] = m.ID(c)
@@ -404,7 +404,7 @@ func TestGenerateZeroFaults(t *testing.T) {
 // model must satisfy.
 func checkModelInvariants(t *testing.T, f *Model) {
 	t.Helper()
-	m := f.Mesh
+	m := f.Topo
 	// Regions are pairwise Chebyshev >= 2 apart and fully faulty.
 	regions := f.Regions()
 	for i := range regions {

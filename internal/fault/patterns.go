@@ -22,7 +22,7 @@ func PatternNames() []string {
 }
 
 // NamedPattern returns the seed fault nodes of a canned pattern.
-func NamedPattern(name string, m topology.Mesh) ([]topology.NodeID, error) {
+func NamedPattern(name string, m topology.Topology) ([]topology.NodeID, error) {
 	fn, ok := patterns[name]
 	if !ok {
 		return nil, fmt.Errorf("fault: unknown pattern %q (have %v)", name, PatternNames())
@@ -30,7 +30,7 @@ func NamedPattern(name string, m topology.Mesh) ([]topology.NodeID, error) {
 	return fn(m)
 }
 
-var patterns = map[string]func(topology.Mesh) ([]topology.NodeID, error){
+var patterns = map[string]func(topology.Topology) ([]topology.NodeID, error){
 	"center-block":   centerBlock,
 	"cross":          cross,
 	"boundary-chain": boundaryChainPattern,
@@ -40,14 +40,14 @@ var patterns = map[string]func(topology.Mesh) ([]topology.NodeID, error){
 	"paper-fig6":     paperFig6,
 }
 
-func need(m topology.Mesh, w, h int) error {
-	if m.Width < w || m.Height < h {
+func need(m topology.Topology, w, h int) error {
+	if m.Width() < w || m.Height() < h {
 		return fmt.Errorf("fault: pattern needs at least a %dx%d mesh, got %v", w, h, m)
 	}
 	return nil
 }
 
-func block(m topology.Mesh, x0, y0, x1, y1 int) []topology.NodeID {
+func block(m topology.Topology, x0, y0, x1, y1 int) []topology.NodeID {
 	var ids []topology.NodeID
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {
@@ -58,22 +58,22 @@ func block(m topology.Mesh, x0, y0, x1, y1 int) []topology.NodeID {
 }
 
 // centerBlock is a 2×2 block in the middle of the mesh.
-func centerBlock(m topology.Mesh) ([]topology.NodeID, error) {
+func centerBlock(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 6, 6); err != nil {
 		return nil, err
 	}
-	cx, cy := m.Width/2, m.Height/2
+	cx, cy := m.Width()/2, m.Height()/2
 	return block(m, cx-1, cy-1, cx, cy), nil
 }
 
 // cross places four 1×1 regions around the center at Chebyshev
 // distance 2 from a central 1×1 region: five distinct regions whose
 // f-rings overlap pairwise, the stress case for the BC ring channels.
-func cross(m topology.Mesh) ([]topology.NodeID, error) {
+func cross(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 9, 9); err != nil {
 		return nil, err
 	}
-	cx, cy := m.Width/2, m.Height/2
+	cx, cy := m.Width()/2, m.Height()/2
 	var ids []topology.NodeID
 	for _, d := range [][2]int{{0, 0}, {2, 0}, {-2, 0}, {0, 2}, {0, -2}} {
 		ids = append(ids, m.ID(topology.Coord{X: cx + d[0], Y: cy + d[1]}))
@@ -83,25 +83,25 @@ func cross(m topology.Mesh) ([]topology.NodeID, error) {
 
 // boundaryChainPattern is a 2×2 block touching the west edge: an open
 // f-chain.
-func boundaryChainPattern(m topology.Mesh) ([]topology.NodeID, error) {
+func boundaryChainPattern(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 5, 6); err != nil {
 		return nil, err
 	}
-	cy := m.Height / 2
+	cy := m.Height() / 2
 	return block(m, 0, cy-1, 1, cy), nil
 }
 
 // cornerPattern fails the north-east corner 2×2.
-func cornerPattern(m topology.Mesh) ([]topology.NodeID, error) {
+func cornerPattern(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 5, 5); err != nil {
 		return nil, err
 	}
-	return block(m, m.Width-2, m.Height-2, m.Width-1, m.Height-1), nil
+	return block(m, m.Width()-2, m.Height()-2, m.Width()-1, m.Height()-1), nil
 }
 
 // staircase is a diagonal run of faults that convexification merges
 // into one large block — the worst case for deactivation overhead.
-func staircase(m topology.Mesh) ([]topology.NodeID, error) {
+func staircase(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 8, 8); err != nil {
 		return nil, err
 	}
@@ -114,21 +114,21 @@ func staircase(m topology.Mesh) ([]topology.NodeID, error) {
 
 // doubleWall places two parallel horizontal bars with a two-row gap:
 // a corridor that funnels all crossing traffic.
-func doubleWall(m topology.Mesh) ([]topology.NodeID, error) {
+func doubleWall(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 8, 9); err != nil {
 		return nil, err
 	}
-	cy := m.Height / 2
+	cy := m.Height() / 2
 	var ids []topology.NodeID
-	ids = append(ids, block(m, 2, cy-2, m.Width-3, cy-2)...)
-	ids = append(ids, block(m, 2, cy+2, m.Width-3, cy+2)...)
+	ids = append(ids, block(m, 2, cy-2, m.Width()-3, cy-2)...)
+	ids = append(ids, block(m, 2, cy+2, m.Width()-3, cy+2)...)
 	return ids, nil
 }
 
 // paperFig6 is the pattern of the paper's Figure 6: a 2×3 block plus
 // two unit regions in the same row band, spaced so the f-rings
 // overlap.
-func paperFig6(m topology.Mesh) ([]topology.NodeID, error) {
+func paperFig6(m topology.Topology) ([]topology.NodeID, error) {
 	if err := need(m, 10, 7); err != nil {
 		return nil, err
 	}

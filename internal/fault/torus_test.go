@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wormmesh/internal/topology"
+)
+
+// TestTorusWrapRegion checks that faults straddling a wrap edge
+// coalesce into a single wrapped region with a closed f-ring.
+func TestTorusWrapRegion(t *testing.T) {
+	tor := topology.NewTorus(10, 10)
+	f, err := New(tor, []topology.NodeID{
+		tor.ID(topology.Coord{X: 9, Y: 5}),
+		tor.ID(topology.Coord{X: 0, Y: 5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Regions()); got != 1 {
+		t.Fatalf("wrap-adjacent faults formed %d regions, want 1: %v", got, f.Regions())
+	}
+	r := f.Regions()[0]
+	if r.Min.X != 9 || r.Max.X != 10 || r.Min.Y != 5 || r.Max.Y != 5 {
+		t.Fatalf("wrapped region = %v, want [(9,5)..(10,5)]", r)
+	}
+	if f.DeactivatedCount() != 0 {
+		t.Fatalf("exact 2x1 block deactivated %d nodes, want 0", f.DeactivatedCount())
+	}
+	for _, c := range []topology.Coord{{X: 9, Y: 5}, {X: 0, Y: 5}} {
+		if !r.ContainsOn(tor, c) {
+			t.Errorf("ContainsOn(%v) = false, want true", c)
+		}
+		if f.RegionOf(tor.ID(c)) == nil {
+			t.Errorf("RegionOf(%v) = nil, want the wrapped region", c)
+		}
+	}
+	if r.ContainsOn(tor, topology.Coord{X: 5, Y: 5}) {
+		t.Error("ContainsOn((5,5)) = true for a region wrapping X over 9..0")
+	}
+
+	ring := f.RingAround(tor.ID(topology.Coord{X: 0, Y: 5}))
+	if ring == nil {
+		t.Fatal("RingAround returned nil for a faulty node")
+	}
+	if ring.Chain {
+		t.Fatal("torus ring is a chain, want a closed cycle")
+	}
+	// Perimeter of the 4x3 rectangle one step outside a 2x1 region.
+	if want := 10; ring.Len() != want {
+		t.Fatalf("ring has %d nodes, want %d: %v", ring.Len(), want, ring.Nodes)
+	}
+	// Every ring member is healthy, adjacent to the ring's neighbors,
+	// and the clockwise walk returns to the start in Len steps.
+	cur := ring.Nodes[0]
+	for i := 0; i < ring.Len(); i++ {
+		if f.IsFaulty(cur) {
+			t.Fatalf("ring node %d is faulty", cur)
+		}
+		next, ok := ring.Next(cur, true)
+		if !ok {
+			t.Fatalf("closed ring has no clockwise successor at %d", cur)
+		}
+		adjacent := false
+		for d := topology.Direction(0); d < topology.NumDirs; d++ {
+			if tor.NeighborID(cur, d) == next {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("ring nodes %d -> %d are not torus-adjacent", cur, next)
+		}
+		cur = next
+	}
+	if cur != ring.Nodes[0] {
+		t.Fatalf("clockwise walk ended at %d, want start %d", cur, ring.Nodes[0])
+	}
+}
+
+// TestTorusCornerWrapRegion checks a region wrapping both dimensions:
+// the four corner nodes are mutually 8-adjacent across the wraps.
+func TestTorusCornerWrapRegion(t *testing.T) {
+	tor := topology.NewTorus(10, 10)
+	f, err := New(tor, []topology.NodeID{
+		tor.ID(topology.Coord{X: 0, Y: 0}),
+		tor.ID(topology.Coord{X: 9, Y: 0}),
+		tor.ID(topology.Coord{X: 0, Y: 9}),
+		tor.ID(topology.Coord{X: 9, Y: 9}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Regions()); got != 1 {
+		t.Fatalf("corner faults formed %d regions, want 1: %v", got, f.Regions())
+	}
+	r := f.Regions()[0]
+	if r.Min.X != 9 || r.Max.X != 10 || r.Min.Y != 9 || r.Max.Y != 10 {
+		t.Fatalf("corner region = %v, want [(9,9)..(10,10)]", r)
+	}
+	ring := f.Rings()[0]
+	if ring.Chain {
+		t.Fatal("corner-wrap ring is a chain, want closed")
+	}
+	if want := 12; ring.Len() != want { // perimeter of 4x4
+		t.Fatalf("ring has %d nodes, want %d", ring.Len(), want)
+	}
+	for _, id := range ring.Nodes {
+		if f.IsFaulty(id) {
+			t.Fatalf("ring node %d is faulty", id)
+		}
+	}
+}
+
+// TestTorusRegionTooWide checks that a region leaving no room for a
+// closed ring (extent+2 > dimension) is rejected with ErrRegionWrap.
+func TestTorusRegionTooWide(t *testing.T) {
+	tor := topology.NewTorus(5, 5)
+	var row []topology.NodeID
+	for x := 0; x < 4; x++ {
+		row = append(row, tor.ID(topology.Coord{X: x, Y: 2}))
+	}
+	if _, err := New(tor, row); !errors.Is(err, ErrRegionWrap) {
+		t.Fatalf("4-wide region on a 5-torus: err = %v, want ErrRegionWrap", err)
+	}
+	// A full faulty row never disconnects a torus, but no ring fits.
+	row = append(row, tor.ID(topology.Coord{X: 4, Y: 2}))
+	if _, err := New(tor, row); !errors.Is(err, ErrRegionWrap) {
+		t.Fatalf("full-band region on a 5-torus: err = %v, want ErrRegionWrap", err)
+	}
+}
+
+// TestTorusGenerate checks random generation on the torus: patterns
+// are connected and every ring closed.
+func TestTorusGenerate(t *testing.T) {
+	tor := topology.NewTorus(10, 10)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		f, err := Generate(tor, 6, rng, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ring := range f.Rings() {
+			if ring.Chain {
+				t.Fatalf("trial %d: torus generated a chain ring around %v", trial, ring.Region)
+			}
+			for _, id := range ring.Nodes {
+				if f.IsFaulty(id) {
+					t.Fatalf("trial %d: ring node %d faulty", trial, id)
+				}
+			}
+		}
+		for id := 0; id < tor.NodeCount(); id++ {
+			nid := topology.NodeID(id)
+			reg := f.RegionOf(nid)
+			if f.IsFaulty(nid) != (reg != nil) {
+				t.Fatalf("trial %d: node %d faulty=%v but RegionOf=%v", trial, id, f.IsFaulty(nid), reg)
+			}
+			if reg != nil && !reg.ContainsOn(tor, tor.CoordOf(nid)) {
+				t.Fatalf("trial %d: node %d in region %v but ContainsOn is false", trial, id, reg)
+			}
+		}
+	}
+}

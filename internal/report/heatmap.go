@@ -15,6 +15,11 @@ type Heatmap struct {
 	Height int
 	// Values indexed [y*Width+x].
 	Values []float64
+	// WrapX / WrapY mark the grid as wrapping in that dimension (torus
+	// runs): a '~' edge-glyph column (WrapX) or row (WrapY) frames the
+	// grid on both sides so the wrap adjacency is visible. Unset, the
+	// rendering is byte-identical to the mesh form.
+	WrapX, WrapY bool
 	// Legend, when true, appends the value scale.
 	Legend bool
 }
@@ -42,8 +47,17 @@ func (h *Heatmap) Write(w io.Writer) error {
 			return err
 		}
 	}
+	if h.WrapY {
+		if err := h.writeWrapRow(w); err != nil {
+			return err
+		}
+	}
 	for y := h.Height - 1; y >= 0; y-- {
-		if _, err := fmt.Fprintf(w, "%3d  ", y); err != nil {
+		lead := "%3d  "
+		if h.WrapX {
+			lead = "%3d ~"
+		}
+		if _, err := fmt.Fprintf(w, lead, y); err != nil {
 			return err
 		}
 		for x := 0; x < h.Width; x++ {
@@ -72,7 +86,17 @@ func (h *Heatmap) Write(w io.Writer) error {
 				return err
 			}
 		}
+		if h.WrapX {
+			if _, err := fmt.Fprint(w, "~"); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if h.WrapY {
+		if err := h.writeWrapRow(w); err != nil {
 			return err
 		}
 	}
@@ -88,10 +112,29 @@ func (h *Heatmap) Write(w io.Writer) error {
 		return err
 	}
 	if h.Legend {
-		if _, err := fmt.Fprintf(w, "scale: '%c' = 0 … '%c' = %s (X = faulty)\n",
-			ramp[0], ramp[len(ramp)-1], FormatFloat(max)); err != nil {
+		suffix := ""
+		if h.WrapX || h.WrapY {
+			suffix = ", ~ = wraparound edge"
+		}
+		if _, err := fmt.Fprintf(w, "scale: '%c' = 0 … '%c' = %s (X = faulty%s)\n",
+			ramp[0], ramp[len(ramp)-1], FormatFloat(max), suffix); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeWrapRow prints the '~' edge-glyph row marking a Y wraparound,
+// one glyph under/over each cell column.
+func (h *Heatmap) writeWrapRow(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "     "); err != nil {
+		return err
+	}
+	for x := 0; x < h.Width; x++ {
+		if _, err := fmt.Fprint(w, "~ "); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }

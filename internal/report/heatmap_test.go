@@ -46,6 +46,54 @@ func TestHeatmapSizeMismatch(t *testing.T) {
 	}
 }
 
+func TestHeatmapWrapEdges(t *testing.T) {
+	h := Heatmap{
+		Width:  3,
+		Height: 2,
+		Values: []float64{0, 5, 10, 1, 2.5, 10},
+		Legend: true,
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	plain := sb.String()
+	if strings.Contains(plain, "~") {
+		t.Errorf("mesh heatmap (flags unset) contains the wrap glyph:\n%s", plain)
+	}
+
+	h.WrapX, h.WrapY = true, true
+	sb.Reset()
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	// WrapY frames the grid with a '~' row above and below.
+	wrapRow := "     ~ ~ ~ "
+	if lines[0] != wrapRow {
+		t.Errorf("top wrap row = %q, want %q", lines[0], wrapRow)
+	}
+	if lines[3] != wrapRow {
+		t.Errorf("bottom wrap row = %q, want %q", lines[3], wrapRow)
+	}
+	// WrapX swaps a column of '~' into the row lead (same width as the
+	// mesh lead, keeping the x-axis aligned) and appends one at the end.
+	for _, row := range lines[1:3] {
+		if !strings.Contains(row, " ~") || !strings.HasSuffix(row, "~") {
+			t.Errorf("value row %q lacks the X wrap glyphs", row)
+		}
+	}
+	if !strings.Contains(out, "~ = wraparound edge") {
+		t.Error("legend does not explain the wrap glyph")
+	}
+	// The x-axis line itself must be identical to the mesh rendering.
+	plainLines := strings.Split(plain, "\n")
+	if lines[4] != plainLines[2] {
+		t.Errorf("x-axis shifted by wrap framing: %q vs %q", lines[4], plainLines[2])
+	}
+}
+
 func TestHeatmapAllZero(t *testing.T) {
 	h := Heatmap{Width: 2, Height: 2, Values: make([]float64, 4)}
 	var sb strings.Builder

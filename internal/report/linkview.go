@@ -39,6 +39,12 @@ type LinkView struct {
 	// NodeMark[y*Width+x], when non-zero, replaces the center '.' of
 	// the node's block.
 	NodeMark []byte
+	// WrapX / WrapY mark the grid as wrapping in that dimension (torus
+	// runs): a '~' edge-glyph column (WrapX) or row (WrapY) frames the
+	// grid on both sides, so the shaded E/W cells of edge nodes read as
+	// wraparound links rather than dead ends. Unset, the rendering is
+	// byte-identical to the mesh form.
+	WrapX, WrapY bool
 	// Legend, when true, appends the value scale.
 	Legend bool
 }
@@ -92,10 +98,19 @@ func (lv *LinkView) Write(w io.Writer) error {
 	}
 	// Each mesh row is three text rows; a blank column separates node
 	// blocks so the blocks read as units.
+	if lv.WrapY {
+		if err := lv.writeWrapRow(w); err != nil {
+			return err
+		}
+	}
 	for y := lv.Height - 1; y >= 0; y-- {
 		for sub := 0; sub < 3; sub++ {
 			if sub == 1 {
-				if _, err := fmt.Fprintf(w, "%3d  ", y); err != nil {
+				lead := "%3d  "
+				if lv.WrapX {
+					lead = "%3d ~"
+				}
+				if _, err := fmt.Fprintf(w, lead, y); err != nil {
 					return err
 				}
 			} else {
@@ -124,9 +139,19 @@ func (lv *LinkView) Write(w io.Writer) error {
 					return err
 				}
 			}
+			if sub == 1 && lv.WrapX {
+				if _, err := fmt.Fprint(w, "~"); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
+		}
+	}
+	if lv.WrapY {
+		if err := lv.writeWrapRow(w); err != nil {
+			return err
 		}
 	}
 	if _, err := fmt.Fprint(w, "     "); err != nil {
@@ -141,10 +166,29 @@ func (lv *LinkView) Write(w io.Writer) error {
 		return err
 	}
 	if lv.Legend {
-		if _, err := fmt.Fprintf(w, "scale: '%c' = 0 … '%c' = %s (blank = no link)\n",
-			ramp[0], ramp[len(ramp)-1], FormatFloat(max)); err != nil {
+		suffix := ""
+		if lv.WrapX || lv.WrapY {
+			suffix = "; ~ = wraparound edge"
+		}
+		if _, err := fmt.Fprintf(w, "scale: '%c' = 0 … '%c' = %s (blank = no link%s)\n",
+			ramp[0], ramp[len(ramp)-1], FormatFloat(max), suffix); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeWrapRow prints the '~' edge-glyph row marking a Y wraparound,
+// one glyph under/over each node block's center column.
+func (lv *LinkView) writeWrapRow(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "     "); err != nil {
+		return err
+	}
+	for x := 0; x < lv.Width; x++ {
+		if _, err := fmt.Fprint(w, " ~  "); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }

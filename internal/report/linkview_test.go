@@ -106,6 +106,58 @@ func TestLinkViewInfAndDegenerateScales(t *testing.T) {
 	}
 }
 
+func TestLinkViewWrapEdges(t *testing.T) {
+	lv := testView()
+	lv.Dir[LinkEast][0] = 10
+	lv.Legend = true
+	var sb strings.Builder
+	if err := lv.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	plain := sb.String()
+	if strings.Contains(plain, "~") {
+		t.Errorf("mesh link view (flags unset) contains the wrap glyph:\n%s", plain)
+	}
+
+	lv.WrapX, lv.WrapY = true, true
+	sb.Reset()
+	if err := lv.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	// WrapY frames the 2×2 grid with a '~' row above and below, one
+	// glyph under each node block's center column.
+	wrapRow := "      ~   ~  "
+	if lines[0] != wrapRow {
+		t.Errorf("top wrap row = %q, want %q", lines[0], wrapRow)
+	}
+	if lines[7] != wrapRow {
+		t.Errorf("bottom wrap row = %q, want %q", lines[7], wrapRow)
+	}
+	// WrapX marks only the middle (E/W link) text row of each mesh row:
+	// lead '~' in the axis gutter and a trailing '~' after the east cell.
+	for _, i := range []int{2, 5} {
+		row := lines[i]
+		if !strings.HasPrefix(row[3:], " ~") || !strings.HasSuffix(row, "~") {
+			t.Errorf("middle row %q lacks the X wrap glyphs", row)
+		}
+	}
+	for _, i := range []int{1, 3, 4, 6} {
+		if strings.Contains(lines[i], "~") {
+			t.Errorf("N/S link row %q carries a wrap glyph (belongs on E/W rows only)", lines[i])
+		}
+	}
+	if !strings.Contains(out, "~ = wraparound edge") {
+		t.Error("legend does not explain the wrap glyph")
+	}
+	// The x-axis line must be identical to the mesh rendering.
+	plainLines := strings.Split(plain, "\n")
+	if lines[8] != plainLines[6] {
+		t.Errorf("x-axis shifted by wrap framing: %q vs %q", lines[8], plainLines[6])
+	}
+}
+
 func TestHeatmapInfCells(t *testing.T) {
 	h := Heatmap{
 		Width:  3,

@@ -1,21 +1,35 @@
 package routing
 
 import (
+	"fmt"
+
 	"wormmesh/internal/core"
 	"wormmesh/internal/topology"
 )
 
 // ecube is deterministic dimension-order (XY) routing: correct the X
 // offset first, then Y. Deadlock-free on a mesh with a single virtual
-// channel; used as Duato's class-II escape discipline.
+// channel; used as Duato's class-II escape discipline. On a torus the
+// escape becomes the classic dateline scheme: each hop uses the single
+// VC baseVC+WrapClass, where the class is 1 while the remaining
+// minimal path in the dimension still has to cross the wrap edge and
+// drops to 0 at the crossing. Class-0 traffic never uses a wrap link
+// and class-1 dependency chains terminate at the dateline, so each
+// ring's channel-dependency graph is acyclic and dimension order
+// keeps the X→Y composition acyclic too (needs vcs >= 2).
 type ecube struct {
-	mesh   topology.Mesh
-	baseVC int
-	vcs    int
+	mesh     topology.Topology
+	baseVC   int
+	vcs      int
+	dateline bool
 }
 
-func newECube(mesh topology.Mesh, baseVC, vcs int) *ecube {
-	return &ecube{mesh: mesh, baseVC: baseVC, vcs: vcs}
+func newECube(mesh topology.Topology, baseVC, vcs int) *ecube {
+	e := &ecube{mesh: mesh, baseVC: baseVC, vcs: vcs, dateline: mesh.Kind() == "torus"}
+	if e.dateline && vcs < 2 {
+		panic(fmt.Sprintf("routing: dateline e-cube needs >= 2 VCs on %v, got %d", mesh, vcs))
+	}
+	return e
 }
 
 func (e *ecube) name() string         { return "ecube" }
@@ -23,11 +37,17 @@ func (e *ecube) numVCs() int          { return e.baseVC + e.vcs }
 func (e *ecube) init(m *core.Message) {}
 func (e *ecube) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
 	cur, dst := e.mesh.CoordOf(node), e.mesh.CoordOf(m.Dst)
-	d, ok := topology.DirTowards(cur, dst, 0)
+	dim := 0
+	d, ok := e.mesh.DirTowards(cur, dst, 0)
 	if !ok {
-		d, ok = topology.DirTowards(cur, dst, 1)
+		dim = 1
+		d, ok = e.mesh.DirTowards(cur, dst, 1)
 	}
 	if !ok {
+		return
+	}
+	if e.dateline {
+		out.Add(tier, core.Channel{Dir: d, VC: uint8(e.baseVC + int(e.mesh.WrapClass(cur, dst, dim)))})
 		return
 	}
 	out.AddVCs(tier, d, e.baseVC, e.baseVC+e.vcs-1)
@@ -41,13 +61,13 @@ func (e *ecube) advance(m *core.Message, from topology.NodeID, ch core.Channel) 
 // virtual-channel usage. It is not deadlock-free; the engine watchdog
 // recovers and counts.
 type minimalAdaptive struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	baseVC int
 	vcs    int
 	dirBuf []topology.Direction
 }
 
-func newMinimalAdaptive(mesh topology.Mesh, baseVC, vcs int) *minimalAdaptive {
+func newMinimalAdaptive(mesh topology.Topology, baseVC, vcs int) *minimalAdaptive {
 	return &minimalAdaptive{mesh: mesh, baseVC: baseVC, vcs: vcs}
 }
 
@@ -71,14 +91,14 @@ func (a *minimalAdaptive) advance(m *core.Message, from topology.NodeID, ch core
 // the minimal ones so the engine only uses them when all minimal
 // channels are occupied.
 type fullyAdaptive struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	baseVC int
 	vcs    int
 	limit  int32
 	dirBuf []topology.Direction
 }
 
-func newFullyAdaptive(mesh topology.Mesh, baseVC, vcs int, limit int) *fullyAdaptive {
+func newFullyAdaptive(mesh topology.Topology, baseVC, vcs int, limit int) *fullyAdaptive {
 	return &fullyAdaptive{mesh: mesh, baseVC: baseVC, vcs: vcs, limit: int32(limit)}
 }
 
@@ -88,7 +108,7 @@ func (a *fullyAdaptive) init(m *core.Message) { m.Misroutes = 0 }
 func (a *fullyAdaptive) candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet, tier int) {
 	cur := a.mesh.CoordOf(node)
 	dst := a.mesh.CoordOf(m.Dst)
-	a.dirBuf = topology.MinimalDirs(cur, dst, a.dirBuf[:0])
+	a.dirBuf = a.mesh.MinimalDirs(cur, dst, a.dirBuf[:0])
 	for _, d := range a.dirBuf {
 		out.AddVCs(tier, d, a.baseVC, a.baseVC+a.vcs-1)
 	}
@@ -99,7 +119,7 @@ func (a *fullyAdaptive) candidates(m *core.Message, node topology.NodeID, out *c
 		if _, ok := a.mesh.Neighbor(cur, d); !ok {
 			continue
 		}
-		if topology.IsMinimal(cur, dst, d) {
+		if a.mesh.IsMinimal(cur, dst, d) {
 			continue
 		}
 		// Avoid immediately bouncing back to the previous node.
@@ -110,7 +130,7 @@ func (a *fullyAdaptive) candidates(m *core.Message, node topology.NodeID, out *c
 	}
 }
 func (a *fullyAdaptive) advance(m *core.Message, from topology.NodeID, ch core.Channel) {
-	if !topology.IsMinimal(a.mesh.CoordOf(from), a.mesh.CoordOf(m.Dst), ch.Dir) {
+	if !a.mesh.IsMinimal(a.mesh.CoordOf(from), a.mesh.CoordOf(m.Dst), ch.Dir) {
 		m.Misroutes++
 	}
 	advanceCommon(a.mesh, m, from, ch)
@@ -123,7 +143,7 @@ func (a *fullyAdaptive) advance(m *core.Message, from topology.NodeID, ch core.C
 // required channels and all extras go to class I, which is how the
 // registry configures Duato-Pbc and Duato-Nbc.
 type duato struct {
-	mesh       topology.Mesh
+	mesh       topology.Topology
 	dispName   string
 	escape     base
 	adaptiveLo int
@@ -131,7 +151,7 @@ type duato struct {
 	dirBuf     []topology.Direction
 }
 
-func newDuato(mesh topology.Mesh, name string, escape base, adaptiveLo, adaptiveHi int) *duato {
+func newDuato(mesh topology.Topology, name string, escape base, adaptiveLo, adaptiveHi int) *duato {
 	return &duato{mesh: mesh, dispName: name, escape: escape, adaptiveLo: adaptiveLo, adaptiveHi: adaptiveHi}
 }
 
@@ -169,7 +189,7 @@ func (d *duato) advance(m *core.Message, from topology.NodeID, ch core.Channel) 
 // stay in the subnetwork assigned at injection. (Documented
 // approximation — see DESIGN.md §2.)
 type bouraAdaptive struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	posLo  int
 	posHi  int
 	negLo  int
@@ -177,7 +197,7 @@ type bouraAdaptive struct {
 	dirBuf []topology.Direction
 }
 
-func newBouraAdaptive(mesh topology.Mesh, posLo, posHi, negLo, negHi int) *bouraAdaptive {
+func newBouraAdaptive(mesh topology.Topology, posLo, posHi, negLo, negHi int) *bouraAdaptive {
 	return &bouraAdaptive{mesh: mesh, posLo: posLo, posHi: posHi, negLo: negLo, negHi: negHi}
 }
 

@@ -28,7 +28,7 @@ import (
 // chain's end.
 type bcWrapper struct {
 	inner   base
-	mesh    topology.Mesh
+	mesh    topology.Topology
 	faults  *fault.Model
 	ringVCs [4][]uint8
 	// ringVCsFor overrides the per-direction-class ring channel sets:
@@ -68,7 +68,7 @@ func fortify(inner base, faults *fault.Model, ringLo, ringHi int) *bcWrapper {
 	if inner.numVCs() > ringLo {
 		panic(fmt.Sprintf("routing: base %s uses VCs up to %d, overlapping ring VCs from %d", inner.name(), inner.numVCs()-1, ringLo))
 	}
-	w := &bcWrapper{inner: inner, faults: faults, mesh: faults.Mesh}
+	w := &bcWrapper{inner: inner, faults: faults, mesh: faults.Topo}
 	for vc := ringLo; vc <= ringHi; vc++ {
 		cls := (vc - ringLo) % 4
 		w.ringVCs[cls] = append(w.ringVCs[cls], uint8(vc))
@@ -119,7 +119,7 @@ func (w *bcWrapper) NumVCs() int {
 
 func (w *bcWrapper) InitMessage(m *core.Message) {
 	w.inner.init(m)
-	m.DirClass = core.ClassifyDir(w.mesh.CoordOf(m.Src), w.mesh.CoordOf(m.Dst))
+	m.DirClass = core.ClassifyDirOn(w.mesh, w.mesh.CoordOf(m.Src), w.mesh.CoordOf(m.Dst))
 	m.RingIdx = -1
 }
 
@@ -132,7 +132,7 @@ func (w *bcWrapper) InitMessage(m *core.Message) {
 func (w *bcWrapper) canProgress(node, dst, except topology.NodeID) bool {
 	cur, dc := w.mesh.CoordOf(node), w.mesh.CoordOf(dst)
 	for dim := 0; dim < 2; dim++ {
-		d, ok := topology.DirTowards(cur, dc, dim)
+		d, ok := w.mesh.DirTowards(cur, dc, dim)
 		if !ok {
 			continue
 		}
@@ -150,7 +150,7 @@ func (w *bcWrapper) canProgress(node, dst, except topology.NodeID) bool {
 func (w *bcWrapper) blockingRing(node, dst topology.NodeID) int32 {
 	cur, dc := w.mesh.CoordOf(node), w.mesh.CoordOf(dst)
 	for dim := 0; dim < 2; dim++ {
-		d, ok := topology.DirTowards(cur, dc, dim)
+		d, ok := w.mesh.DirTowards(cur, dc, dim)
 		if !ok {
 			continue
 		}
@@ -158,11 +158,7 @@ func (w *bcWrapper) blockingRing(node, dst topology.NodeID) int32 {
 		if nb == topology.Invalid || !w.faults.IsFaulty(nb) {
 			continue
 		}
-		for ri, ring := range w.faults.Rings() {
-			if ring.Region.Contains(w.mesh.CoordOf(nb)) {
-				return int32(ri)
-			}
-		}
+		return w.faults.RegionIndex(nb)
 	}
 	return -1
 }
@@ -219,20 +215,16 @@ func (w *bcWrapper) ringStep(ri int32, node topology.NodeID, cw bool) (next topo
 	return topology.Invalid, cw, false
 }
 
-// dirBetween returns the direction of the single hop from a to b.
+// dirBetween returns the direction of the single hop from a to b
+// (wrap links included: adjacency is by the topology's link set, so a
+// mesh's unique matching direction and a torus wrap hop both resolve).
 func (w *bcWrapper) dirBetween(a, b topology.NodeID) topology.Direction {
-	ac, bc := w.mesh.CoordOf(a), w.mesh.CoordOf(b)
-	switch {
-	case bc.X == ac.X+1 && bc.Y == ac.Y:
-		return topology.East
-	case bc.X == ac.X-1 && bc.Y == ac.Y:
-		return topology.West
-	case bc.X == ac.X && bc.Y == ac.Y+1:
-		return topology.North
-	case bc.X == ac.X && bc.Y == ac.Y-1:
-		return topology.South
+	for d := topology.Direction(0); d < topology.NumDirs; d++ {
+		if w.mesh.NeighborID(a, d) == b {
+			return d
+		}
 	}
-	panic(fmt.Sprintf("routing: nodes %v and %v are not adjacent", ac, bc))
+	panic(fmt.Sprintf("routing: nodes %v and %v are not adjacent", w.mesh.CoordOf(a), w.mesh.CoordOf(b)))
 }
 
 func (w *bcWrapper) Candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet) {

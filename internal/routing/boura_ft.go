@@ -26,7 +26,7 @@ import (
 // ringVCsFor hook pointing at the subnet channels.
 type bouraEscapeBase struct {
 	inner *bouraAdaptive
-	mesh  topology.Mesh
+	mesh  topology.Topology
 	escLo int
 	escHi int
 }
@@ -69,12 +69,12 @@ func (b *bouraEscapeBase) advance(m *core.Message, from topology.NodeID, ch core
 // channels.
 func newBouraFT(faults *fault.Model, posLo, posHi, negLo, negHi, escLo, escHi int) core.Algorithm {
 	inner := &bouraEscapeBase{
-		inner: newBouraAdaptive(faults.Mesh, posLo, posHi, negLo, negHi),
-		mesh:  faults.Mesh,
+		inner: newBouraAdaptive(faults.Topo, posLo, posHi, negLo, negHi),
+		mesh:  faults.Topo,
 		escLo: escLo,
 		escHi: escHi,
 	}
-	w := &bcWrapper{inner: inner, faults: faults, mesh: faults.Mesh}
+	w := &bcWrapper{inner: inner, faults: faults, mesh: faults.Topo}
 	w.ringVCsFor = func(m *core.Message, node topology.NodeID) []uint8 {
 		lo, hi := inner.inner.subnetRange(m, node)
 		w.vcBuf = w.vcBuf[:0]
@@ -87,7 +87,7 @@ func newBouraFT(faults *fault.Model, posLo, posHi, negLo, negHi, escLo, escHi in
 	// the same remaining-Y-offset rule subnetRange applies, so the
 	// interned slices carry exactly the channels ringVCsFor would
 	// rebuild per call.
-	mesh := faults.Mesh
+	mesh := faults.Topo
 	w.ringRows = make([][topology.NumDirs][]core.Channel, 2)
 	ranges := [2][2]int{{posLo, posHi}, {negLo, negHi}}
 	for row, r := range ranges {

@@ -43,7 +43,7 @@ func CheckReachability(f *fault.Model, alg core.Algorithm, rng *rand.Rand) (Chec
 			if hops > res.MaxHops {
 				res.MaxHops = hops
 			}
-			if hops > f.Mesh.Distance(f.Mesh.CoordOf(src), f.Mesh.CoordOf(dst)) {
+			if hops > f.Topo.Distance(f.Topo.CoordOf(src), f.Topo.CoordOf(dst)) {
 				res.Detoured++
 			}
 		}
@@ -54,7 +54,15 @@ func CheckReachability(f *fault.Model, alg core.Algorithm, rng *rand.Rand) (Chec
 // walkOnce drives one message; it mirrors the test suite's walk helper
 // but returns errors instead of failing a *testing.T.
 func walkOnce(f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng *rand.Rand) (int, error) {
-	mesh := f.Mesh
+	return walkRecord(f, alg, src, dst, rng, nil)
+}
+
+// walkRecord is walkOnce with an optional hop recorder: record, when
+// non-nil, receives each hop's (node, channel) as the message takes
+// it, plus the total number of candidate channels the router offered
+// for that hop across all tiers.
+func walkRecord(f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng *rand.Rand, record func(at topology.NodeID, ch core.Channel, offered int)) (int, error) {
+	mesh := f.Topo
 	m := core.NewMessage(1, src, dst, 1)
 	alg.InitMessage(m)
 	cur := src
@@ -69,8 +77,11 @@ func walkOnce(f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng 
 		alg.Candidates(m, cur, &cands)
 		var ch core.Channel
 		found := false
-		for tier := 0; tier < core.MaxTiers && !found; tier++ {
-			if tc := cands.Tier(tier); len(tc) > 0 {
+		offered := 0
+		for tier := 0; tier < core.MaxTiers; tier++ {
+			tc := cands.Tier(tier)
+			offered += len(tc)
+			if !found && len(tc) > 0 {
 				if rng != nil {
 					ch = tc[rng.Intn(len(tc))]
 				} else {
@@ -93,8 +104,145 @@ func walkOnce(f *fault.Model, alg core.Algorithm, src, dst topology.NodeID, rng 
 		if f.IsFaulty(next) {
 			return steps, fmt.Errorf("routing: %s: walked into faulty node %v", alg.Name(), mesh.CoordOf(next))
 		}
+		if record != nil {
+			record(cur, ch, offered)
+		}
 		alg.Advance(m, cur, ch)
 		cur = next
 	}
 	return int(m.Hops), nil
+}
+
+// DAGResult summarizes a channel-dependency-graph verification.
+type DAGResult struct {
+	Channels     int // distinct virtual channels used by any walk
+	Edges        int // distinct forced hold-and-wait dependencies observed
+	WrapChannels int // channels on wraparound links (0 on the mesh)
+}
+
+// CheckChannelDAG walks every healthy (src, dst) pair with
+// first-candidate choice — the same deterministic walk set
+// CheckReachability certifies — and records every FORCED dependency
+// between consecutive virtual channels: the held channel pointing at
+// the requested one on hops where the router offered exactly one
+// candidate. It fails if any forced-dependency cycle passes through a
+// wraparound-link channel.
+//
+// Forced edges are the ones that matter: a wormhole deadlock is a set
+// of messages each waiting on a channel held by the next with no
+// alternative, so every edge of a genuine wait cycle is a
+// single-candidate hop (an adaptive hop with two or more live options
+// cannot close a cycle — any one free channel unblocks it, which is
+// Duato's escape argument). The cycle test is scoped to the wrap
+// links because that is where a broken torus discipline deadlocks: an
+// undatelined e-cube forces the same VC all the way around a wrap
+// ring and closes exactly the cycle this detects, while the dateline
+// VC classes break it at the wrap edge. Away from wrap links the
+// forced graph may aggregate benign cycles through shared f-ring
+// channels across hop classes — those are covered by the
+// Boppana–Chalasani per-class argument, not by this check. On the
+// mesh there are no wrap channels and the check passes vacuously.
+func CheckChannelDAG(f *fault.Model, alg core.Algorithm) (DAGResult, error) {
+	var res DAGResult
+	t := f.Topo
+	vcs := alg.NumVCs()
+	// A channel is an outgoing (node, direction, VC) triple; ids are
+	// dense so the graph stores plain ints.
+	chanID := func(at topology.NodeID, ch core.Channel) int {
+		return (int(at)*4+int(ch.Dir))*vcs + int(ch.VC)
+	}
+	adj := map[int]map[int]struct{}{}
+	prev := -1
+	record := func(at topology.NodeID, ch core.Channel, offered int) {
+		id := chanID(at, ch)
+		if prev >= 0 && offered == 1 {
+			next, ok := adj[prev]
+			if !ok {
+				next = map[int]struct{}{}
+				adj[prev] = next
+			}
+			next[id] = struct{}{}
+		}
+		if _, ok := adj[id]; !ok {
+			adj[id] = map[int]struct{}{}
+		}
+		prev = id
+	}
+	healthy := f.HealthyNodes()
+	for _, src := range healthy {
+		for _, dst := range healthy {
+			if src == dst {
+				continue
+			}
+			prev = -1
+			if _, err := walkRecord(f, alg, src, dst, nil, record); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Channels = len(adj)
+	for _, next := range adj {
+		res.Edges += len(next)
+	}
+	describe := func(id int) string {
+		vc := id % vcs
+		dir := topology.Direction((id / vcs) % 4)
+		node := topology.NodeID(id / vcs / 4)
+		return fmt.Sprintf("%v %v vc%d", t.CoordOf(node), dir, vc)
+	}
+	// A channel sits on a wrap link when its hop leaves the coordinate
+	// range (only possible when the topology wraps).
+	onWrapLink := func(id int) bool {
+		dir := topology.Direction((id / vcs) % 4)
+		c := t.CoordOf(topology.NodeID(id / vcs / 4))
+		switch dir {
+		case topology.East:
+			return c.X == t.Width()-1
+		case topology.West:
+			return c.X == 0
+		case topology.North:
+			return c.Y == t.Height()-1
+		default:
+			return c.Y == 0
+		}
+	}
+	if t.Kind() != "torus" {
+		return res, nil
+	}
+	var wrapIDs []int
+	for id := range adj {
+		if onWrapLink(id) {
+			wrapIDs = append(wrapIDs, id)
+		}
+	}
+	res.WrapChannels = len(wrapIDs)
+	// For each wrap channel, search the forced graph for a path back to
+	// itself; any such path is a wait cycle through a wrap link.
+	seen := map[int]bool{}
+	var stack []int
+	for _, w := range wrapIDs {
+		for k := range seen {
+			delete(seen, k)
+		}
+		stack = stack[:0]
+		for next := range adj[w] {
+			stack = append(stack, next)
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if id == w {
+				return res, fmt.Errorf("routing: %s: forced channel-dependency cycle through wrap channel %s",
+					alg.Name(), describe(w))
+			}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			for next := range adj[id] {
+				stack = append(stack, next)
+			}
+		}
+	}
+	return res, nil
 }

@@ -23,7 +23,7 @@ func TestCheckReachabilityReportsStats(t *testing.T) {
 	if res.Detoured == 0 {
 		t.Error("central block caused no detours")
 	}
-	if res.MaxHops <= f.Mesh.Diameter()/2 {
+	if res.MaxHops <= f.Topo.Diameter()/2 {
 		t.Errorf("max hops %d implausibly small", res.MaxHops)
 	}
 	if _, err := CheckReachability(f, alg, rand.New(rand.NewSource(1))); err != nil {
@@ -37,6 +37,77 @@ func TestCheckReachabilityCatchesBrokenAlgorithm(t *testing.T) {
 	// stuck, not loop forever.
 	if _, err := CheckReachability(f, stuckAfterInit{}, nil); err == nil {
 		t.Fatal("broken algorithm passed the check")
+	}
+}
+
+func TestCheckChannelDAGTorusRoster(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	f := fault.None(torus)
+	for _, name := range TorusAlgorithmNames(torus) {
+		alg := MustNew(name, f, 24)
+		res, err := CheckChannelDAG(f, alg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Channels == 0 {
+			t.Errorf("%s: no channels recorded", name)
+		}
+		if res.WrapChannels == 0 {
+			t.Errorf("%s: no wrap channels recorded on a fault-free torus", name)
+		}
+	}
+}
+
+func TestCheckChannelDAGMeshVacuous(t *testing.T) {
+	f := centralBlock(t)
+	alg := MustNew("PHop", f, 24)
+	res, err := CheckChannelDAG(f, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WrapChannels != 0 {
+		t.Errorf("mesh reported %d wrap channels", res.WrapChannels)
+	}
+	if res.Channels == 0 || res.Edges == 0 {
+		t.Errorf("mesh PHop recorded %d channels, %d forced deps; want both > 0", res.Channels, res.Edges)
+	}
+}
+
+// undatelinedXY routes dimension-order on the torus taking minimal
+// (possibly wrap) hops but keeps every message on VC 0: the textbook
+// broken discipline whose forced dependencies close a wait cycle all
+// the way around each wrap ring.
+type undatelinedXY struct{ topo topology.Topology }
+
+func (undatelinedXY) Name() string                { return "undatelined-xy" }
+func (undatelinedXY) NumVCs() int                 { return 1 }
+func (undatelinedXY) InitMessage(m *core.Message) {}
+func (a undatelinedXY) Candidates(m *core.Message, node topology.NodeID, out *core.CandidateSet) {
+	cur := a.topo.CoordOf(node)
+	dst := a.topo.CoordOf(m.Dst)
+	for dim := 0; dim < 2; dim++ {
+		if d, ok := a.topo.DirTowards(cur, dst, dim); ok {
+			out.Add(0, core.Channel{Dir: d, VC: 0})
+			return
+		}
+	}
+}
+func (undatelinedXY) Advance(m *core.Message, from topology.NodeID, ch core.Channel) {
+	m.Hops++
+}
+
+func TestCheckChannelDAGCatchesUndatelinedTorus(t *testing.T) {
+	torus := topology.NewTorus(6, 6)
+	f := fault.None(torus)
+	if _, err := CheckChannelDAG(f, undatelinedXY{topo: torus}); err == nil {
+		t.Fatal("undatelined single-VC torus discipline passed the wrap-cycle check")
+	}
+	// The same discipline on the mesh is plain deadlock-free XY and has
+	// no wrap links to cycle through.
+	mesh := fault.None(topology.New(6, 6))
+	if _, err := CheckChannelDAG(mesh, undatelinedXY{topo: topology.New(6, 6)}); err != nil {
+		t.Errorf("XY on the mesh flagged: %v", err)
 	}
 }
 

@@ -32,7 +32,7 @@ import (
 // the same configuration and observes the resulting congestion rather
 // than extending the ladder.
 type hopScheme struct {
-	mesh       topology.Mesh
+	mesh       topology.Topology
 	schemeName string
 	negOnly    bool // NHop-style: required class counts negative hops
 	bonus      bool
@@ -45,7 +45,7 @@ type hopScheme struct {
 
 // newHopScheme builds a hop-based base occupying VC indices
 // [baseVC, baseVC+classes*vcPerClass).
-func newHopScheme(mesh topology.Mesh, name string, negOnly, bonus bool, classes, vcPerClass, baseVC int) *hopScheme {
+func newHopScheme(mesh topology.Topology, name string, negOnly, bonus bool, classes, vcPerClass, baseVC int) *hopScheme {
 	need := mesh.Diameter() + 1
 	if negOnly {
 		need = 1 + maxNegHops(mesh)

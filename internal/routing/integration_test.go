@@ -15,7 +15,7 @@ import (
 type faultAvoidanceTracer struct {
 	core.NopTracer
 	t      *testing.T
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	faults *fault.Model
 }
 

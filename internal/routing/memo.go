@@ -192,7 +192,7 @@ func (mm *bcMemo) fillRow(node topology.NodeID) []progEntry {
 		e.ring = -1
 		dc := w.mesh.CoordOf(dst)
 		for dim := 0; dim < 2; dim++ {
-			dir, ok := topology.DirTowards(cur, dc, dim)
+			dir, ok := w.mesh.DirTowards(cur, dc, dim)
 			if !ok {
 				continue
 			}
@@ -214,12 +214,7 @@ func (mm *bcMemo) fillRow(node topology.NodeID) []progEntry {
 			} else if e.ring < 0 {
 				// blockingRing: the region containing the FIRST faulty
 				// minimal neighbor, X dimension checked first.
-				for ri, ring := range w.faults.Rings() {
-					if ring.Region.Contains(w.mesh.CoordOf(nb)) {
-						e.ring = int16(ri)
-						break
-					}
-				}
+				e.ring = int16(w.faults.RegionIndex(nb))
 			}
 		}
 		if e.ring >= 0 {

@@ -54,10 +54,70 @@ func Describe(name string) string {
 	return ""
 }
 
+// SupportsTopology reports whether the named algorithm is enabled on
+// the given topology, with an error explaining any rejection. Every
+// algorithm runs on the mesh. On the torus the roster is restricted to
+// the configurations whose deadlock-freedom argument survives wrap
+// links:
+//
+//   - PHop and Pbc hold on any torus: the positive-hop class ladder
+//     strictly increases per hop and minimal paths (≤ diameter hops)
+//     never exhaust diameter+1 classes, so the class clamp never binds
+//     and the channel-dependency graph is stratified by class
+//     regardless of wrap links.
+//   - NHop, Nbc and Duato-Nbc additionally need both dimensions even:
+//     the negative-hop argument counts color 1→0 hops under the
+//     checkerboard coloring, which is a proper 2-coloring across the
+//     wrap edge only for even cycles.
+//   - Duato and Duato-Pbc hold because Duato's methodology only needs
+//     a connected deadlock-free escape: the dateline e-cube (or the
+//     Pbc ladder) provides one on the torus.
+//   - Minimal-Adaptive and Fully-Adaptive are unsupervised: on a mesh
+//     they are deadlock-prone in theory yet benchmarkable, but on a
+//     torus the wrap cycles make deadlock routine, so they are
+//     rejected rather than run with watchdog kills.
+//   - Boura-Adaptive and Boura-FT partition traffic by Y offset sign;
+//     "north of" is not well defined on a Y-cycle, so the scheme is
+//     mesh-only.
+func SupportsTopology(name string, t topology.Topology) error {
+	if _, err := MinVCs(name, t); err != nil {
+		return err
+	}
+	if t.Kind() != "torus" {
+		return nil
+	}
+	switch name {
+	case "PHop", "Pbc", "Duato", "Duato-Pbc":
+		return nil
+	case "NHop", "Nbc", "Duato-Nbc":
+		if t.Width()%2 != 0 || t.Height()%2 != 0 {
+			return fmt.Errorf("routing: %s needs even torus dimensions (checkerboard coloring), got %v", name, t)
+		}
+		return nil
+	case "Minimal-Adaptive", "Fully-Adaptive":
+		return fmt.Errorf("routing: %s is not deadlock-free over torus wrap links", name)
+	case "Boura-Adaptive", "Boura-FT":
+		return fmt.Errorf("routing: %s partitions traffic by Y direction and is mesh-only", name)
+	}
+	return fmt.Errorf("routing: unknown algorithm %q", name)
+}
+
+// TorusAlgorithmNames lists the algorithms enabled on the given torus
+// in the paper's order.
+func TorusAlgorithmNames(t topology.Topology) []string {
+	var names []string
+	for _, name := range AlgorithmNames {
+		if SupportsTopology(name, t) == nil {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // MinVCs returns the smallest per-physical-channel virtual channel
-// count the named algorithm supports on the given mesh, including the
-// Boppana–Chalasani ring channels where applicable.
-func MinVCs(name string, mesh topology.Mesh) (int, error) {
+// count the named algorithm supports on the given topology, including
+// the Boppana–Chalasani ring channels where applicable.
+func MinVCs(name string, mesh topology.Topology) (int, error) {
 	d := mesh.Diameter()
 	phop := d + 1
 	nhop := 1 + d/2
@@ -88,7 +148,10 @@ func MinVCs(name string, mesh topology.Mesh) (int, error) {
 // required escape/class channels and the BC scheme's four ring
 // channels, with all surplus going where the paper assigns it.
 func New(name string, f *fault.Model, numVCs int) (core.Algorithm, error) {
-	mesh := f.Mesh
+	mesh := f.Topo
+	if err := SupportsTopology(name, mesh); err != nil {
+		return nil, err
+	}
 	minV, err := MinVCs(name, mesh)
 	if err != nil {
 		return nil, err

@@ -38,7 +38,7 @@ type base interface {
 // advanceCommon applies the algorithm-independent per-hop updates:
 // hop count, negative-hop count (high-color to low-color moves), and
 // the previous-node marker used to dampen detour oscillation.
-func advanceCommon(mesh topology.Mesh, m *core.Message, from topology.NodeID, ch core.Channel) {
+func advanceCommon(mesh topology.Topology, m *core.Message, from topology.NodeID, ch core.Channel) {
 	m.Hops++
 	fc := mesh.CoordOf(from)
 	tc, ok := mesh.Neighbor(fc, ch.Dir)
@@ -52,14 +52,14 @@ func advanceCommon(mesh topology.Mesh, m *core.Message, from topology.NodeID, ch
 }
 
 // minimalDirs appends the minimal directions from node towards dst.
-func minimalDirs(mesh topology.Mesh, node, dst topology.NodeID, buf []topology.Direction) []topology.Direction {
-	return topology.MinimalDirs(mesh.CoordOf(node), mesh.CoordOf(dst), buf)
+func minimalDirs(mesh topology.Topology, node, dst topology.NodeID, buf []topology.Direction) []topology.Direction {
+	return mesh.MinimalDirs(mesh.CoordOf(node), mesh.CoordOf(dst), buf)
 }
 
 // requiredNegHops returns the number of negative hops any minimal path
 // from src to dst must take: hops alternate checkerboard colors, so
 // the count depends only on the source color and the path length.
-func requiredNegHops(mesh topology.Mesh, src, dst topology.NodeID) int {
+func requiredNegHops(mesh topology.Topology, src, dst topology.NodeID) int {
 	l := mesh.Distance(mesh.CoordOf(src), mesh.CoordOf(dst))
 	if topology.Color(mesh.CoordOf(src)) == 1 {
 		return (l + 1) / 2
@@ -70,4 +70,4 @@ func requiredNegHops(mesh topology.Mesh, src, dst topology.NodeID) int {
 // maxNegHops returns the largest number of negative hops a minimal
 // path can take in the mesh, which sizes the NHop class count:
 // 1 + floor(diameter/2) classes.
-func maxNegHops(mesh topology.Mesh) int { return mesh.Diameter() / 2 }
+func maxNegHops(mesh topology.Topology) int { return mesh.Diameter() / 2 }

@@ -9,9 +9,9 @@ import (
 	"wormmesh/internal/topology"
 )
 
-func mesh10() topology.Mesh { return topology.New(10, 10) }
+func mesh10() topology.Topology { return topology.New(10, 10) }
 
-func modelWith(t *testing.T, m topology.Mesh, coords ...topology.Coord) *fault.Model {
+func modelWith(t *testing.T, m topology.Topology, coords ...topology.Coord) *fault.Model {
 	t.Helper()
 	var ids []topology.NodeID
 	for _, c := range coords {
@@ -117,7 +117,7 @@ func walk(t *testing.T, f *fault.Model, alg core.Algorithm, src, dst topology.No
 	t.Helper()
 	m := core.NewMessage(1, src, dst, 1)
 	alg.InitMessage(m)
-	mesh := f.Mesh
+	mesh := f.Topo
 	cur := src
 	bound := 8 * mesh.Diameter()
 	var cands core.CandidateSet
@@ -267,7 +267,7 @@ func TestReachabilityOnNamedPatterns(t *testing.T) {
 
 func TestFaultFreeWalksAreMinimal(t *testing.T) {
 	f := fault.None(mesh10())
-	mesh := f.Mesh
+	mesh := f.Topo
 	rng := rand.New(rand.NewSource(3))
 	for _, algName := range AlgorithmNames {
 		if algName == "Fully-Adaptive" {

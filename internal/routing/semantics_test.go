@@ -14,7 +14,7 @@ func traceWalk(t *testing.T, f *fault.Model, alg core.Algorithm, src, dst topolo
 	t.Helper()
 	m := core.NewMessage(1, src, dst, 1)
 	alg.InitMessage(m)
-	mesh := f.Mesh
+	mesh := f.Topo
 	cur := src
 	var hops []core.Channel
 	var cands core.CandidateSet
@@ -51,8 +51,8 @@ func traceWalk(t *testing.T, f *fault.Model, alg core.Algorithm, src, dst topolo
 func TestPHopClassLadder(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("PHop", f, 24)
-	src := f.Mesh.ID(topology.Coord{X: 0, Y: 0})
-	dst := f.Mesh.ID(topology.Coord{X: 5, Y: 3})
+	src := f.Topo.ID(topology.Coord{X: 0, Y: 0})
+	dst := f.Topo.ID(topology.Coord{X: 5, Y: 3})
 	rng := rand.New(rand.NewSource(1))
 	_, hops := traceWalk(t, f, alg, src, dst, rng)
 	for i, ch := range hops {
@@ -67,7 +67,7 @@ func TestPHopClassLadder(t *testing.T) {
 func TestNHopClassEqualsNegativeHops(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("NHop", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 50; trial++ {
 		src := topology.NodeID(rng.Intn(mesh.NodeCount()))
@@ -137,7 +137,7 @@ func TestRequiredNegHopsBruteForce(t *testing.T) {
 func TestBonusCardsWidenFirstHop(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("Pbc", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 
 	// Corner-to-corner: path length = diameter, zero cards.
 	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 0, Y: 0}), mesh.ID(topology.Coord{X: 9, Y: 9}), 1)
@@ -180,7 +180,7 @@ func TestBonusCardsWidenFirstHop(t *testing.T) {
 func TestBonusCardSpending(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("Pbc", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 100; trial++ {
 		src := topology.NodeID(rng.Intn(mesh.NodeCount()))
@@ -212,7 +212,7 @@ func TestBonusCardSpending(t *testing.T) {
 func TestNbcCardBudget(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("Nbc", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 0, Y: 0}), mesh.ID(topology.Coord{X: 1, Y: 0}), 1)
 	alg.InitMessage(m)
 	want := int32(maxNegHops(mesh) - requiredNegHops(mesh, m.Src, m.Dst))
@@ -226,7 +226,7 @@ func TestNbcCardBudget(t *testing.T) {
 func TestDuatoTierStructure(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("Duato", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 2, Y: 2}), mesh.ID(topology.Coord{X: 6, Y: 7}), 1)
 	alg.InitMessage(m)
 	var cands core.CandidateSet
@@ -260,7 +260,7 @@ func TestDuatoTierStructure(t *testing.T) {
 func TestFullyAdaptiveMisrouteTier(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("Fully-Adaptive", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 5, Y: 5}), mesh.ID(topology.Coord{X: 7, Y: 5}), 1)
 	alg.InitMessage(m)
 	var cands core.CandidateSet
@@ -292,7 +292,7 @@ func TestFullyAdaptiveMisrouteTier(t *testing.T) {
 // direction class.
 func TestBCRingVCDiscipline(t *testing.T) {
 	f := centralBlock(t)
-	mesh := f.Mesh
+	mesh := f.Topo
 	for _, algName := range AlgorithmNames {
 		if algName == "Boura-FT" {
 			continue // uses subnet channels for boundary traversal by design
@@ -346,7 +346,7 @@ func TestBCChainReversal(t *testing.T) {
 	// top row and must dip below the region.
 	f := modelWith(t, mesh10(),
 		topology.Coord{X: 4, Y: 9}, topology.Coord{X: 4, Y: 8}, topology.Coord{X: 5, Y: 9}, topology.Coord{X: 5, Y: 8})
-	mesh := f.Mesh
+	mesh := f.Topo
 	if !f.Rings()[0].Chain {
 		t.Fatal("expected a chain")
 	}
@@ -366,7 +366,7 @@ func TestBCChainReversal(t *testing.T) {
 func TestBouraSubnetDiscipline(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("Boura-Adaptive", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	rng := rand.New(rand.NewSource(4))
 	north := core.NewMessage(1, mesh.ID(topology.Coord{X: 3, Y: 1}), mesh.ID(topology.Coord{X: 6, Y: 8}), 1)
 	alg.InitMessage(north)
@@ -390,7 +390,7 @@ func TestBouraSubnetDiscipline(t *testing.T) {
 func TestDirClassAssignedAtInjection(t *testing.T) {
 	f := fault.None(mesh10())
 	alg := MustNew("NHop", f, 24)
-	mesh := f.Mesh
+	mesh := f.Topo
 	cases := []struct {
 		src, dst topology.Coord
 		want     core.DirClass
@@ -418,7 +418,7 @@ func TestPHopRingVCsGetFifthChannel(t *testing.T) {
 		t.Errorf("PHop NumVCs = %d, want 24", alg.NumVCs())
 	}
 	// The WE class holds two ring channels (19 and 23).
-	mesh := f.Mesh
+	mesh := f.Topo
 	m := core.NewMessage(1, mesh.ID(topology.Coord{X: 3, Y: 4}), mesh.ID(topology.Coord{X: 9, Y: 4}), 1)
 	alg.InitMessage(m)
 	var cands core.CandidateSet

@@ -68,7 +68,7 @@ func (r Result) linkExists(id topology.NodeID, d topology.Direction) bool {
 	if r.Faults.IsFaulty(id) {
 		return false
 	}
-	nb := r.Faults.Mesh.NeighborID(id, d)
+	nb := r.Faults.Topo.NeighborID(id, d)
 	return nb != topology.Invalid && !r.Faults.IsFaulty(nb)
 }
 
@@ -82,18 +82,21 @@ func (r Result) LinkView(metric LinkMetric) (*report.LinkView, error) {
 	if ls == nil {
 		return nil, fmt.Errorf("sim: no link telemetry collected (set Config.ChannelTelemetry)")
 	}
-	mesh := r.Faults.Mesh
+	mesh := r.Faults.Topo
 	n := mesh.NodeCount()
 	cycles := float64(r.Stats.Cycles)
 	if cycles == 0 {
 		cycles = 1
 	}
 	raw := metric.counter(ls)
+	wraps := mesh.Kind() == "torus"
 	lv := &report.LinkView{
 		Title:    fmt.Sprintf("per-link %s map (%s/cycle; X = faulty, o = f-ring node):", metric, metric),
-		Width:    mesh.Width,
-		Height:   mesh.Height,
+		Width:    mesh.Width(),
+		Height:   mesh.Height(),
 		NodeMark: make([]byte, n),
+		WrapX:    wraps,
+		WrapY:    wraps,
 		Legend:   true,
 	}
 	for d := 0; d < topology.NumDirs; d++ {
@@ -124,7 +127,7 @@ func (r Result) LinkTable() (*report.Table, error) {
 	if ls == nil {
 		return nil, fmt.Errorf("sim: no link telemetry collected (set Config.ChannelTelemetry)")
 	}
-	mesh := r.Faults.Mesh
+	mesh := r.Faults.Topo
 	t := report.NewTable("node", "x", "y", "dir", "flits", "busy_cycles", "blocked_cycles", "on_ring")
 	for id := topology.NodeID(0); int(id) < mesh.NodeCount(); id++ {
 		c := mesh.CoordOf(id)
@@ -170,7 +173,7 @@ func (r Result) RingSplit(metric LinkMetric) (RingSplit, error) {
 		return RingSplit{}, fmt.Errorf("sim: no link telemetry collected (set Config.ChannelTelemetry)")
 	}
 	raw := metric.counter(ls)
-	mesh := r.Faults.Mesh
+	mesh := r.Faults.Topo
 	var s RingSplit
 	var onSum, offSum int64
 	for id := topology.NodeID(0); int(id) < mesh.NodeCount(); id++ {

@@ -28,7 +28,7 @@ type LoadDistribution struct {
 // f-ring node set.
 func (r Result) LoadDistribution() LoadDistribution {
 	ring := map[topology.NodeID]bool{}
-	for id := topology.NodeID(0); int(id) < r.Faults.Mesh.NodeCount(); id++ {
+	for id := topology.NodeID(0); int(id) < r.Faults.Topo.NodeCount(); id++ {
 		if !r.Faults.IsFaulty(id) && r.Faults.OnAnyRing(id) {
 			ring[id] = true
 		}

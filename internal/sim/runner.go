@@ -47,6 +47,7 @@ type Runner struct {
 }
 
 type faultCacheKey struct {
+	topology      string
 	width, height int
 	faults        int
 	seed          int64
@@ -105,13 +106,16 @@ func (r *Runner) Run(p Params) (Result, error) {
 // are immutable, so sharing one instance across runs (and exposing it
 // in Result.Faults) is safe.
 func (r *Runner) buildFaults(p Params) (*fault.Model, error) {
-	mesh := topology.New(p.Width, p.Height)
 	if p.FaultNodes != nil {
-		key := fmt.Sprintf("%dx%d:%v", p.Width, p.Height, p.FaultNodes)
+		topo, err := topology.Make(p.Topology, p.Width, p.Height)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		key := fmt.Sprintf("%s:%dx%d:%v", topo.Kind(), p.Width, p.Height, p.FaultNodes)
 		if f, ok := r.explicit[key]; ok {
 			return f, nil
 		}
-		f, err := fault.New(mesh, p.FaultNodes)
+		f, err := fault.New(topo, p.FaultNodes)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +125,11 @@ func (r *Runner) buildFaults(p Params) (*fault.Model, error) {
 		r.explicit[key] = f
 		return f, nil
 	}
-	key := faultCacheKey{width: p.Width, height: p.Height, faults: p.Faults, seed: p.FaultSeed}
+	kind := p.Topology
+	if kind == "" {
+		kind = "mesh" // Make's default; normalized so "" and "mesh" share a cache entry
+	}
+	key := faultCacheKey{topology: kind, width: p.Width, height: p.Height, faults: p.Faults, seed: p.FaultSeed}
 	if p.Faults == 0 {
 		key.seed = 0 // seed is irrelevant for the fault-free model
 	}
@@ -191,7 +199,7 @@ func (r *Runner) pattern(name string, f *fault.Model) (traffic.Pattern, error) {
 // per healthy node) — so results are bit-identical to RunWithFaults.
 func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 	start := time.Now()
-	mesh := f.Mesh
+	mesh := f.Topo
 	cfg := p.Config
 	if cfg.NumVCs == 0 {
 		cfg = DefaultEngineConfig()
@@ -219,7 +227,7 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		r.engRng.Seed(p.Seed)
 		r.trafRng.Seed(p.Seed + 0x9e3779b9)
 	}
-	if r.net != nil && r.net.Mesh == mesh && r.net.Cfg == cfg {
+	if r.net != nil && r.net.Topo == mesh && r.net.Cfg == cfg {
 		if err := r.net.Reset(f, alg, r.engRng); err != nil {
 			return Result{}, err
 		}

@@ -133,7 +133,7 @@ func TestLoadDistributionMath(t *testing.T) {
 	}
 	// Overwrite the crossings with synthetic data: ring nodes carry 2,
 	// the peak node 10, everyone else 1.
-	mesh := res.Faults.Mesh
+	mesh := res.Faults.Topo
 	for id := range res.Stats.NodeCrossings {
 		nid := topology.NodeID(id)
 		switch {

@@ -216,7 +216,7 @@ func TestLinkViewAndTableFromRun(t *testing.T) {
 	}
 	lines := strings.Count(csv.String(), "\n")
 	existing := 0
-	mesh := res.Faults.Mesh
+	mesh := res.Faults.Topo
 	for id := topology.NodeID(0); int(id) < mesh.NodeCount(); id++ {
 		for d := topology.Direction(0); d < topology.NumDirs; d++ {
 			if res.linkExists(id, d) {

@@ -1,95 +1,11 @@
-// Package topology models 2-D mesh interconnect topologies.
-//
-// A mesh G(l, m) is the Cartesian product of two undirected paths: l
-// columns by m rows, with no wrap-around links. Nodes are addressed by
-// (x, y) coordinates with x ∈ [0, l) and y ∈ [0, m). Every node has a
-// bidirectional physical link to each of its up-to-four neighbors; the
-// simulator treats each direction of a link as an independent physical
-// channel (one flit per cycle each way).
 package topology
 
 import "fmt"
 
-// NodeID is a dense integer identifier for a mesh node: id = y*width + x.
-type NodeID int32
-
-// Invalid is returned by functions that may fail to produce a node.
-const Invalid NodeID = -1
-
-// Coord is a node address in the mesh.
-type Coord struct {
-	X, Y int
-}
-
-// String renders the coordinate as "(x,y)".
-func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
-
-// Direction identifies one of the four mesh directions, or the local
-// (ejection) port of a router.
-type Direction uint8
-
-// The four mesh directions. East is +X, West is -X, North is +Y and
-// South is -Y. Local names the router's ejection port.
-const (
-	East Direction = iota
-	West
-	North
-	South
-	Local
-
-	// NumDirs counts the network directions (excluding Local).
-	NumDirs = 4
-	// NumPorts counts all router ports: four directions plus injection.
-	NumPorts = 5
-	// InjectPort is the port index used for the injection queue side of
-	// a router. It shares the slot that Local occupies on the output
-	// side: input port 4 injects, output "port" Local ejects.
-	InjectPort = 4
-)
-
-var dirNames = [...]string{"East", "West", "North", "South", "Local"}
-
-// String returns the direction's name.
-func (d Direction) String() string {
-	if int(d) < len(dirNames) {
-		return dirNames[d]
-	}
-	return fmt.Sprintf("Direction(%d)", uint8(d))
-}
-
-// Opposite returns the reverse direction. Opposite(Local) is Local.
-func (d Direction) Opposite() Direction {
-	switch d {
-	case East:
-		return West
-	case West:
-		return East
-	case North:
-		return South
-	case South:
-		return North
-	}
-	return Local
-}
-
-// Delta returns the coordinate change of one hop in direction d.
-func (d Direction) Delta() (dx, dy int) {
-	switch d {
-	case East:
-		return 1, 0
-	case West:
-		return -1, 0
-	case North:
-		return 0, 1
-	case South:
-		return 0, -1
-	}
-	return 0, 0
-}
-
-// Mesh is an l×m 2-D mesh. The zero value is invalid; use New.
+// Mesh is an l×m 2-D mesh — the Cartesian product of two undirected
+// paths, with no wrap-around links. The zero value is invalid; use New.
 type Mesh struct {
-	Width, Height int
+	width, height int
 }
 
 // New returns a width×height mesh. It panics if either dimension is
@@ -99,32 +15,41 @@ func New(width, height int) Mesh {
 	if width < 2 || height < 2 {
 		panic(fmt.Sprintf("topology: mesh dimensions must be >= 2, got %dx%d", width, height))
 	}
-	return Mesh{Width: width, Height: height}
+	return Mesh{width: width, height: height}
 }
 
+// Kind returns "mesh".
+func (m Mesh) Kind() string { return "mesh" }
+
+// Width returns the number of columns.
+func (m Mesh) Width() int { return m.width }
+
+// Height returns the number of rows.
+func (m Mesh) Height() int { return m.height }
+
 // NodeCount returns the number of nodes in the mesh.
-func (m Mesh) NodeCount() int { return m.Width * m.Height }
+func (m Mesh) NodeCount() int { return m.width * m.height }
 
 // Diameter returns the network diameter, (width-1)+(height-1).
-func (m Mesh) Diameter() int { return m.Width - 1 + m.Height - 1 }
+func (m Mesh) Diameter() int { return m.width - 1 + m.height - 1 }
 
 // Contains reports whether c is a valid coordinate in the mesh.
 func (m Mesh) Contains(c Coord) bool {
-	return c.X >= 0 && c.X < m.Width && c.Y >= 0 && c.Y < m.Height
+	return c.X >= 0 && c.X < m.width && c.Y >= 0 && c.Y < m.height
 }
 
 // ID maps a coordinate to its node identifier. It panics on
 // out-of-range coordinates; callers validate with Contains first.
 func (m Mesh) ID(c Coord) NodeID {
 	if !m.Contains(c) {
-		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d mesh", c, m.Width, m.Height))
+		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d mesh", c, m.width, m.height))
 	}
-	return NodeID(c.Y*m.Width + c.X)
+	return NodeID(c.Y*m.width + c.X)
 }
 
 // CoordOf maps a node identifier back to its coordinate.
 func (m Mesh) CoordOf(id NodeID) Coord {
-	return Coord{X: int(id) % m.Width, Y: int(id) / m.Width}
+	return Coord{X: int(id) % m.width, Y: int(id) / m.width}
 }
 
 // Neighbor returns the node one hop from c in direction d, and whether
@@ -153,6 +78,41 @@ func (m Mesh) Distance(a, b Coord) int {
 // DirTowards returns the direction of one hop along dimension dim
 // (0 = X, 1 = Y) from cur towards dst, and false when cur and dst agree
 // in that dimension.
+func (m Mesh) DirTowards(cur, dst Coord, dim int) (Direction, bool) {
+	return DirTowards(cur, dst, dim)
+}
+
+// MinimalDirs appends to buf the directions that make minimal progress
+// from cur to dst and returns the extended slice. At most two
+// directions are minimal in a 2-D mesh; zero when cur == dst.
+func (m Mesh) MinimalDirs(cur, dst Coord, buf []Direction) []Direction {
+	return MinimalDirs(cur, dst, buf)
+}
+
+// IsMinimal reports whether moving in direction d from cur brings the
+// message closer to dst.
+func (m Mesh) IsMinimal(cur, dst Coord, d Direction) bool {
+	return IsMinimal(cur, dst, d)
+}
+
+// OnBoundary reports whether c lies on the outer edge of the mesh.
+func (m Mesh) OnBoundary(c Coord) bool {
+	return c.X == 0 || c.Y == 0 || c.X == m.width-1 || c.Y == m.height-1
+}
+
+// Wraps always reports false: a mesh has no wrap-around links.
+func (m Mesh) Wraps(c Coord, d Direction) bool { return false }
+
+// WrapClass always returns 0: without wrap links every deterministic
+// path stays on the single dateline class.
+func (m Mesh) WrapClass(cur, dst Coord, dim int) uint8 { return 0 }
+
+// String renders the mesh as "WxH mesh".
+func (m Mesh) String() string { return fmt.Sprintf("%dx%d mesh", m.width, m.height) }
+
+// DirTowards returns the direction of one hop along dimension dim
+// (0 = X, 1 = Y) from cur towards dst on a wrap-free mesh, and false
+// when cur and dst agree in that dimension.
 func DirTowards(cur, dst Coord, dim int) (Direction, bool) {
 	switch dim {
 	case 0:
@@ -174,8 +134,9 @@ func DirTowards(cur, dst Coord, dim int) (Direction, bool) {
 }
 
 // MinimalDirs appends to buf the directions that make minimal progress
-// from cur to dst and returns the extended slice. At most two
-// directions are minimal in a 2-D mesh; zero when cur == dst.
+// from cur to dst on a wrap-free mesh and returns the extended slice.
+// At most two directions are minimal in a 2-D mesh; zero when
+// cur == dst.
 func MinimalDirs(cur, dst Coord, buf []Direction) []Direction {
 	if d, ok := DirTowards(cur, dst, 0); ok {
 		buf = append(buf, d)
@@ -187,29 +148,9 @@ func MinimalDirs(cur, dst Coord, buf []Direction) []Direction {
 }
 
 // IsMinimal reports whether moving in direction d from cur brings the
-// message closer to dst.
+// message closer to dst in Manhattan (mesh) distance.
 func IsMinimal(cur, dst Coord, d Direction) bool {
 	dx, dy := d.Delta()
 	next := Coord{X: cur.X + dx, Y: cur.Y + dy}
 	return abs(next.X-dst.X)+abs(next.Y-dst.Y) < abs(cur.X-dst.X)+abs(cur.Y-dst.Y)
-}
-
-// OnBoundary reports whether c lies on the outer edge of the mesh.
-func (m Mesh) OnBoundary(c Coord) bool {
-	return c.X == 0 || c.Y == 0 || c.X == m.Width-1 || c.Y == m.Height-1
-}
-
-// Color returns the 2-coloring label of a node (checkerboard parity).
-// The negative-hop routing algorithm labels the mesh with this
-// coloring: a hop from a node of color 1 to color 0 is a negative hop.
-func Color(c Coord) int { return (c.X + c.Y) & 1 }
-
-// String renders the mesh as "WxH mesh".
-func (m Mesh) String() string { return fmt.Sprintf("%dx%d mesh", m.Width, m.Height) }
-
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

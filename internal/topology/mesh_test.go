@@ -231,7 +231,7 @@ func TestDistanceMetricProperty(t *testing.T) {
 	m := New(12, 9)
 	rng := rand.New(rand.NewSource(1))
 	randNode := func() Coord {
-		return Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)}
+		return Coord{X: rng.Intn(m.Width()), Y: rng.Intn(m.Height())}
 	}
 	f := func() bool {
 		a, b, c := randNode(), randNode(), randNode()

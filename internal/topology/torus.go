@@ -1,0 +1,202 @@
+package topology
+
+import "fmt"
+
+// Torus is an l×m 2-D torus — the Cartesian product of two undirected
+// cycles. Every node has exactly four neighbors; the links leaving the
+// last column/row wrap around to the first (and vice versa). The zero
+// value is invalid; use NewTorus.
+type Torus struct {
+	width, height int
+}
+
+// NewTorus returns a width×height torus. It panics if either dimension
+// is smaller than 3: a 2-cycle would give a node two parallel physical
+// links to the same neighbor (East and West coincide), which the dense
+// one-neighbor-per-direction channel encoding deliberately excludes.
+func NewTorus(width, height int) Torus {
+	if width < 3 || height < 3 {
+		panic(fmt.Sprintf("topology: torus dimensions must be >= 3, got %dx%d", width, height))
+	}
+	return Torus{width: width, height: height}
+}
+
+// Kind returns "torus".
+func (t Torus) Kind() string { return "torus" }
+
+// Width returns the number of columns.
+func (t Torus) Width() int { return t.width }
+
+// Height returns the number of rows.
+func (t Torus) Height() int { return t.height }
+
+// NodeCount returns the number of nodes in the torus.
+func (t Torus) NodeCount() int { return t.width * t.height }
+
+// Diameter returns the network diameter, ⌊width/2⌋+⌊height/2⌋.
+func (t Torus) Diameter() int { return t.width/2 + t.height/2 }
+
+// Contains reports whether c is a valid coordinate in the torus.
+func (t Torus) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < t.width && c.Y >= 0 && c.Y < t.height
+}
+
+// ID maps a coordinate to its node identifier. It panics on
+// out-of-range coordinates; callers validate with Contains first.
+func (t Torus) ID(c Coord) NodeID {
+	if !t.Contains(c) {
+		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d torus", c, t.width, t.height))
+	}
+	return NodeID(c.Y*t.width + c.X)
+}
+
+// CoordOf maps a node identifier back to its coordinate.
+func (t Torus) CoordOf(id NodeID) Coord {
+	return Coord{X: int(id) % t.width, Y: int(id) / t.width}
+}
+
+// Neighbor returns the node one hop from c in direction d. On a torus
+// every direction has a neighbor, so ok is true for the four network
+// directions (false only for Local).
+func (t Torus) Neighbor(c Coord, d Direction) (Coord, bool) {
+	dx, dy := d.Delta()
+	if dx == 0 && dy == 0 {
+		return c, false
+	}
+	return Coord{
+		X: (c.X + dx + t.width) % t.width,
+		Y: (c.Y + dy + t.height) % t.height,
+	}, true
+}
+
+// NeighborID is Neighbor in NodeID space; it returns Invalid only for
+// Local.
+func (t Torus) NeighborID(id NodeID, d Direction) NodeID {
+	n, ok := t.Neighbor(t.CoordOf(id), d)
+	if !ok {
+		return Invalid
+	}
+	return t.ID(n)
+}
+
+// Distance returns the minimal hop count between two nodes: the sum
+// over dimensions of the shorter way around each cycle.
+func (t Torus) Distance(a, b Coord) int {
+	dx := abs(a.X - b.X)
+	if w := t.width - dx; w < dx {
+		dx = w
+	}
+	dy := abs(a.Y - b.Y)
+	if h := t.height - dy; h < dy {
+		dy = h
+	}
+	return dx + dy
+}
+
+// DirTowards returns the direction of one minimal hop along dimension
+// dim (0 = X, 1 = Y) from cur towards dst, and false when cur and dst
+// agree in that dimension. When both ways around the cycle are equally
+// short (even dimension, offset exactly half way) the positive
+// direction (East/North) is chosen, so the choice is deterministic and
+// stays consistent along the whole path.
+func (t Torus) DirTowards(cur, dst Coord, dim int) (Direction, bool) {
+	switch dim {
+	case 0:
+		fwd := ((dst.X-cur.X)%t.width + t.width) % t.width
+		if fwd == 0 {
+			return Local, false
+		}
+		if fwd <= t.width-fwd {
+			return East, true
+		}
+		return West, true
+	case 1:
+		fwd := ((dst.Y-cur.Y)%t.height + t.height) % t.height
+		if fwd == 0 {
+			return Local, false
+		}
+		if fwd <= t.height-fwd {
+			return North, true
+		}
+		return South, true
+	}
+	return Local, false
+}
+
+// MinimalDirs appends to buf the directions that make minimal progress
+// from cur to dst and returns the extended slice: one direction per
+// unresolved dimension (the DirTowards choice), at most two total.
+func (t Torus) MinimalDirs(cur, dst Coord, buf []Direction) []Direction {
+	if d, ok := t.DirTowards(cur, dst, 0); ok {
+		buf = append(buf, d)
+	}
+	if d, ok := t.DirTowards(cur, dst, 1); ok {
+		buf = append(buf, d)
+	}
+	return buf
+}
+
+// IsMinimal reports whether moving in direction d from cur brings the
+// message closer to dst.
+func (t Torus) IsMinimal(cur, dst Coord, d Direction) bool {
+	next, ok := t.Neighbor(cur, d)
+	return ok && t.Distance(next, dst) < t.Distance(cur, dst)
+}
+
+// OnBoundary always reports false: a torus has no boundary.
+func (t Torus) OnBoundary(c Coord) bool { return false }
+
+// Wraps reports whether the link leaving c in direction d crosses the
+// dateline of its dimension (the wrap edge between the last and first
+// column or row).
+func (t Torus) Wraps(c Coord, d Direction) bool {
+	switch d {
+	case East:
+		return c.X == t.width-1
+	case West:
+		return c.X == 0
+	case North:
+		return c.Y == t.height-1
+	case South:
+		return c.Y == 0
+	}
+	return false
+}
+
+// WrapClass implements the dateline rule for deterministic minimal
+// paths: class 1 while the remaining path in dimension dim still
+// crosses the wrap edge, class 0 afterwards. Travelling East the path
+// crosses the dateline exactly when dst.X < cur.X (the forward offset
+// wraps past width-1→0); West when dst.X > cur.X; and symmetrically
+// in Y. A message therefore starts on class 1 iff its path wraps,
+// switches to class 0 at the dateline crossing, and never returns —
+// each class's channel dependencies run one way around the cycle and
+// the only inter-class edges are 1→0, so the restriction is acyclic.
+func (t Torus) WrapClass(cur, dst Coord, dim int) uint8 {
+	d, ok := t.DirTowards(cur, dst, dim)
+	if !ok {
+		return 0
+	}
+	switch d {
+	case East:
+		if dst.X < cur.X {
+			return 1
+		}
+	case West:
+		if dst.X > cur.X {
+			return 1
+		}
+	case North:
+		if dst.Y < cur.Y {
+			return 1
+		}
+	case South:
+		if dst.Y > cur.Y {
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the torus as "WxH torus".
+func (t Torus) String() string { return fmt.Sprintf("%dx%d torus", t.width, t.height) }

@@ -1,0 +1,310 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestNewTorusPanicsOnDegenerateDims(t *testing.T) {
+	for _, dims := range [][2]int{{2, 5}, {5, 2}, {0, 0}, {-3, 4}, {1, 1}} {
+		dims := dims
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTorus(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewTorus(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestTorusBasics(t *testing.T) {
+	tor := NewTorus(10, 10)
+	if got := tor.NodeCount(); got != 100 {
+		t.Errorf("NodeCount = %d, want 100", got)
+	}
+	if got := tor.Diameter(); got != 10 {
+		t.Errorf("Diameter = %d, want 10", got)
+	}
+	odd := NewTorus(5, 7)
+	if got := odd.Diameter(); got != 5 {
+		t.Errorf("5x7 Diameter = %d, want 5", got)
+	}
+	if got := tor.String(); got != "10x10 torus" {
+		t.Errorf("String = %q", got)
+	}
+	if got := tor.Kind(); got != "torus" {
+		t.Errorf("Kind = %q", got)
+	}
+}
+
+func TestMake(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		want string
+	}{
+		{"", "mesh"},
+		{"mesh", "mesh"},
+		{"torus", "torus"},
+	} {
+		topo, err := Make(tc.kind, 6, 6)
+		if err != nil {
+			t.Fatalf("Make(%q): %v", tc.kind, err)
+		}
+		if topo.Kind() != tc.want {
+			t.Errorf("Make(%q).Kind() = %q, want %q", tc.kind, topo.Kind(), tc.want)
+		}
+	}
+	if _, err := Make("hypercube", 6, 6); err == nil {
+		t.Error("Make(hypercube) did not fail")
+	}
+}
+
+// Neighbor symmetry under wrap: every link is bidirectional and the
+// Opposite direction leads straight back, including across datelines.
+func TestTorusNeighborSymmetry(t *testing.T) {
+	for _, tor := range []Torus{NewTorus(6, 6), NewTorus(5, 7)} {
+		for id := NodeID(0); int(id) < tor.NodeCount(); id++ {
+			for d := Direction(0); d < NumDirs; d++ {
+				nb := tor.NeighborID(id, d)
+				if nb == Invalid {
+					t.Fatalf("%v: node %d has no %v neighbor", tor, id, d)
+				}
+				if back := tor.NeighborID(nb, d.Opposite()); back != id {
+					t.Fatalf("%v: %d --%v--> %d --%v--> %d, want round trip", tor, id, d, nb, d.Opposite(), back)
+				}
+			}
+		}
+	}
+}
+
+func TestTorusWraps(t *testing.T) {
+	tor := NewTorus(6, 4)
+	tests := []struct {
+		c    Coord
+		d    Direction
+		want bool
+	}{
+		{Coord{5, 0}, East, true},
+		{Coord{0, 0}, West, true},
+		{Coord{0, 3}, North, true},
+		{Coord{0, 0}, South, true},
+		{Coord{4, 0}, East, false},
+		{Coord{1, 0}, West, false},
+		{Coord{0, 2}, North, false},
+		{Coord{0, 1}, South, false},
+		{Coord{0, 0}, Local, false},
+	}
+	for _, tc := range tests {
+		if got := tor.Wraps(tc.c, tc.d); got != tc.want {
+			t.Errorf("Wraps(%v, %v) = %v, want %v", tc.c, tc.d, got, tc.want)
+		}
+	}
+	// A wrapping hop lands where Neighbor says it does.
+	if nb, ok := tor.Neighbor(Coord{5, 0}, East); !ok || nb != (Coord{0, 0}) {
+		t.Errorf("wrap East neighbor = %v, %v", nb, ok)
+	}
+	if nb, ok := tor.Neighbor(Coord{0, 0}, South); !ok || nb != (Coord{0, 3}) {
+		t.Errorf("wrap South neighbor = %v, %v", nb, ok)
+	}
+	// Mesh never wraps.
+	m := New(6, 4)
+	for d := Direction(0); d < NumDirs; d++ {
+		if m.Wraps(Coord{0, 0}, d) || m.Wraps(Coord{5, 3}, d) {
+			t.Errorf("mesh Wraps(%v) = true", d)
+		}
+	}
+}
+
+func TestTorusDistance(t *testing.T) {
+	tor := NewTorus(10, 10)
+	if got := tor.Distance(Coord{0, 0}, Coord{9, 9}); got != 2 {
+		t.Errorf("corner distance = %d, want 2 (wraps)", got)
+	}
+	if got := tor.Distance(Coord{0, 0}, Coord{5, 5}); got != 10 {
+		t.Errorf("half-way distance = %d, want 10", got)
+	}
+	if got := tor.Distance(Coord{3, 4}, Coord{3, 4}); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+	// Distance is symmetric and bounded by the diameter.
+	for a := NodeID(0); int(a) < tor.NodeCount(); a++ {
+		for b := NodeID(0); int(b) < tor.NodeCount(); b++ {
+			ca, cb := tor.CoordOf(a), tor.CoordOf(b)
+			d := tor.Distance(ca, cb)
+			if d != tor.Distance(cb, ca) {
+				t.Fatalf("asymmetric distance %v %v", ca, cb)
+			}
+			if d > tor.Diameter() {
+				t.Fatalf("distance %d exceeds diameter %d", d, tor.Diameter())
+			}
+		}
+	}
+}
+
+// Quick-check over every (src,dst) pair on even and odd tori: the
+// minimal-direction set is non-empty whenever src != dst, and every
+// returned direction strictly decreases distance (the contract the
+// routing layer depends on).
+func TestTorusMinimalDirsNonEmptyAndDecreasing(t *testing.T) {
+	for _, tor := range []Torus{NewTorus(6, 6), NewTorus(5, 7), NewTorus(8, 3)} {
+		for a := NodeID(0); int(a) < tor.NodeCount(); a++ {
+			for b := NodeID(0); int(b) < tor.NodeCount(); b++ {
+				ca, cb := tor.CoordOf(a), tor.CoordOf(b)
+				dirs := tor.MinimalDirs(ca, cb, nil)
+				if a == b {
+					if len(dirs) != 0 {
+						t.Fatalf("%v: MinimalDirs(%v,%v) = %v, want none", tor, ca, cb, dirs)
+					}
+					continue
+				}
+				if len(dirs) == 0 {
+					t.Fatalf("%v: MinimalDirs(%v,%v) empty for distinct pair", tor, ca, cb)
+				}
+				for _, d := range dirs {
+					next, ok := tor.Neighbor(ca, d)
+					if !ok {
+						t.Fatalf("%v: minimal dir %v has no neighbor from %v", tor, d, ca)
+					}
+					if tor.Distance(next, cb) != tor.Distance(ca, cb)-1 {
+						t.Fatalf("%v: dir %v from %v to %v does not reduce distance", tor, d, ca, cb)
+					}
+					if !tor.IsMinimal(ca, cb, d) {
+						t.Fatalf("%v: IsMinimal disagrees with MinimalDirs at %v->%v dir %v", tor, ca, cb, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// DirTowards stays consistent along the path: once a message starts
+// moving one way around a cycle it never flips direction mid-way
+// (otherwise the dateline class rule would be unsound).
+func TestTorusDirTowardsConsistentAlongPath(t *testing.T) {
+	tor := NewTorus(8, 5)
+	for a := NodeID(0); int(a) < tor.NodeCount(); a++ {
+		for b := NodeID(0); int(b) < tor.NodeCount(); b++ {
+			ca, cb := tor.CoordOf(a), tor.CoordOf(b)
+			for dim := 0; dim < 2; dim++ {
+				first, ok := tor.DirTowards(ca, cb, dim)
+				if !ok {
+					continue
+				}
+				cur := ca
+				for steps := 0; ; steps++ {
+					if steps > tor.Diameter() {
+						t.Fatalf("dim %d from %v to %v did not settle", dim, ca, cb)
+					}
+					d, ok := tor.DirTowards(cur, cb, dim)
+					if !ok {
+						break
+					}
+					if d != first {
+						t.Fatalf("direction flipped from %v to %v en route %v->%v", first, d, ca, cb)
+					}
+					cur, _ = tor.Neighbor(cur, d)
+				}
+			}
+		}
+	}
+}
+
+// Dateline VC-class assignment: class 1 exactly while the remaining
+// minimal path crosses the wrap edge, monotone 1→0 along the path,
+// and 0 for every path that stays inside the cycle.
+func TestTorusWrapClassDateline(t *testing.T) {
+	tor := NewTorus(8, 8)
+	// Non-wrapping path: 1 -> 4 going East never crosses, class 0 all the way.
+	for x := 1; x < 4; x++ {
+		if cls := tor.WrapClass(Coord{x, 0}, Coord{4, 0}, 0); cls != 0 {
+			t.Errorf("WrapClass x=%d east inside cycle = %d, want 0", x, cls)
+		}
+	}
+	// Wrapping path: 6 -> 1 going East crosses 7->0: class 1 until the
+	// crossing, class 0 after.
+	for _, tc := range []struct {
+		x    int
+		want uint8
+	}{{6, 1}, {7, 1}, {0, 0}} {
+		if cls := tor.WrapClass(Coord{tc.x, 0}, Coord{1, 0}, 0); cls != tc.want {
+			t.Errorf("WrapClass x=%d east wrapping = %d, want %d", tc.x, cls, tc.want)
+		}
+	}
+	// Westward wrap: 1 -> 6 going West crosses 0->7.
+	for _, tc := range []struct {
+		x    int
+		want uint8
+	}{{1, 1}, {0, 1}, {7, 0}} {
+		if cls := tor.WrapClass(Coord{tc.x, 0}, Coord{6, 0}, 0); cls != tc.want {
+			t.Errorf("WrapClass x=%d west wrapping = %d, want %d", tc.x, cls, tc.want)
+		}
+	}
+	// Aligned dimension is class 0.
+	if cls := tor.WrapClass(Coord{3, 2}, Coord{3, 6}, 0); cls != 0 {
+		t.Errorf("aligned dim class = %d, want 0", cls)
+	}
+	// Monotonicity along every deterministic path: once class drops to
+	// 0 it never returns to 1, and the drop happens exactly once.
+	for a := NodeID(0); int(a) < tor.NodeCount(); a++ {
+		for b := NodeID(0); int(b) < tor.NodeCount(); b++ {
+			ca, cb := tor.CoordOf(a), tor.CoordOf(b)
+			for dim := 0; dim < 2; dim++ {
+				cur := ca
+				prev := uint8(1)
+				sawClass1 := false
+				wrapped := false
+				for {
+					d, ok := tor.DirTowards(cur, cb, dim)
+					if !ok {
+						break
+					}
+					cls := tor.WrapClass(cur, cb, dim)
+					if cls > prev {
+						t.Fatalf("class rose from %d to %d en route %v->%v dim %d", prev, cls, ca, cb, dim)
+					}
+					prev = cls
+					sawClass1 = sawClass1 || cls == 1
+					next, _ := tor.Neighbor(cur, d)
+					// The class drops exactly at the dateline crossing.
+					if cls == 1 && !tor.Wraps(cur, d) && tor.WrapClass(next, cb, dim) == 0 {
+						t.Fatalf("class dropped without a wrap hop at %v en route %v->%v", cur, ca, cb)
+					}
+					wrapped = wrapped || tor.Wraps(cur, d)
+					cur = next
+				}
+				// Class 1 appears exactly on the paths that cross the
+				// dateline in this dimension.
+				if sawClass1 != wrapped {
+					t.Fatalf("path %v->%v dim %d: sawClass1=%v wrapped=%v", ca, cb, dim, sawClass1, wrapped)
+				}
+			}
+		}
+	}
+}
+
+func TestTorusOnBoundary(t *testing.T) {
+	tor := NewTorus(5, 5)
+	for id := NodeID(0); int(id) < tor.NodeCount(); id++ {
+		if tor.OnBoundary(tor.CoordOf(id)) {
+			t.Fatalf("torus node %d reported on boundary", id)
+		}
+	}
+}
+
+// Mesh and torus of the same dimensions are distinct topologies under
+// interface equality, while two handles to the same shape are equal —
+// the property the engine's reuse checks rely on.
+func TestTopologyEquality(t *testing.T) {
+	var a, b Topology = New(10, 10), New(10, 10)
+	if a != b {
+		t.Error("equal meshes compare unequal")
+	}
+	var tor Topology = NewTorus(10, 10)
+	if a == tor {
+		t.Error("mesh compares equal to torus")
+	}
+	if tor != Topology(NewTorus(10, 10)) {
+		t.Error("equal tori compare unequal")
+	}
+}

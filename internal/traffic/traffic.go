@@ -53,16 +53,16 @@ func (u *Uniform) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bo
 
 // Transpose sends (x, y) → (y, x) on a square mesh.
 type Transpose struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	faults *fault.Model
 }
 
 // NewTranspose builds the transpose pattern; the mesh must be square.
 func NewTranspose(f *fault.Model) (*Transpose, error) {
-	if f.Mesh.Width != f.Mesh.Height {
-		return nil, fmt.Errorf("traffic: transpose needs a square mesh, got %v", f.Mesh)
+	if f.Topo.Width() != f.Topo.Height() {
+		return nil, fmt.Errorf("traffic: transpose needs a square mesh, got %v", f.Topo)
 	}
-	return &Transpose{mesh: f.Mesh, faults: f}, nil
+	return &Transpose{mesh: f.Topo, faults: f}, nil
 }
 
 // Name implements Pattern.
@@ -80,13 +80,13 @@ func (t *Transpose) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bo
 
 // BitComplement sends (x, y) → (W-1-x, H-1-y).
 type BitComplement struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	faults *fault.Model
 }
 
 // NewBitComplement builds the bit-complement pattern.
 func NewBitComplement(f *fault.Model) *BitComplement {
-	return &BitComplement{mesh: f.Mesh, faults: f}
+	return &BitComplement{mesh: f.Topo, faults: f}
 }
 
 // Name implements Pattern.
@@ -95,7 +95,7 @@ func (b *BitComplement) Name() string { return "bit-complement" }
 // Dest implements Pattern.
 func (b *BitComplement) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
 	c := b.mesh.CoordOf(src)
-	d := b.mesh.ID(topology.Coord{X: b.mesh.Width - 1 - c.X, Y: b.mesh.Height - 1 - c.Y})
+	d := b.mesh.ID(topology.Coord{X: b.mesh.Width() - 1 - c.X, Y: b.mesh.Height() - 1 - c.Y})
 	if d == src || b.faults.IsFaulty(d) {
 		return topology.Invalid, false
 	}
@@ -137,13 +137,13 @@ func (h *Hotspot) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bo
 // FFT-style permutation. Destinations that fall on the source or on a
 // faulty node are refused.
 type BitReverse struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	faults *fault.Model
 }
 
 // NewBitReverse builds the bit-reversal pattern.
 func NewBitReverse(f *fault.Model) *BitReverse {
-	return &BitReverse{mesh: f.Mesh, faults: f}
+	return &BitReverse{mesh: f.Topo, faults: f}
 }
 
 // Name implements Pattern.
@@ -170,8 +170,8 @@ func bitsFor(n int) int {
 func (b *BitReverse) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
 	c := b.mesh.CoordOf(src)
 	d := topology.Coord{
-		X: reverseBits(c.X, bitsFor(b.mesh.Width)),
-		Y: reverseBits(c.Y, bitsFor(b.mesh.Height)),
+		X: reverseBits(c.X, bitsFor(b.mesh.Width())),
+		Y: reverseBits(c.Y, bitsFor(b.mesh.Height())),
 	}
 	if !b.mesh.Contains(d) {
 		return topology.Invalid, false
@@ -184,17 +184,18 @@ func (b *BitReverse) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, b
 }
 
 // Tornado sends each node halfway across its row ((x + W/2) mod W at
-// constant y, clipped to the mesh's lack of wraparound by reflecting):
-// the classical adversarial pattern for minimal routing on rings,
-// adapted to the mesh as maximum-distance row traffic.
+// constant y): the classical adversarial pattern for minimal routing
+// on rings. On a torus the wrap target is used directly; on a mesh,
+// which lacks wraparound, the wrapped targets are reflected back from
+// the east edge, keeping the pattern maximum-distance row traffic.
 type Tornado struct {
-	mesh   topology.Mesh
+	mesh   topology.Topology
 	faults *fault.Model
 }
 
 // NewTornado builds the tornado pattern.
 func NewTornado(f *fault.Model) *Tornado {
-	return &Tornado{mesh: f.Mesh, faults: f}
+	return &Tornado{mesh: f.Topo, faults: f}
 }
 
 // Name implements Pattern.
@@ -203,10 +204,12 @@ func (t *Tornado) Name() string { return "tornado" }
 // Dest implements Pattern.
 func (t *Tornado) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
 	c := t.mesh.CoordOf(src)
-	x := c.X + t.mesh.Width/2
-	if x >= t.mesh.Width {
-		x = x - t.mesh.Width // the wrapped target...
-		x = t.mesh.Width - 1 - x
+	x := c.X + t.mesh.Width()/2
+	if x >= t.mesh.Width() {
+		x = x - t.mesh.Width() // the wrapped target...
+		if t.mesh.Kind() != "torus" {
+			x = t.mesh.Width() - 1 - x // ...reflected on the mesh
+		}
 	}
 	d := topology.Coord{X: x, Y: c.Y}
 	id := t.mesh.ID(d)
@@ -231,7 +234,7 @@ func NewPattern(name string, f *fault.Model) (Pattern, error) {
 	case "tornado":
 		return NewTornado(f), nil
 	case "hotspot":
-		hot := f.Mesh.ID(topology.Coord{X: f.Mesh.Width / 2, Y: f.Mesh.Height / 2})
+		hot := f.Topo.ID(topology.Coord{X: f.Topo.Width() / 2, Y: f.Topo.Height() / 2})
 		if f.IsFaulty(hot) {
 			for _, id := range f.HealthyNodes() {
 				hot = id

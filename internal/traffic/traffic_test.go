@@ -28,7 +28,7 @@ func TestUniformDestinationsValid(t *testing.T) {
 	f := model10(t, topology.Coord{X: 4, Y: 4})
 	u := NewUniform(f)
 	rng := rand.New(rand.NewSource(1))
-	src := f.Mesh.ID(topology.Coord{X: 0, Y: 0})
+	src := f.Topo.ID(topology.Coord{X: 0, Y: 0})
 	for i := 0; i < 2000; i++ {
 		dst, ok := u.Dest(src, rng)
 		if !ok {
@@ -73,7 +73,7 @@ func TestTranspose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := f.Mesh
+	m := f.Topo
 	if dst, ok := tr.Dest(m.ID(topology.Coord{X: 3, Y: 5}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 5, Y: 3}) {
 		t.Errorf("transpose(3,5) = %v, %v", dst, ok)
 	}
@@ -101,7 +101,7 @@ func TestTransposeRequiresSquare(t *testing.T) {
 func TestBitComplement(t *testing.T) {
 	f := model10(t)
 	b := NewBitComplement(f)
-	m := f.Mesh
+	m := f.Topo
 	if dst, _ := b.Dest(m.ID(topology.Coord{X: 0, Y: 0}), nil); m.CoordOf(dst) != (topology.Coord{X: 9, Y: 9}) {
 		t.Errorf("complement(0,0) = %v", m.CoordOf(dst))
 	}
@@ -112,7 +112,7 @@ func TestBitComplement(t *testing.T) {
 
 func TestHotspot(t *testing.T) {
 	f := model10(t)
-	hot := f.Mesh.ID(topology.Coord{X: 5, Y: 5})
+	hot := f.Topo.ID(topology.Coord{X: 5, Y: 5})
 	h, err := NewHotspot(f, hot, 0.3)
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func TestHotspot(t *testing.T) {
 
 func TestHotspotRejectsBadConfig(t *testing.T) {
 	f := model10(t, topology.Coord{X: 5, Y: 5})
-	if _, err := NewHotspot(f, f.Mesh.ID(topology.Coord{X: 5, Y: 5}), 0.1); err == nil {
+	if _, err := NewHotspot(f, f.Topo.ID(topology.Coord{X: 5, Y: 5}), 0.1); err == nil {
 		t.Error("faulty hotspot accepted")
 	}
 	if _, err := NewHotspot(f, 0, 1.5); err == nil {
@@ -168,7 +168,7 @@ func TestNewPatternByName(t *testing.T) {
 func TestBitReverse(t *testing.T) {
 	f := model10(t)
 	b := NewBitReverse(f)
-	m := f.Mesh
+	m := f.Topo
 	// 10 needs 4 bits; x=1 (0001) reverses to 8 (1000).
 	if dst, ok := b.Dest(m.ID(topology.Coord{X: 1, Y: 0}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 8, Y: 0}) {
 		t.Errorf("bit-reverse(1,0) = %v, %v", dst, ok)
@@ -197,7 +197,7 @@ func TestBitReverse(t *testing.T) {
 func TestTornado(t *testing.T) {
 	f := model10(t)
 	tor := NewTornado(f)
-	m := f.Mesh
+	m := f.Topo
 	// x=0 -> x+5 = 5, same row.
 	if dst, ok := tor.Dest(m.ID(topology.Coord{X: 0, Y: 3}), nil); !ok || m.CoordOf(dst) != (topology.Coord{X: 5, Y: 3}) {
 		t.Errorf("tornado(0,3) = %v, %v", dst, ok)

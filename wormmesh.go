@@ -55,8 +55,15 @@ type Stats = core.Stats
 // Config holds the router micro-architecture knobs.
 type Config = core.Config
 
-// Mesh is a 2-D mesh topology.
+// Topology is the geometry contract a network backend satisfies; Mesh
+// and Torus implement it.
+type Topology = topology.Topology
+
+// Mesh is a 2-D mesh topology (the paper's).
 type Mesh = topology.Mesh
+
+// Torus is a 2-D torus topology: the mesh plus wrap-around links.
+type Torus = topology.Torus
 
 // Coord addresses a mesh node.
 type Coord = topology.Coord
@@ -120,24 +127,40 @@ func Algorithms() []string {
 func DescribeAlgorithm(name string) string { return routing.Describe(name) }
 
 // MinVCs returns the smallest virtual-channel count the named
-// algorithm supports on a mesh (hop-based class ladders grow with the
-// diameter).
-func MinVCs(name string, m Mesh) (int, error) { return routing.MinVCs(name, m) }
+// algorithm supports on a topology (hop-based class ladders grow with
+// the diameter).
+func MinVCs(name string, t Topology) (int, error) { return routing.MinVCs(name, t) }
 
 // NewMesh builds a width×height mesh.
 func NewMesh(width, height int) Mesh { return topology.New(width, height) }
 
+// NewTorus builds a width×height torus.
+func NewTorus(width, height int) Torus { return topology.NewTorus(width, height) }
+
+// NewTopology builds the named topology backend ("mesh" or "torus";
+// empty selects the mesh).
+func NewTopology(kind string, width, height int) (Topology, error) {
+	return topology.Make(kind, width, height)
+}
+
+// SupportsTopology reports whether the named algorithm's fortification
+// is enabled (deadlock-free) on the given topology; the returned error
+// explains a rejection.
+func SupportsTopology(name string, t Topology) error {
+	return routing.SupportsTopology(name, t)
+}
+
 // NewFaultModel builds a fault model from explicit failed nodes,
 // coalescing them into block regions and constructing f-rings. It
 // fails if the pattern disconnects the healthy nodes.
-func NewFaultModel(m Mesh, failed []NodeID) (*FaultModel, error) {
-	return fault.New(m, failed)
+func NewFaultModel(t Topology, failed []NodeID) (*FaultModel, error) {
+	return fault.New(t, failed)
 }
 
 // GenerateFaults draws a random connected fault pattern with the given
 // number of failed nodes.
-func GenerateFaults(m Mesh, count int, seed int64) (*FaultModel, error) {
-	return fault.Generate(m, count, rand.New(rand.NewSource(seed)), fault.Options{})
+func GenerateFaults(t Topology, count int, seed int64) (*FaultModel, error) {
+	return fault.Generate(t, count, rand.New(rand.NewSource(seed)), fault.Options{})
 }
 
 // PaperExperiments returns publication-scale experiment options;
