@@ -14,9 +14,10 @@
 #   1. the core engine microbenchmarks          -> BENCH_core.txt / BENCH_core.json
 #      (incl. the StepIdle/StepLowLoad worklist-vs-fullscan pairs that
 #      track the activity-driven engine against its reference path)
-#   2. the sweep-scale benchmarks (the faulted  -> BENCH_sweep.txt / BENCH_sweep.json
-#      step loop in internal/routing and the
-#      full sweep cells in internal/sweep)
+#   2. the sweep-scale benchmarks               -> BENCH_sweep.txt / BENCH_sweep.json
+#      (the faulted step loop in internal/routing, the full and
+#      hybrid sweep cells in internal/sweep, and the analytic
+#      surrogate's per-query and table-build costs)
 #
 # The raw `go test -bench` output is kept in the .txt files so benchstat can
 # diff two runs where it is available; the .json files are a machine-readable
@@ -72,8 +73,8 @@ emit_json() {
 go test ./internal/core/ -run '^$' -bench . -benchmem -count "$COUNT" | tee BENCH_core.txt
 emit_json BENCH_core.txt BENCH_core.json
 
-go test ./internal/routing/ ./internal/sweep/ -run '^$' \
-    -bench 'BenchmarkStepLoadedFaulted|BenchmarkSweepCell' \
+go test ./internal/routing/ ./internal/sweep/ ./internal/analytic/ -run '^$' \
+    -bench 'BenchmarkStepLoadedFaulted|BenchmarkSweepCell|BenchmarkHybridSweepCell|BenchmarkPredict|BenchmarkWithFaults' \
     -benchmem -count "$COUNT" | tee BENCH_sweep.txt
 emit_json BENCH_sweep.txt BENCH_sweep.json
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [flags] fig1|fig2|fig3|fig4|fig5|fig6|all
+//	experiments -hybrid [flags] fig1|fig2  # analytic-guided: simulate the knee bracket, model-fill the rest
 //	experiments [flags] ablate        # VC count / buffer depth / selection policy
 //	experiments [flags] model         # analytic model vs. simulator
 //	experiments [flags] saturation    # per-algorithm saturation points
@@ -31,6 +32,7 @@ import (
 	"wormmesh/internal/metrics"
 	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
+	"wormmesh/internal/sweep"
 )
 
 func main() {
@@ -40,7 +42,13 @@ func main() {
 	var algs string
 	var cpuProfile, memProfile string
 	var metricsAddr string
+	var hybrid bool
+	var hybridRadius float64
+	var hybridFaults int
 	flag.BoolVar(&quick, "quick", false, "reduced cycle counts (CI scale)")
+	flag.BoolVar(&hybrid, "hybrid", false, "analytic-guided fig1/fig2 sweep: simulate only the saturation-knee bracket, model-fill the rest (per-cell provenance in the table)")
+	flag.Float64Var(&hybridRadius, "hybrid-radius", 0, "hybrid bracket radius around the predicted knee (<=1 uses the default 1.3)")
+	flag.IntVar(&hybridFaults, "hybrid-faults", 0, "random node faults for the hybrid sweep's curves (0 = the paper's fault-free figs 1-2)")
 	flag.StringVar(&opt.Topology, "topology", "mesh", "network topology: mesh|torus (re-bases every study)")
 	flag.IntVar(&opt.FaultSets, "sets", opt.FaultSets, "fault sets per case")
 	flag.Int64Var(&opt.WarmupCycles, "warmup", opt.WarmupCycles, "warm-up cycles")
@@ -123,6 +131,32 @@ func main() {
 		want[t] = true
 	}
 
+	// Hybrid mode drives the fig1/fig2 traffic sweep only, and only
+	// over cells the analytic surrogate models; reject anything else
+	// up front rather than silently falling back to full simulation.
+	if hybrid {
+		for tgt := range want {
+			if tgt != "fig1" && tgt != "fig2" {
+				fmt.Fprintf(os.Stderr, "experiments: -hybrid applies to fig1/fig2 only, not %q\n", tgt)
+				os.Exit(2)
+			}
+		}
+		roster := algorithms
+		if roster == nil {
+			roster = wormmesh.Algorithms()
+		}
+		for _, alg := range roster {
+			probe := wormmesh.DefaultParams()
+			probe.Topology = opt.Topology
+			probe.Algorithm = alg
+			probe.Faults = hybridFaults
+			if err := sweep.HybridSupported(probe); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
+	}
+
 	if csvDir != "" {
 		manifest = metrics.NewManifest("experiments", opt)
 		manifest.Seeds = []int64{opt.Seed}
@@ -148,7 +182,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(csvDir, name+".csv"))
 	}
 
-	if want["fig1"] || want["fig2"] {
+	if (want["fig1"] || want["fig2"]) && hybrid {
+		res, err := experiments.HybridTrafficSweep(opt, algorithms, nil, hybridFaults, hybridRadius)
+		if err != nil {
+			fatal(err)
+		}
+		if want["fig1"] {
+			must(res.ThroughputChart().Write(os.Stdout))
+			fmt.Println()
+		}
+		if want["fig2"] {
+			must(res.LatencyChart().Write(os.Stdout))
+			fmt.Println()
+		}
+		fmt.Printf("hybrid sweep: %d of %d points simulated, the rest model-filled\n",
+			res.SimulatedPoints, res.TotalPoints)
+		must(res.SummaryTable().Write(os.Stdout))
+		fmt.Println()
+		must(res.Table().Write(os.Stdout))
+		saveCSV("fig1_fig2_hybrid_sweep", res.Table())
+		if manifest != nil {
+			manifest.Notes = map[string]any{
+				"hybrid_provenance":       res.Provenance(),
+				"hybrid_simulated_points": res.SimulatedPoints,
+				"hybrid_total_points":     res.TotalPoints,
+			}
+		}
+		fmt.Println()
+	} else if want["fig1"] || want["fig2"] {
 		res, err := experiments.TrafficSweep(opt, algorithms, nil)
 		if err != nil {
 			fatal(err)
@@ -253,6 +314,18 @@ func main() {
 		must(res.Table().Write(os.Stdout))
 		saveCSV("model_validation", res.Table())
 		fmt.Println()
+		// Faulted validation covers meshes only: the surrogate's route
+		// loads are mesh fortifications.
+		if opt.Topology == "" || opt.Topology == "mesh" {
+			fres, err := opt.FaultedModelValidation()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("faulted model vs. simulator (γ fitted at 0.55 of each scenario's predicted knee)")
+			must(fres.Table().Write(os.Stdout))
+			saveCSV("model_validation_faulted", fres.Table())
+			fmt.Println()
+		}
 	}
 	if want["adaptivity"] {
 		res, err := experiments.Adaptivity(opt, algorithms, 5, 400)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"wormmesh"
@@ -23,7 +24,7 @@ import (
 func main() {
 	p := wormmesh.DefaultParams()
 	var total int64
-	var list, heat, traceFlits, latBreakdown bool
+	var list, heat, traceFlits, latBreakdown, predict bool
 	var windows int64
 	var traceFile, postmortemFile, metricsAddr, manifestFile, linkmapFile string
 	var engineWorkers, reps, flightrecEvents int
@@ -43,6 +44,7 @@ func main() {
 	flag.Int64Var(&p.WarmupCycles, "warmup", p.WarmupCycles, "warm-up cycles (not measured)")
 	flag.Int64Var(&total, "cycles", p.WarmupCycles+p.MeasureCycles, "total cycles including warm-up")
 	flag.BoolVar(&list, "list", false, "list algorithms and exit")
+	flag.BoolVar(&predict, "predict", false, "print the analytic surrogate's latency/saturation predictions for this configuration instead of simulating")
 	flag.BoolVar(&heat, "heatmap", false, "print the per-node traffic load heatmap")
 	flag.StringVar(&linkmapFile, "linkmap", "", "enable per-link telemetry, write the per-link counter CSV to this file and print directional congestion maps (single run only)")
 	flag.BoolVar(&latBreakdown, "latbreakdown", false, "print the latency-anatomy table (per-component means, shares, percentiles; single run only)")
@@ -88,6 +90,17 @@ func main() {
 	if err := wormmesh.SupportsTopology(p.Algorithm, topo); err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(2)
+	}
+	// -predict answers from the analytic surrogate without running the
+	// engine. Configurations the surrogate does not model (torus, or
+	// faults under an algorithm outside the BC fortification) are a
+	// usage error, not a silent fallback to simulation.
+	if predict {
+		if err := printPrediction(p); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(2)
+		}
+		return
 	}
 	// Per-run telemetry reports describe ONE run; replications aggregate
 	// many. Reject the combination up front (like -trace documents its
@@ -338,4 +351,46 @@ func writeManifest(m *metrics.Manifest, path string, results any) {
 		fmt.Fprintln(os.Stderr, "meshsim: manifest:", err)
 		os.Exit(1)
 	}
+}
+
+// printPrediction answers the configured cell from the analytic
+// surrogate: the predicted saturation knee and the latency anatomy
+// across the stable region, with the -rate operating point marked. No
+// simulation runs; predictions carry the uncalibrated γ=1 contention
+// gain (calibrate against one measured run for tighter numbers).
+func printPrediction(p wormmesh.Params) error {
+	mo, err := sweep.Surrogate(p)
+	if err != nil {
+		return err
+	}
+	knee := mo.SaturationRate()
+	kind := "fault-free"
+	if mo.Faulted() {
+		kind = fmt.Sprintf("%d random faults (fortified route loads)", p.Faults)
+	}
+	fmt.Printf("analytic surrogate: %dx%d mesh, %s, %d-flit messages, %d VCs, %s\n",
+		p.Width, p.Height, p.Algorithm, p.MessageLength, p.Config.NumVCs, kind)
+	fmt.Printf("predicted saturation: %.5f messages/node/cycle\n\n", knee)
+	t := report.NewTable("rate", "latency_cycles", "blocking_prob", "stretch", "source_wait")
+	rates := []float64{0.25 * knee, 0.5 * knee, 0.75 * knee, 0.9 * knee}
+	if p.Rate > 0 && p.Rate < knee {
+		rates = append(rates, p.Rate)
+		sort.Float64s(rates)
+	}
+	for _, r := range rates {
+		mark := ""
+		if r == p.Rate {
+			mark = " <- -rate"
+		}
+		pred, err := mo.Predict(r)
+		if err != nil {
+			t.AddRow(fmt.Sprintf("%.5f%s", r, mark), "saturated", "-", "-", "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%.5f%s", r, mark), pred.Latency, pred.BlockingProb, pred.MeanStretch, pred.SourceWait)
+	}
+	if p.Rate >= knee {
+		fmt.Printf("note: -rate %g is at or beyond the predicted saturation point\n", p.Rate)
+	}
+	return t.Write(os.Stdout)
 }

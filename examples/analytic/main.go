@@ -18,7 +18,7 @@ import (
 func main() {
 	model := analytic.Default()
 	fmt.Printf("10x10 mesh, 100-flit messages: mean distance %.2f hops, %d channels\n",
-		analytic.MeanDistance(model.Mesh), analytic.ChannelCount(model.Mesh))
+		analytic.MeanDistance(model.Topo), analytic.ChannelCount(model.Topo))
 	fmt.Printf("model saturation estimate: %.4f messages/node/cycle\n\n", model.SaturationRate())
 
 	// One simulator measurement to anchor the model.

@@ -29,7 +29,9 @@ import (
 
 // Model parameterizes the prediction.
 type Model struct {
-	Mesh topology.Mesh
+	// Topo is the modeled network. The model currently solves meshes
+	// only; Predict returns ErrUnsupported for other kinds.
+	Topo topology.Topology
 	// MessageLength in flits.
 	MessageLength int
 	// VirtualChannels usable per physical channel by the modeled
@@ -51,13 +53,19 @@ type Model struct {
 	ContentionGain float64
 	// EjectBandwidth in flits/cycle/node (the simulator's EjectBW).
 	EjectBandwidth float64
+
+	// faulted, when non-nil, switches Predict onto the route-load
+	// tables WithFaults precomputed: exact per-channel loads over the
+	// fortified route set replace the routing-independent bisection-cut
+	// shortcut, which is wrong once f-ring detours displace load.
+	faulted *faultedTables
 }
 
 // Default returns the model configured like the paper's baseline: a
 // 10×10 mesh, 100-flit messages, a 20-channel adaptive pool.
 func Default() Model {
 	return Model{
-		Mesh:            topology.New(10, 10),
+		Topo:            topology.New(10, 10),
 		MessageLength:   100,
 		VirtualChannels: 20,
 		Adaptivity:      2,
@@ -71,15 +79,33 @@ func Default() Model {
 // in the model beyond unit utilization.
 var ErrSaturated = errors.New("analytic: offered load beyond saturation")
 
+// ErrUnsupported is returned for network configurations the model does
+// not solve (today: any topology kind other than "mesh", and faulted
+// algorithms outside the Boppana–Chalasani fortification).
+var ErrUnsupported = errors.New("analytic: configuration not supported by the model")
+
 // MeanDistance returns the exact mean minimal hop count between
-// distinct nodes under uniform traffic.
-func MeanDistance(m topology.Mesh) float64 {
-	n := float64(m.NodeCount())
-	dx := meanAbsDiff(m.Width())
-	dy := meanAbsDiff(m.Height())
-	// dx+dy averages over ordered pairs with repetition (including
-	// distance-0 self pairs); rescale to distinct pairs.
-	return (dx + dy) * n / (n - 1)
+// distinct nodes under uniform traffic. Meshes use the closed form;
+// other topologies are enumerated exactly.
+func MeanDistance(t topology.Topology) float64 {
+	n := float64(t.NodeCount())
+	if t.Kind() == "mesh" {
+		dx := meanAbsDiff(t.Width())
+		dy := meanAbsDiff(t.Height())
+		// dx+dy averages over ordered pairs with repetition (including
+		// distance-0 self pairs); rescale to distinct pairs.
+		return (dx + dy) * n / (n - 1)
+	}
+	sum := 0
+	for a := topology.NodeID(0); int(a) < t.NodeCount(); a++ {
+		ca := t.CoordOf(a)
+		for b := topology.NodeID(0); int(b) < t.NodeCount(); b++ {
+			if a != b {
+				sum += t.Distance(ca, t.CoordOf(b))
+			}
+		}
+	}
+	return float64(sum) / (n * (n - 1))
 }
 
 // meanAbsDiff is E|i-j| for i,j uniform on 0..k-1 (with repetition):
@@ -90,9 +116,18 @@ func meanAbsDiff(k int) float64 {
 }
 
 // ChannelCount returns the number of directed physical channels in the
-// fault-free mesh.
-func ChannelCount(m topology.Mesh) int {
-	return 2*(m.Width()-1)*m.Height() + 2*(m.Height()-1)*m.Width()
+// fault-free network (counted from the topology's link set, so wrap
+// links are included where they exist).
+func ChannelCount(t topology.Topology) int {
+	n := 0
+	for id := topology.NodeID(0); int(id) < t.NodeCount(); id++ {
+		for d := topology.Direction(0); d < topology.NumDirs; d++ {
+			if t.NeighborID(id, d) != topology.Invalid {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // cutLoads returns the per-channel flit utilization of the directed
@@ -100,7 +135,7 @@ func ChannelCount(m topology.Mesh) int {
 // accepted flit rate per node. Every minimal path from x1 to x2 > x1
 // crosses each eastward cut i with x1 <= i < x2 exactly once, so the
 // loads hold for any minimal routing algorithm.
-func cutLoads(m topology.Mesh, flitRate float64) (x []float64, y []float64) {
+func cutLoads(m topology.Topology, flitRate float64) (x []float64, y []float64) {
 	nodes := float64(m.NodeCount())
 	x = make([]float64, m.Width()-1)
 	for i := range x {
@@ -143,49 +178,88 @@ func (mo Model) Predict(rate float64) (Prediction, error) {
 	if gamma == 0 {
 		gamma = 1
 	}
-	mesh := mo.Mesh
+	mesh := mo.Topo
+	if mesh == nil || mesh.Kind() != "mesh" {
+		return Prediction{}, ErrUnsupported
+	}
 	l := float64(mo.MessageLength)
-	dbar := MeanDistance(mesh)
-	p := Prediction{Rate: rate, MeanDistance: dbar}
 
-	flitRate := rate * l
-	xs, ys := cutLoads(mesh, flitRate)
-	for _, u := range append(append([]float64{}, xs...), ys...) {
-		if u > p.PeakCutLoad {
-			p.PeakCutLoad = u
+	// Load anatomy: mean path length, busiest-channel utilization, and
+	// the serialization stretch against each pair's bottleneck. The
+	// fault-free path uses the exact routing-independent cut loads; the
+	// faulted path (WithFaults) uses the per-channel loads of the
+	// fortified route set, where f-ring detours displace load.
+	var dbar, serialization, msgPerChannel float64
+	var p Prediction
+	if ft := mo.faulted; ft != nil {
+		dbar = ft.lm.MeanHops
+		p = Prediction{Rate: rate, MeanDistance: dbar}
+		// Loads are per generated message; the network generates
+		// rate×healthy messages of l flits per cycle.
+		scale := rate * l * float64(ft.lm.Healthy)
+		p.PeakCutLoad = ft.peak * scale
+		if p.PeakCutLoad >= 1 {
+			p.Latency = math.Inf(1)
+			return p, ErrSaturated
 		}
-	}
-	if p.PeakCutLoad >= 1 {
-		p.Latency = math.Inf(1)
-		return p, ErrSaturated
-	}
+		p.MeanStretch = ft.meanStretch(scale)
+		serialization = l * p.MeanStretch
+		msgPerChannel = rate * float64(ft.lm.Healthy) * dbar / float64(ft.lm.Channels)
+	} else {
+		dbar = MeanDistance(mesh)
+		p = Prediction{Rate: rate, MeanDistance: dbar}
 
-	// Serialization stretch: each pair's flits drain at the residual
-	// bandwidth of the path's bottleneck cut; enumerate all coordinate
-	// pairs exactly. The X and Y dimensions are independent under
-	// uniform traffic, so enumerate each dimension's bottleneck and
-	// combine with max.
-	p.MeanStretch = meanBottleneckStretch(mesh, xs, ys)
-	serialization := l * p.MeanStretch
+		flitRate := rate * l
+		xs, ys := cutLoads(mesh, flitRate)
+		for _, u := range append(append([]float64{}, xs...), ys...) {
+			if u > p.PeakCutLoad {
+				p.PeakCutLoad = u
+			}
+		}
+		if p.PeakCutLoad >= 1 {
+			p.Latency = math.Inf(1)
+			return p, ErrSaturated
+		}
+
+		// Serialization stretch: each pair's flits drain at the residual
+		// bandwidth of the path's bottleneck cut; enumerate all coordinate
+		// pairs exactly. The X and Y dimensions are independent under
+		// uniform traffic, so enumerate each dimension's bottleneck and
+		// combine with max.
+		p.MeanStretch = meanBottleneckStretch(mesh, xs, ys)
+		serialization = l * p.MeanStretch
+		msgPerChannel = rate * float64(mesh.NodeCount()) * dbar / float64(ChannelCount(mesh))
+	}
 
 	// Channel holding: fixed point on the network latency. A message
 	// holds each channel on its path for roughly its whole network
-	// residence.
-	msgPerChannel := rate * float64(mesh.NodeCount()) * dbar / float64(ChannelCount(mesh))
+	// residence. Fault-free, every channel sees the same mean load;
+	// faulted, occupancy and blocking are evaluated per channel and
+	// averaged with traversal weights, because the hot f-ring detour
+	// channels dominate blocking long before the mean load says so.
 	v := float64(mo.VirtualChannels)
 	cv2 := mo.ServiceCV * mo.ServiceCV
-	tNet := dbar + serialization
-	for iter := 0; iter < 100; iter++ {
-		hold := tNet
-		occ := msgPerChannel * hold / v
+	occBlock := func(hold float64) (occ, pBlock float64) {
+		occ = msgPerChannel * hold / v
 		if occ > 0.99 {
 			occ = 0.99
 		}
+		return occ, math.Pow(occ, v*mo.Adaptivity)
+	}
+	if ft := mo.faulted; ft != nil {
+		occBlock = func(hold float64) (occ, pBlock float64) {
+			return ft.occupancy(rate, hold, v, mo.Adaptivity)
+		}
+	}
+	tNet := dbar + serialization
+	for iter := 0; iter < 100; iter++ {
+		hold := tNet
+		occ, pBlock := occBlock(hold)
 		p.VCOccupancy = occ
 		// Header blocks when all V VCs of all permitted directions are
 		// held; waits for the first of them to free (residual of the
 		// minimum of a·V busy holders).
-		p.BlockingProb = math.Pow(occ, v*mo.Adaptivity)
+		p.BlockingProb = pBlock
 		blockWait := hold * (1 + cv2) / 2 / (v * mo.Adaptivity)
 		next := dbar + serialization + dbar*p.BlockingProb*blockWait
 		if math.Abs(next-tNet) < 1e-9 {
@@ -215,7 +289,18 @@ func (mo Model) Predict(rate float64) (Prediction, error) {
 		p.Latency = math.Inf(1)
 		return p, ErrSaturated
 	}
-	p.SourceWait = rate * srcService * srcService * (1 + cv2) / (2 * (1 - rhoSrc))
+	if ft := mo.faulted; ft != nil {
+		// Per-source heterogeneity: nodes whose traffic funnels into
+		// the detour bottlenecks hold their injection port much longer
+		// than the mean, and the M/G/1 wait is convex in that hold
+		// time, so the average wait over sources exceeds the wait at
+		// the average. This is where faulted latency curves pick up
+		// their extra curvature near the knee.
+		scale := rate * l * float64(ft.lm.Healthy)
+		p.SourceWait = ft.meanSourceWait(rate, scale, l, p.NetworkLatency, cv2)
+	} else {
+		p.SourceWait = rate * srcService * srcService * (1 + cv2) / (2 * (1 - rhoSrc))
+	}
 
 	raw := p.SourceWait + p.NetworkLatency
 	// Calibrated output: scale the contention delta above the
@@ -227,7 +312,7 @@ func (mo Model) Predict(rate float64) (Prediction, error) {
 
 // meanBottleneckStretch enumerates all (src, dst) coordinate pairs and
 // averages 1/(1-rho_max) over each pair's bottleneck cut.
-func meanBottleneckStretch(m topology.Mesh, xs, ys []float64) float64 {
+func meanBottleneckStretch(m topology.Topology, xs, ys []float64) float64 {
 	w, h := m.Width(), m.Height()
 	total, count := 0.0, 0
 	for x1 := 0; x1 < w; x1++ {

@@ -179,7 +179,7 @@ func (o Options) ModelValidation(rates []float64) (*ModelValidationResult, error
 		return nil, err
 	}
 	model := analytic.Default()
-	model.Mesh = topology.New(o.Width, o.Height)
+	model.Topo = topology.New(o.Width, o.Height)
 	model.MessageLength = o.MessageLength
 
 	res := &ModelValidationResult{Rates: rates}

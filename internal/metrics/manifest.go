@@ -30,6 +30,9 @@ type Manifest struct {
 	// ResultDigest is DigestJSON over the driver's result payload —
 	// fast equality, not cryptographic integrity.
 	ResultDigest string `json:"result_digest,omitempty"`
+	// Notes carries driver-specific annotations, such as the per-cell
+	// simulated/model provenance of a hybrid sweep.
+	Notes map[string]any `json:"notes,omitempty"`
 }
 
 // NewManifest starts a manifest for the named tool, stamping the start

@@ -67,3 +67,38 @@ func BenchmarkSweepCellLowRate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHybridSweepCell is BenchmarkSweepCell's analytic-guided
+// counterpart: the same faulted configuration swept over a 12-point
+// load grid spanning the saturation knee, with the surrogate screening
+// the axis so only the knee bracket is simulated. The ratio of this
+// number to a full 12-point sweep is the hybrid mode's speedup.
+func BenchmarkHybridSweepCell(b *testing.B) {
+	base := sim.DefaultParams()
+	base.Algorithm = "Duato-Nbc"
+	base.MessageLength = 32
+	base.Faults = 6
+	base.WarmupCycles = 400
+	base.MeasureCycles = 1200
+	mo, err := Surrogate(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	knee := mo.SaturationRate()
+	var rates []float64
+	for r := knee / 4; r < knee*4; r *= 1.35 {
+		rates = append(rates, r)
+	}
+	curves := []HybridCurve{{Key: "cell", Base: base, Rates: rates}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := HybridSweep(curves, HybridOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res[0].Simulated == 0 {
+			b.Fatal("hybrid sweep simulated nothing")
+		}
+	}
+}
