@@ -10,7 +10,7 @@
 #            profilers; drops profiles/sweepcell.{cpu,mem}.pprof plus the
 #            test binary profiles/sweep.test for `go tool pprof`.
 #
-# Two suites run in the default mode:
+# Three suites run in the default mode:
 #   1. the core engine microbenchmarks          -> BENCH_core.txt / BENCH_core.json
 #      (incl. the StepIdle/StepLowLoad worklist-vs-fullscan pairs that
 #      track the activity-driven engine against its reference path)
@@ -18,6 +18,11 @@
 #      (the faulted step loop in internal/routing, the full and
 #      hybrid sweep cells in internal/sweep, and the analytic
 #      surrogate's per-query and table-build costs)
+#   3. the result-service benchmarks            -> BENCH_serve.txt / BENCH_serve.json
+#      (cold miss, warm cache hit through the full HTTP stack, the
+#      raw 0-alloc lookup, a 64-way duplicate burst through the
+#      singleflight scheduler, and the surrogate fast-path answer;
+#      gate regressions with `benchdiff -suite serve`)
 #
 # The raw `go test -bench` output is kept in the .txt files so benchstat can
 # diff two runs where it is available; the .json files are a machine-readable
@@ -78,4 +83,8 @@ go test ./internal/routing/ ./internal/sweep/ ./internal/analytic/ -run '^$' \
     -benchmem -count "$COUNT" | tee BENCH_sweep.txt
 emit_json BENCH_sweep.txt BENCH_sweep.json
 
-echo "wrote BENCH_core.{txt,json} and BENCH_sweep.{txt,json}"
+go test ./internal/serve/ -run '^$' -bench 'BenchmarkServe' \
+    -benchmem -count "$COUNT" | tee BENCH_serve.txt
+emit_json BENCH_serve.txt BENCH_serve.json
+
+echo "wrote BENCH_core.{txt,json}, BENCH_sweep.{txt,json} and BENCH_serve.{txt,json}"

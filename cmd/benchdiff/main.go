@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold PCT] old.json new.json
+//	benchdiff [-threshold PCT] [-suite PREFIX] old.json new.json
+//
+// -suite restricts the comparison (and the threshold gate) to the
+// benchmarks whose name starts with Benchmark<PREFIX>, matched
+// case-insensitively — `-suite serve` covers BenchmarkServe*. This
+// lets CI gate a host-stable suite tightly without cross-host noise
+// from the rest of a digest.
 //
 // Digests made with `./bench.sh 5` contain five entries per benchmark;
 // benchdiff aggregates repeats by median before diffing, matching the
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // entry mirrors one element of bench.sh's JSON digest. Pointer fields
@@ -48,8 +55,10 @@ type bench struct {
 func main() {
 	threshold := flag.Float64("threshold", -1,
 		"fail (exit 1) when any benchmark's median ns/op regresses by more than this percentage; negative disables the gate")
+	suite := flag.String("suite", "",
+		"only compare benchmarks named Benchmark<PREFIX>* (case-insensitive), e.g. -suite serve")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-suite PREFIX] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,6 +88,18 @@ func main() {
 		}
 	}
 	sort.Strings(names)
+	if *suite != "" {
+		kept := names[:0]
+		for _, n := range names {
+			if suiteMatch(n, *suite) {
+				kept = append(kept, n)
+			}
+		}
+		names = kept
+		if len(names) == 0 {
+			fatal(fmt.Errorf("no benchmarks match -suite %q in either digest", *suite))
+		}
+	}
 
 	fmt.Printf("%-44s %26s %26s %26s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 	var offenders []string
@@ -106,6 +127,15 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// suiteMatch reports whether a benchmark name belongs to the named
+// suite: the part after the "Benchmark" prefix must start with the
+// suite string, case-insensitively. Names without the Go "Benchmark"
+// prefix are compared from their beginning.
+func suiteMatch(name, suite string) bool {
+	rest := strings.TrimPrefix(name, "Benchmark")
+	return len(rest) >= len(suite) && strings.EqualFold(rest[:len(suite)], suite)
 }
 
 // nsRegression returns the ns/op regression in percent (positive =

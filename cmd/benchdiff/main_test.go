@@ -60,6 +60,28 @@ func TestMedianEvenCount(t *testing.T) {
 	}
 }
 
+// TestSuiteMatch pins the -suite prefix filter: the serve suite must
+// select BenchmarkServe* and nothing else, case-insensitively.
+func TestSuiteMatch(t *testing.T) {
+	cases := []struct {
+		name, suite string
+		want        bool
+	}{
+		{"BenchmarkServeWarmHit", "serve", true},
+		{"BenchmarkServeColdMiss", "Serve", true},
+		{"BenchmarkStep10x10", "serve", false},
+		{"BenchmarkSweep4x", "serve", false},
+		{"BenchmarkServe", "serve", true},
+		{"BenchmarkS", "serve", false},
+		{"ServeRaw", "serve", true}, // no Benchmark prefix: compared from the start
+	}
+	for _, c := range cases {
+		if got := suiteMatch(c.name, c.suite); got != c.want {
+			t.Errorf("suiteMatch(%q, %q) = %v, want %v", c.name, c.suite, got, c.want)
+		}
+	}
+}
+
 // TestDeltaRendering pins the formatting contract the CHANGES.md
 // tables rely on.
 func TestDeltaRendering(t *testing.T) {

@@ -32,6 +32,7 @@ import (
 	"wormmesh/internal/metrics"
 	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
+	"wormmesh/internal/serve"
 	"wormmesh/internal/sweep"
 )
 
@@ -41,7 +42,7 @@ func main() {
 	var csvDir string
 	var algs string
 	var cpuProfile, memProfile string
-	var metricsAddr string
+	var metricsAddr, cacheDir string
 	var hybrid bool
 	var hybridRadius float64
 	var hybridFaults int
@@ -60,6 +61,7 @@ func main() {
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&metricsAddr, "metrics-addr", "", "serve live sweep-progress metrics (Prometheus text) on this address, e.g. :9090")
+	flag.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (shared with meshserve); repeated cells answer without simulating")
 	flag.Parse()
 	stopProf, err := prof.Start(cpuProfile, memProfile)
 	if err != nil {
@@ -81,6 +83,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: serving live metrics on http://%s/metrics\n", addr)
+	}
+
+	var resultCache *serve.SweepCache
+	if cacheDir != "" {
+		c, err := serve.OpenDiskCache(cacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		resultCache = serve.NewSweepCache(c)
+		opt.Cache = resultCache
+		defer func() {
+			hits, diskHits, misses := resultCache.Stats()
+			fmt.Fprintf(os.Stderr, "experiments: cache: %d hits (%d from disk), %d misses\n", hits, diskHits, misses)
+		}()
 	}
 
 	// With -csv, a manifest.json lands next to the tables: parameters,

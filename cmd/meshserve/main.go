@@ -1,0 +1,95 @@
+// Command meshserve runs the simulation service: an HTTP/JSON API over
+// a content-addressed result cache and a worker fleet of pooled
+// sim.Runners. Repeated parameter studies cost a cache lookup instead
+// of a simulation; misses are deduplicated, queued with backpressure,
+// and (where the analytic surrogate applies) answered instantly with a
+// provenance-tagged model estimate while the exact result computes.
+//
+// Usage:
+//
+//	meshserve -addr :8080 -cache /var/cache/wormmesh
+//
+// Endpoints:
+//
+//	POST /run    {"params":{...},"wait":true}  one simulation cell
+//	POST /sweep  {"base":{...},"algorithms":[...],"rates":[...]}
+//	GET  /jobs/{key|sweep-id}                  job/sweep progress
+//	GET  /metrics, /debug/vars, /healthz
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"wormmesh/internal/metrics"
+	"wormmesh/internal/serve"
+)
+
+func main() {
+	var addr, cacheDir string
+	var mem, workers, queue, maxRunners int
+	flag.StringVar(&addr, "addr", ":8080", "listen address (use 127.0.0.1:0 for a kernel-assigned port)")
+	flag.StringVar(&cacheDir, "cache", "", "disk store directory for cached results (empty = memory only)")
+	flag.IntVar(&mem, "mem", 0, "in-memory cache entries (0 = 4096)")
+	flag.IntVar(&workers, "workers", 0, "simulation workers (0 = NumCPU)")
+	flag.IntVar(&queue, "queue", 0, "max queued jobs before 429 backpressure (0 = 256)")
+	flag.IntVar(&maxRunners, "max-runners", 0, "warm Runners kept between jobs (0 = workers)")
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		Dir:        cacheDir,
+		MemEntries: mem,
+		Workers:    workers,
+		QueueDepth: queue,
+		MaxRunners: maxRunners,
+		Registry:   reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshserve:", err)
+		os.Exit(1)
+	}
+	reg.PublishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshserve:", err)
+		os.Exit(1)
+	}
+	// The bound address goes to stderr so scripts starting us on ":0"
+	// (the CI smoke test does) can discover the port.
+	fmt.Fprintf(os.Stderr, "meshserve: listening on http://%s\n", ln.Addr())
+	if cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "meshserve: disk store at %s\n", cacheDir)
+	}
+
+	httpSrv := &http.Server{Handler: mux}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "meshserve: %v, shutting down\n", s)
+		httpSrv.Close()
+		srv.Close()
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "meshserve:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"wormmesh/internal/metrics"
 	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
+	"wormmesh/internal/serve"
 	"wormmesh/internal/sweep"
 )
 
@@ -28,7 +29,7 @@ func main() {
 	var windows int64
 	var traceFile, postmortemFile, metricsAddr, manifestFile, linkmapFile string
 	var engineWorkers, reps, flightrecEvents int
-	var cpuProfile, memProfile string
+	var cpuProfile, memProfile, cacheDir string
 	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
 	flag.StringVar(&p.Topology, "topology", "mesh", "network topology: mesh|torus")
 	flag.IntVar(&p.Width, "width", p.Width, "mesh width")
@@ -59,6 +60,7 @@ func main() {
 	flag.IntVar(&reps, "reps", 1, "replications over fault sets/seeds, reported as mean ± 95% CI")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (shared with meshserve); repeated configurations answer without simulating")
 	flag.Parse()
 
 	stopProf, err := prof.Start(cpuProfile, memProfile)
@@ -156,15 +158,39 @@ func main() {
 		manifest.Seeds = []int64{p.Seed}
 	}
 
+	// -cache shares meshserve's content-addressed store. Runs that need
+	// artifacts a cached Stats cannot reproduce (traces, post-mortems,
+	// link/window telemetry, the fault-model heatmap) skip the lookup
+	// but still file their result for future plain runs.
+	var cache *serve.SweepCache
+	if cacheDir != "" {
+		c, err := serve.OpenDiskCache(cacheDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		cache = serve.NewSweepCache(c)
+	}
+
 	if reps > 1 {
-		runReplications(p, reps, sweepMetrics, manifest, manifestFile)
+		runReplications(p, reps, sweepMetrics, manifest, manifestFile, cache)
 		return
 	}
 
-	res, err := wormmesh.Run(p)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "meshsim:", err)
-		os.Exit(1)
+	var res wormmesh.Result
+	cached := false
+	if cache != nil && !heat {
+		res, cached = cache.Lookup(p)
+	}
+	if !cached {
+		res, err = wormmesh.Run(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		if cache != nil {
+			cache.Store(p, res)
+		}
 	}
 	st := res.Stats
 	writeManifest(manifest, manifestFile, st)
@@ -175,8 +201,13 @@ func main() {
 		fmt.Printf("faults: %d seed (+%d deactivated) in %d block regions, %d f-ring nodes\n",
 			res.SeedFaults, res.FaultCount-res.SeedFaults, res.Regions, res.RingNodes)
 	}
-	fmt.Printf("measured %d cycles after %d warm-up (%.2fs wall)\n\n",
-		p.MeasureCycles, p.WarmupCycles, res.Elapsed.Seconds())
+	if cached {
+		fmt.Printf("measured %d cycles after %d warm-up (cached result, no simulation)\n\n",
+			p.MeasureCycles, p.WarmupCycles)
+	} else {
+		fmt.Printf("measured %d cycles after %d warm-up (%.2fs wall)\n\n",
+			p.MeasureCycles, p.WarmupCycles, res.Elapsed.Seconds())
+	}
 
 	t := report.NewTable("metric", "value")
 	t.AddRow("generated messages", st.Generated)
@@ -294,7 +325,7 @@ func main() {
 // concurrently on a worker pool, so sharing one trace/post-mortem
 // writer or engine-metrics sampler across replications would interleave
 // their streams (the -trace flag documents this).
-func runReplications(p wormmesh.Params, reps int, sm *metrics.Sweep, manifest *metrics.Manifest, manifestFile string) {
+func runReplications(p wormmesh.Params, reps int, sm *metrics.Sweep, manifest *metrics.Manifest, manifestFile string, cache *serve.SweepCache) {
 	points := sweep.FaultReplicas("rep", p, reps)
 	if manifest != nil {
 		manifest.Seeds = nil
@@ -313,7 +344,11 @@ func runReplications(p wormmesh.Params, reps int, sm *metrics.Sweep, manifest *m
 		defer sm.Finish()
 		progress = sm.Progress
 	}
-	outcomes := sweep.Run(points, 0, progress)
+	var cacheArg sweep.Cache
+	if cache != nil {
+		cacheArg = cache
+	}
+	outcomes := sweep.RunCached(points, 0, progress, cacheArg)
 	if err := sweep.FirstError(outcomes); err != nil {
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
@@ -321,6 +356,10 @@ func runReplications(p wormmesh.Params, reps int, sm *metrics.Sweep, manifest *m
 	cells := sweep.Aggregate(outcomes)
 	c := cells[0]
 	writeManifest(manifest, manifestFile, cells)
+	if cache != nil {
+		hits, _, misses := cache.Stats()
+		fmt.Fprintf(os.Stderr, "meshsim: cache: %d hits, %d misses\n", hits, misses)
+	}
 	fmt.Printf("%d replications of %s (rate %g, %d faults):\n", c.N, p.Algorithm, p.Rate, p.Faults)
 	t := report.NewTable("metric", "mean", "ci95", "std")
 	t.AddRow("latency (cycles)", c.Latency.Mean(), c.Latency.CI95(), c.Latency.Std())

@@ -41,6 +41,12 @@ type Options struct {
 	// run — cmd/experiments wires it to a -metrics-addr listener so a
 	// multi-hour figure regeneration is observable from the outside.
 	SweepMetrics *metrics.Sweep `json:"-"`
+
+	// Cache, when non-nil, is the content-addressed result cache every
+	// sweep consults before simulating a point and files results into —
+	// cmd/experiments wires it to the same disk store meshserve uses,
+	// so a re-run of a figure costs lookups, not simulations.
+	Cache sweep.Cache `json:"-"`
 }
 
 // Paper returns the publication-scale options: 10×10 mesh, 100-flit
@@ -90,11 +96,11 @@ func (o Options) baseParams() sim.Params {
 // count, bracketing it with the live sweep metrics when installed.
 func (o Options) runSweep(points []sweep.Point) []sweep.Outcome {
 	if o.SweepMetrics == nil {
-		return sweep.Run(points, o.Workers, nil)
+		return sweep.RunCached(points, o.Workers, nil, o.Cache)
 	}
 	o.SweepMetrics.Start(len(points))
 	defer o.SweepMetrics.Finish()
-	return sweep.Run(points, o.Workers, o.SweepMetrics.Progress)
+	return sweep.RunCached(points, o.Workers, o.SweepMetrics.Progress, o.Cache)
 }
 
 func (o Options) logf(format string, args ...interface{}) {

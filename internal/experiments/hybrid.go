@@ -63,10 +63,17 @@ func HybridTrafficSweep(o Options, algorithms []string, rates []float64, faults 
 		curves = append(curves, sweep.HybridCurve{Key: alg, Base: p, Rates: rates})
 	}
 	o.logf("hybrid traffic sweep: %d algorithms x %d rates, surrogate-screened", len(algorithms), len(rates))
-	hres, err := sweep.HybridSweep(curves, sweep.HybridOptions{
+	hopt := sweep.HybridOptions{
 		Workers:       o.Workers,
 		BracketRadius: radius,
-	})
+		Cache:         o.Cache,
+	}
+	if o.SweepMetrics != nil {
+		// The sink's Start sees the simulated-cell count, not the full
+		// grid, so the published ETA covers the work that actually runs.
+		hopt.Metrics = o.SweepMetrics
+	}
+	hres, err := sweep.HybridSweep(curves, hopt)
 	if err != nil {
 		return nil, err
 	}

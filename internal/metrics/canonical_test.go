@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCanonicalDigestFieldOrder is the cache-key contract: the same
+// request must digest identically whether it arrives as a Go struct
+// (fixed field order) or as decoded JSON whose members were written in
+// any order.
+func TestCanonicalDigestFieldOrder(t *testing.T) {
+	type params struct {
+		Width, Height int
+		Algorithm     string
+		Rate          float64
+		Seed          int64
+	}
+	p := params{Width: 10, Height: 10, Algorithm: "Duato", Rate: 0.002, Seed: 42}
+	want, err := CanonicalDigest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, doc := range []string{
+		`{"Width":10,"Height":10,"Algorithm":"Duato","Rate":0.002,"Seed":42}`,
+		`{"Seed":42,"Rate":0.002,"Algorithm":"Duato","Height":10,"Width":10}`,
+	} {
+		var g map[string]any
+		if err := json.Unmarshal([]byte(doc), &g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := CanonicalDigest(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("CanonicalDigest(%s) = %s, want %s", doc, got, want)
+		}
+	}
+}
+
+// TestCanonicalDigestZeroFields: absent, null and explicitly zero
+// members are the same request; non-zero differences are not.
+func TestCanonicalDigestZeroFields(t *testing.T) {
+	base, err := CanonicalDigest(map[string]any{"Width": 10, "Rate": 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []map[string]any{
+		{"Width": 10, "Rate": 0.002, "Faults": 0},
+		{"Width": 10, "Rate": 0.002, "Topology": ""},
+		{"Width": 10, "Rate": 0.002, "TraceFlits": false},
+		{"Width": 10, "Rate": 0.002, "FaultNodes": nil},
+		{"Width": 10, "Rate": 0.002, "FaultNodes": []any{}},
+		{"Width": 10, "Rate": 0.002, "Config": map[string]any{}},
+	}
+	for _, m := range same {
+		if got, _ := CanonicalDigest(m); got != base {
+			t.Errorf("CanonicalDigest(%v) = %s, want %s (zero member must prune)", m, got, base)
+		}
+	}
+	if got, _ := CanonicalDigest(map[string]any{"Width": 10, "Rate": 0.004}); got == base {
+		t.Error("different Rate collided with base digest")
+	}
+	// Array elements are positional: zeroes inside arrays must survive.
+	a1, _ := CanonicalDigest(map[string]any{"FaultNodes": []any{0, 5}})
+	a2, _ := CanonicalDigest(map[string]any{"FaultNodes": []any{5}})
+	if a1 == a2 {
+		t.Error("zero array element was pruned; array positions must be preserved")
+	}
+}
+
+// TestCanonicalDigestLargeSeeds: 64-bit values beyond float64's exact
+// integer range must not be rounded into collision.
+func TestCanonicalDigestLargeSeeds(t *testing.T) {
+	d1, _ := CanonicalDigest(map[string]any{"Seed": int64(1) << 62})
+	d2, _ := CanonicalDigest(map[string]any{"Seed": int64(1)<<62 + 1})
+	if d1 == d2 {
+		t.Error("adjacent 63-bit seeds collided (float64 rounding in canonicalization)")
+	}
+}
+
+// TestManifestParamsDigest: NewManifest stamps the canonical params
+// digest so a manifest and a serve cache entry for the same run agree
+// on the content address.
+func TestManifestParamsDigest(t *testing.T) {
+	type params struct{ Width int }
+	m := NewManifest("test", params{Width: 10})
+	want, err := CanonicalDigest(params{Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParamsDigest != want {
+		t.Errorf("ParamsDigest = %q, want %q", m.ParamsDigest, want)
+	}
+	if NewManifest("test", nil).ParamsDigest != "" {
+		t.Error("nil params produced a non-empty digest")
+	}
+}

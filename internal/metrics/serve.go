@@ -1,0 +1,35 @@
+package metrics
+
+// Server is the meshserve metric set: the request/cache/queue counters
+// the sweep-as-a-service layer (internal/serve) publishes on its
+// registry. Handlers and the scheduler update these from many
+// goroutines; every member is an atomic counter or gauge, so no extra
+// locking is needed and the warm-hit path stays allocation-free.
+type Server struct {
+	Requests     *Counter // simulation cells requested (runs + sweep cells)
+	CacheHits    *Counter // cells answered from the cache (memory or disk)
+	DiskHits     *Counter // the subset of hits that came off the disk store
+	CacheMisses  *Counter // cells that needed a simulation
+	Deduplicated *Counter // misses that joined an already in-flight job
+	Rejected     *Counter // submissions refused by queue backpressure (HTTP 429)
+	ModelAnswers *Counter // misses answered provisionally by the analytic surrogate
+	Simulations  *Counter // simulations the worker fleet completed
+	QueueDepth   *Gauge   // jobs waiting for a worker
+	Running      *Gauge   // jobs currently simulating
+}
+
+// NewServer registers the serve metric set on r.
+func NewServer(r *Registry) *Server {
+	return &Server{
+		Requests:     r.NewCounter("wormmesh_serve_requests_total", "Simulation cells requested (runs plus sweep cells)."),
+		CacheHits:    r.NewCounter("wormmesh_serve_cache_hits_total", "Cells answered from the result cache (memory or disk)."),
+		DiskHits:     r.NewCounter("wormmesh_serve_cache_disk_hits_total", "Cache hits served from the disk store (subset of hits)."),
+		CacheMisses:  r.NewCounter("wormmesh_serve_cache_misses_total", "Cells not in the cache when requested."),
+		Deduplicated: r.NewCounter("wormmesh_serve_deduplicated_total", "Misses that joined an identical in-flight job instead of enqueueing."),
+		Rejected:     r.NewCounter("wormmesh_serve_rejected_total", "Submissions refused by queue backpressure (HTTP 429)."),
+		ModelAnswers: r.NewCounter("wormmesh_serve_model_answers_total", "Misses answered provisionally by the analytic surrogate."),
+		Simulations:  r.NewCounter("wormmesh_serve_simulations_total", "Simulations completed by the worker fleet."),
+		QueueDepth:   r.NewGauge("wormmesh_serve_queue_depth", "Jobs waiting for a worker."),
+		Running:      r.NewGauge("wormmesh_serve_jobs_running", "Jobs currently simulating."),
+	}
+}

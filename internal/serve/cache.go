@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"wormmesh/internal/metrics"
+)
+
+// Cache is the two-tier result cache: an in-memory LRU of decoded
+// entries with their pre-marshaled response bodies, over an optional
+// disk Store. The warm-hit path — Get on a memory-resident key — is a
+// map lookup plus a list splice and allocates nothing, which is what
+// keeps repeated parameter studies at lookup cost. Disk hits are
+// promoted into memory; evicted entries survive on disk.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recent
+	items map[string]*list.Element // key -> element holding *cacheItem
+
+	store *Store // nil = memory-only
+
+	hits, misses, diskHits atomic.Int64
+	met                    *metrics.Server // nil ok
+}
+
+type cacheItem struct {
+	key   string
+	entry *Entry
+	body  []byte // marshaled entry, served verbatim on hits
+}
+
+// NewCache builds a cache holding up to max entries in memory (4096
+// when max <= 0) over store (nil for memory-only). met, when non-nil,
+// receives hit/miss counters.
+func NewCache(max int, store *Store, met *metrics.Server) *Cache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		store: store,
+		met:   met,
+	}
+}
+
+// OpenDiskCache is the CLI convenience constructor: a disk store at dir
+// under a memory LRU of mem entries, with no metrics.
+func OpenDiskCache(dir string, mem int) (*Cache, error) {
+	store, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewCache(mem, store, nil), nil
+}
+
+// Get returns the entry and its marshaled body, or ok=false on a miss.
+// Memory hits are allocation-free; disk hits are promoted.
+func (c *Cache) Get(key string) (*Entry, []byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		it := el.Value.(*cacheItem)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		if c.met != nil {
+			c.met.CacheHits.Inc()
+		}
+		return it.entry, it.body, true
+	}
+	c.mu.Unlock()
+
+	if c.store != nil {
+		if e, body, err := c.store.Get(key); err == nil && e != nil {
+			c.insert(key, e, body)
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			if c.met != nil {
+				c.met.CacheHits.Inc()
+				c.met.DiskHits.Inc()
+			}
+			return e, body, true
+		}
+	}
+	c.misses.Add(1)
+	if c.met != nil {
+		c.met.CacheMisses.Inc()
+	}
+	return nil, nil, false
+}
+
+// Has reports presence (memory or disk) without touching the hit/miss
+// counters or the LRU order — for status polls that must not pollute
+// cache statistics.
+func (c *Cache) Has(key string) bool {
+	c.mu.Lock()
+	_, ok := c.items[key]
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	return c.store != nil && c.store.Has(key)
+}
+
+// peek returns the memory-resident entry for key without touching the
+// counters or the LRU order, or nil — for status polls.
+func (c *Cache) peek(key string) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*cacheItem).entry
+	}
+	return nil
+}
+
+// Put files an entry under its key in both tiers and returns the
+// marshaled body it will serve on future hits.
+func (c *Cache) Put(e *Entry) ([]byte, error) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(e.Key, e, body)
+	if c.store != nil {
+		if err := c.store.Put(e.Key, body); err != nil {
+			return body, err
+		}
+	}
+	return body, nil
+}
+
+func (c *Cache) insert(key string, e *Entry, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		it := el.Value.(*cacheItem)
+		it.entry, it.body = e, body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e, body: body})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of memory-resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative lookup counters: hits (with the disk-hit
+// subset) and misses.
+func (c *Cache) Stats() (hits, diskHits, misses int64) {
+	return c.hits.Load(), c.diskHits.Load(), c.misses.Load()
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"wormmesh/internal/metrics"
+	"wormmesh/internal/sim"
+)
+
+// ErrQueueFull is returned by Submit when backpressure rejects the
+// request; handlers translate it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// JobState is a job's position in its lifecycle.
+type JobState int32
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+)
+
+// String names the state for JSON status payloads.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Job is one in-flight simulation: the singleflight rendezvous for
+// every request that asked for the same key. Wait on Done(); after it
+// closes, Entry/Body/Err are immutable.
+type Job struct {
+	Key      string
+	Params   sim.Params // normalized
+	Priority int
+	Created  time.Time
+
+	seq   int64 // FIFO tiebreak within a priority
+	index int   // heap position; -1 once dequeued
+
+	mu      sync.Mutex
+	state   JobState
+	started time.Time
+	entry   *Entry
+	body    []byte
+	err     error
+	done    chan struct{}
+}
+
+// Done is closed when the job finishes (either way).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle position.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Outcome returns the result after Done() closed.
+func (j *Job) Outcome() (*Entry, []byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entry, j.body, j.err
+}
+
+// jobQueue is a max-heap on Priority, FIFO (by seq) within a priority.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority > q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.index = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*q = old[:n-1]
+	return j
+}
+
+// Scheduler owns the worker fleet: a bounded priority queue of cache
+// misses, singleflight deduplication (one Job per key, later identical
+// requests join it), and an EWMA of job durations that prices the
+// Retry-After header when the queue rejects work.
+type Scheduler struct {
+	cache   *Cache
+	met     *metrics.Server // nil ok
+	pool    *sim.RunnerPool
+	workers int
+	maxQ    int
+
+	// run executes one simulation; injectable so tests can count or
+	// block executions without paying for real runs.
+	run func(*sim.Runner, sim.Params) (sim.Result, error)
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      jobQueue
+	jobs       map[string]*Job // queued or running, by key
+	retired    map[string]*Job // recently failed, for status endpoints
+	retireRing []string        // FIFO eviction of retired
+	seq        int64
+	avgSecs    float64 // EWMA of completed job durations
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+// retiredJobs bounds how many failed jobs stay queryable.
+const retiredJobs = 1024
+
+// NewScheduler starts `workers` goroutines draining a queue bounded at
+// maxQueue (256 when <= 0). Completed jobs are filed into cache; the
+// pool bounds how many Runners stay warm between jobs.
+func NewScheduler(cache *Cache, workers, maxQueue int, pool *sim.RunnerPool, met *metrics.Server) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if maxQueue <= 0 {
+		maxQueue = 256
+	}
+	if pool == nil {
+		pool = sim.NewRunnerPool(workers)
+	}
+	s := &Scheduler{
+		cache:   cache,
+		met:     met,
+		pool:    pool,
+		workers: workers,
+		maxQ:    maxQueue,
+		run:     func(r *sim.Runner, p sim.Params) (sim.Result, error) { return r.Run(p) },
+		jobs:    make(map[string]*Job),
+		retired: make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit schedules a simulation for key (already normalized Params).
+// If an identical job is queued or running, that job is returned with
+// joined=true and nothing is enqueued — the singleflight guarantee that
+// N concurrent misses on one key cost one simulation. A full queue
+// returns ErrQueueFull.
+func (s *Scheduler) Submit(key string, np sim.Params, priority int) (*Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, errors.New("serve: scheduler closed")
+	}
+	if j, ok := s.jobs[key]; ok {
+		if s.met != nil {
+			s.met.Deduplicated.Inc()
+		}
+		return j, true, nil
+	}
+	if len(s.queue) >= s.maxQ {
+		if s.met != nil {
+			s.met.Rejected.Inc()
+		}
+		return nil, false, ErrQueueFull
+	}
+	s.seq++
+	j := &Job{
+		Key:      key,
+		Params:   np,
+		Priority: priority,
+		Created:  time.Now(),
+		seq:      s.seq,
+		done:     make(chan struct{}),
+	}
+	s.jobs[key] = j
+	heap.Push(&s.queue, j)
+	if s.met != nil {
+		s.met.QueueDepth.Set(int64(len(s.queue)))
+	}
+	delete(s.retired, key) // a resubmit supersedes an old failure
+	s.cond.Signal()
+	return j, false, nil
+}
+
+// Job returns the queued/running job for key, or a recently failed one,
+// or nil.
+func (s *Scheduler) Job(key string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[key]; ok {
+		return j
+	}
+	return s.retired[key]
+}
+
+// QueueDepth returns how many jobs are waiting for a worker.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// RetryAfterSeconds prices a 429: the estimated time for the current
+// backlog to drain one slot, from the duration EWMA. Clamped to
+// [1, 600] so a cold server still returns something sane.
+func (s *Scheduler) RetryAfterSeconds() int {
+	s.mu.Lock()
+	avg := s.avgSecs
+	depth := len(s.queue)
+	s.mu.Unlock()
+	if avg <= 0 {
+		avg = 1
+	}
+	secs := int(math.Ceil(avg * float64(depth+1) / float64(s.workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed && len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		if s.met != nil {
+			s.met.QueueDepth.Set(int64(len(s.queue)))
+			s.met.Running.Add(1)
+		}
+		s.mu.Unlock()
+
+		j.mu.Lock()
+		j.state = JobRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		runner := s.pool.Get()
+		res, err := s.run(runner, j.Params)
+		s.pool.Put(runner)
+
+		var entry *Entry
+		var body []byte
+		if err == nil {
+			entry, err = NewEntry(j.Key, j.Params, res)
+		}
+		if err == nil {
+			body, err = s.cache.Put(entry)
+		}
+
+		elapsed := time.Since(j.started).Seconds()
+		j.mu.Lock()
+		if err != nil {
+			j.state = JobFailed
+			j.err = err
+		} else {
+			j.state = JobDone
+			j.entry, j.body = entry, body
+		}
+		close(j.done)
+		j.mu.Unlock()
+
+		s.mu.Lock()
+		delete(s.jobs, j.Key)
+		if err != nil {
+			s.retire(j)
+		}
+		const ewma = 0.2
+		if s.avgSecs == 0 {
+			s.avgSecs = elapsed
+		} else {
+			s.avgSecs = (1-ewma)*s.avgSecs + ewma*elapsed
+		}
+		if s.met != nil {
+			s.met.Running.Add(-1)
+			if err == nil {
+				s.met.Simulations.Inc()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// retire files a failed job for later status queries (caller holds mu).
+func (s *Scheduler) retire(j *Job) {
+	s.retired[j.Key] = j
+	s.retireRing = append(s.retireRing, j.Key)
+	for len(s.retireRing) > retiredJobs {
+		old := s.retireRing[0]
+		s.retireRing = s.retireRing[1:]
+		if s.retired[old] != j {
+			delete(s.retired, old)
+		}
+	}
+}
+
+// Close drains the queue, waits for in-flight jobs, and releases the
+// Runner pool. Jobs still queued run to completion first.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+}

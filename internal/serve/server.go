@@ -1,0 +1,534 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wormmesh/internal/analytic"
+	"wormmesh/internal/metrics"
+	"wormmesh/internal/sim"
+	"wormmesh/internal/sweep"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Dir, when non-empty, roots the disk store; empty = memory-only.
+	Dir string
+	// MemEntries bounds the in-memory LRU (4096 when 0).
+	MemEntries int
+	// Workers sizes the simulation fleet (NumCPU when 0).
+	Workers int
+	// QueueDepth bounds the miss queue; beyond it requests get 429
+	// (256 when 0).
+	QueueDepth int
+	// MaxRunners caps warm Runners parked between jobs (Workers when 0).
+	MaxRunners int
+	// Registry, when non-nil, receives the serve counter set.
+	Registry *metrics.Registry
+}
+
+// Server wires cache, scheduler and surrogate into an http.Handler.
+type Server struct {
+	cache *Cache
+	sched *Scheduler
+	met   *metrics.Server
+
+	modelMu sync.Mutex
+	models  map[string]cachedModel // key: config-class digest
+
+	sweepMu  sync.Mutex
+	sweeps   map[string]*sweepJob
+	sweepLog []string // FIFO eviction
+
+	mux *http.ServeMux
+}
+
+// cachedModel memoizes a built surrogate with its saturation knee:
+// faulted table builds cost ~0.2s and the knee bisection runs 60
+// Predicts, while a memoized Predict is microseconds — the difference
+// between a <1ms fast path and a multi-ms one.
+type cachedModel struct {
+	model analytic.Model
+	knee  float64
+}
+
+// sweepJob tracks one accepted sweep: the cells it expanded into and
+// when it was accepted, so /jobs can report progress by counting cells
+// present in the cache.
+type sweepJob struct {
+	ID       string
+	Accepted time.Time
+	Cells    []sweepCell
+}
+
+type sweepCell struct {
+	Key       string
+	Algorithm string
+	Rate      float64
+}
+
+// maxTrackedSweeps bounds the sweep-status map.
+const maxTrackedSweeps = 256
+
+// New builds a Server. Close releases its workers and runners.
+func New(cfg Config) (*Server, error) {
+	var met *metrics.Server
+	if cfg.Registry != nil {
+		met = metrics.NewServer(cfg.Registry)
+	}
+	var store *Store
+	if cfg.Dir != "" {
+		var err error
+		store, err = OpenStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cache := NewCache(cfg.MemEntries, store, met)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	maxRunners := cfg.MaxRunners
+	if maxRunners <= 0 {
+		maxRunners = workers
+	}
+	pool := sim.NewRunnerPool(maxRunners)
+	s := &Server{
+		cache:  cache,
+		sched:  NewScheduler(cache, workers, cfg.QueueDepth, pool, met),
+		met:    met,
+		models: make(map[string]cachedModel),
+		sweeps: make(map[string]*sweepJob),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return s, nil
+}
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (for CLIs embedding the server).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Close drains the worker fleet.
+func (s *Server) Close() { s.sched.Close() }
+
+// ModelAnswer is the surrogate's provisional reply to a cache miss:
+// tagged provenance "model" so clients can tell an analytic estimate
+// (≤13.2% stable-region latency error) from exact simulation. The
+// simulated entry replaces it when the job lands.
+type ModelAnswer struct {
+	Provenance string  `json:"provenance"` // always "model"
+	Latency    Float   `json:"latency_cycles"`
+	Accepted   Float   `json:"accepted_flits"`
+	Normalized Float   `json:"normalized_throughput"`
+	Knee       float64 `json:"knee_rate"`
+	Saturated  bool    `json:"saturated"`
+}
+
+// runRequest is the POST /run body.
+type runRequest struct {
+	Params   sim.Params `json:"params"`
+	Priority int        `json:"priority"`
+	Wait     bool       `json:"wait"`
+}
+
+// runAccepted is the 202 body for a scheduled miss.
+type runAccepted struct {
+	Status    string       `json:"status"`
+	Key       string       `json:"key"`
+	StatusURL string       `json:"status_url"`
+	Model     *ModelAnswer `json:"model,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		req.Wait = true
+	}
+	key, np, err := Key(req.Params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.met != nil {
+		s.met.Requests.Inc()
+	}
+	if _, body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	job, _, err := s.sched.Submit(key, np, req.Priority)
+	if err == ErrQueueFull {
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if req.Wait {
+		<-job.Done()
+		entry, body, err := job.Outcome()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "simulation failed: %v", err)
+			return
+		}
+		_ = entry
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		w.Write(body)
+		return
+	}
+	resp := runAccepted{
+		Status:    "pending",
+		Key:       key,
+		StatusURL: "/jobs/" + key,
+		Model:     s.modelAnswer(np),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// modelAnswer evaluates the analytic surrogate for a normalized cell,
+// or nil where the model doesn't apply (torus, unmodeled algorithms).
+// Models are memoized per configuration class — the Params with rate,
+// seeds and cycle counts zeroed — because a faulted table build costs
+// ~0.2s while a memoized Predict is microseconds, and every rate on one
+// curve shares a class.
+func (s *Server) modelAnswer(np sim.Params) *ModelAnswer {
+	if sweep.HybridSupported(np) != nil {
+		return nil
+	}
+	class := np
+	class.Rate = 0
+	class.Seed = 0
+	class.WarmupCycles = 0
+	class.MeasureCycles = 0
+	classKey, err := metrics.CanonicalDigest(class)
+	if err != nil {
+		return nil
+	}
+	s.modelMu.Lock()
+	cm, ok := s.models[classKey]
+	s.modelMu.Unlock()
+	if !ok {
+		model, err := sweep.Surrogate(np)
+		if err != nil {
+			return nil
+		}
+		cm = cachedModel{model: model, knee: model.SaturationRate()}
+		s.modelMu.Lock()
+		s.models[classKey] = cm
+		s.modelMu.Unlock()
+	}
+	model, knee := cm.model, cm.knee
+	ans := &ModelAnswer{Provenance: "model", Knee: knee}
+	if pred, err := model.Predict(np.Rate); err == nil {
+		ans.Latency = Float(pred.Latency)
+		ans.Accepted = Float(np.Rate * float64(np.MessageLength))
+	} else {
+		// Beyond the stability region: the curve has flattened at the
+		// knee's accepted load; latency diverges and is reported null.
+		ans.Saturated = true
+		ans.Latency = Float(nan())
+		ans.Accepted = Float(knee * float64(np.MessageLength))
+	}
+	ans.Normalized = Float(float64(ans.Accepted) / meshCapacity(np))
+	if s.met != nil {
+		s.met.ModelAnswers.Inc()
+	}
+	return ans
+}
+
+// meshCapacity mirrors sim.Result.NormalizedThroughput's denominator
+// for model answers (the surrogate is mesh-only, so no torus factor).
+func meshCapacity(p sim.Params) float64 {
+	minDim := p.Width
+	if p.Height < minDim {
+		minDim = p.Height
+	}
+	return 4 * float64(minDim) / float64(p.Width*p.Height)
+}
+
+func nan() float64 { var z float64; return z / z }
+
+// sweepRequest is the POST /sweep body: a base cell expanded over
+// algorithms × rates.
+type sweepRequest struct {
+	Base       sim.Params `json:"base"`
+	Algorithms []string   `json:"algorithms"`
+	Rates      []float64  `json:"rates"`
+	Priority   int        `json:"priority"`
+	Wait       bool       `json:"wait"`
+}
+
+// sweepCellStatus is one cell of a sweep response.
+type sweepCellStatus struct {
+	Algorithm  string       `json:"algorithm"`
+	Rate       float64      `json:"rate"`
+	Key        string       `json:"key"`
+	Provenance string       `json:"provenance"` // simulated | model | pending
+	Result     *Entry       `json:"result,omitempty"`
+	Model      *ModelAnswer `json:"model,omitempty"`
+}
+
+// sweepResponse is the POST /sweep and GET /jobs/{sweep} body.
+type sweepResponse struct {
+	Status     string            `json:"status"` // done | pending
+	ID         string            `json:"id"`
+	StatusURL  string            `json:"status_url"`
+	Done       int               `json:"done"`
+	Total      int               `json:"total"`
+	EtaSeconds Float             `json:"eta_seconds,omitempty"`
+	Cells      []sweepCellStatus `json:"cells"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		req.Wait = true
+	}
+	if len(req.Algorithms) == 0 {
+		req.Algorithms = []string{req.Base.Algorithm}
+	}
+	if len(req.Rates) == 0 {
+		if req.Base.Rate > 0 {
+			req.Rates = []float64{req.Base.Rate}
+		} else {
+			httpError(w, http.StatusBadRequest, "no rates given")
+			return
+		}
+	}
+
+	// Expand the grid: one content-addressed cell per algorithm × rate.
+	var plans []cellPlan
+	for _, alg := range req.Algorithms {
+		for _, rate := range req.Rates {
+			p := req.Base
+			if alg != "" {
+				p.Algorithm = alg
+			}
+			p.Rate = rate
+			key, np, err := Key(p)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "cell %s@%g: %v", alg, rate, err)
+				return
+			}
+			plans = append(plans, cellPlan{
+				cell: sweepCell{Key: key, Algorithm: np.Algorithm, Rate: rate},
+				np:   np,
+			})
+		}
+	}
+	keys := make([]string, len(plans))
+	for i, pl := range plans {
+		keys[i] = pl.cell.Key
+	}
+	id, err := metrics.DigestJSON(keys)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	id = strings.ReplaceAll(id, ":", "-")
+
+	// Schedule every cold cell; cached cells answer immediately.
+	resp := sweepResponse{ID: id, StatusURL: "/jobs/" + id, Total: len(plans)}
+	for i := range plans {
+		pl := &plans[i]
+		if s.met != nil {
+			s.met.Requests.Inc()
+		}
+		if entry, _, ok := s.cache.Get(pl.cell.Key); ok {
+			resp.Cells = append(resp.Cells, sweepCellStatus{
+				Algorithm: pl.cell.Algorithm, Rate: pl.cell.Rate, Key: pl.cell.Key,
+				Provenance: entry.Provenance, Result: entry,
+			})
+			resp.Done++
+			continue
+		}
+		job, _, err := s.sched.Submit(pl.cell.Key, pl.np, req.Priority)
+		if err == ErrQueueFull {
+			w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, "queue full after %d cells, retry later", i)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		pl.job = job
+		st := sweepCellStatus{
+			Algorithm: pl.cell.Algorithm, Rate: pl.cell.Rate, Key: pl.cell.Key,
+			Provenance: "pending",
+		}
+		// The surrogate fast path: misses answer instantly from the
+		// analytic model where it applies, tagged so nobody mistakes an
+		// estimate for a measurement.
+		if m := s.modelAnswer(pl.np); m != nil {
+			st.Provenance = m.Provenance
+			st.Model = m
+		}
+		resp.Cells = append(resp.Cells, st)
+	}
+
+	cells := make([]sweepCell, len(plans))
+	for i, pl := range plans {
+		cells[i] = pl.cell
+	}
+	s.trackSweep(&sweepJob{ID: id, Accepted: time.Now(), Cells: cells})
+
+	if req.Wait {
+		for i := range plans {
+			if plans[i].job == nil {
+				continue
+			}
+			<-plans[i].job.Done()
+			entry, _, err := plans[i].job.Outcome()
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "cell %s: %v", plans[i].cell.Key, err)
+				return
+			}
+			resp.Cells[i] = sweepCellStatus{
+				Algorithm: plans[i].cell.Algorithm, Rate: plans[i].cell.Rate, Key: plans[i].cell.Key,
+				Provenance: entry.Provenance, Result: entry,
+			}
+			resp.Done++
+		}
+	}
+
+	resp.Status = "pending"
+	if resp.Done == resp.Total {
+		resp.Status = "done"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "done" {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// cellPlan is one expanded sweep cell during handleSweep.
+type cellPlan struct {
+	cell sweepCell
+	np   sim.Params
+	job  *Job
+}
+
+func (s *Server) trackSweep(j *sweepJob) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if _, ok := s.sweeps[j.ID]; !ok {
+		s.sweepLog = append(s.sweepLog, j.ID)
+		for len(s.sweepLog) > maxTrackedSweeps {
+			old := s.sweepLog[0]
+			s.sweepLog = s.sweepLog[1:]
+			delete(s.sweeps, old)
+		}
+	}
+	s.sweeps[j.ID] = j
+}
+
+// runStatus is the GET /jobs/{key} body for single-run jobs.
+type runStatus struct {
+	Status         string `json:"status"`
+	Key            string `json:"key"`
+	Result         *Entry `json:"result,omitempty"`
+	Error          string `json:"error,omitempty"`
+	ElapsedSeconds Float  `json:"elapsed_seconds,omitempty"`
+}
+
+// handleJob reports progress for a run key or a sweep ID — the per-job
+// generalization of the metrics.Sweep ETA: eta = elapsed/done·(total−done)
+// over the cells that belong to this job.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	w.Header().Set("Content-Type", "application/json")
+
+	s.sweepMu.Lock()
+	sj := s.sweeps[id]
+	s.sweepMu.Unlock()
+	if sj != nil {
+		resp := sweepResponse{ID: id, StatusURL: "/jobs/" + id, Total: len(sj.Cells)}
+		for _, c := range sj.Cells {
+			st := sweepCellStatus{Algorithm: c.Algorithm, Rate: c.Rate, Key: c.Key, Provenance: "pending"}
+			// peek, not Get: polling must not skew hit/miss statistics.
+			if entry := s.cache.peek(c.Key); entry != nil {
+				st.Provenance = entry.Provenance
+				st.Result = entry
+				resp.Done++
+			} else if s.cache.Has(c.Key) {
+				resp.Done++ // on disk, not yet promoted
+			}
+			resp.Cells = append(resp.Cells, st)
+		}
+		resp.Status = "pending"
+		if resp.Done == resp.Total {
+			resp.Status = "done"
+		} else if resp.Done > 0 {
+			elapsed := time.Since(sj.Accepted).Seconds()
+			resp.EtaSeconds = Float(elapsed / float64(resp.Done) * float64(resp.Total-resp.Done))
+		}
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+
+	if entry, _, ok := s.cache.Get(id); ok {
+		json.NewEncoder(w).Encode(runStatus{Status: "done", Key: id, Result: entry})
+		return
+	}
+	if job := s.sched.Job(id); job != nil {
+		st := runStatus{Key: id, Status: job.State().String()}
+		if _, _, err := job.Outcome(); err != nil && job.State() == JobFailed {
+			st.Error = err.Error()
+		}
+		job.mu.Lock()
+		if !job.started.IsZero() {
+			st.ElapsedSeconds = Float(time.Since(job.started).Seconds())
+		}
+		job.mu.Unlock()
+		json.NewEncoder(w).Encode(st)
+		return
+	}
+	httpError(w, http.StatusNotFound, "no such job %q", id)
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/metrics"
+	"wormmesh/internal/sim"
+)
+
+// Float is a float64 whose JSON form tolerates the non-finite values a
+// simulation can legitimately produce (AvgLatency is NaN when nothing
+// was measured): NaN and ±Inf marshal as null instead of failing the
+// whole document.
+type Float float64
+
+// MarshalJSON renders non-finite values as null.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON accepts null as NaN.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Entry is one cached result: the normalized request, the full engine
+// Stats (so a hit can reconstruct everything a sim.Result derives), and
+// the headline numbers pre-extracted for clients that only plot curves.
+// Provenance is always "simulated" — model answers are never cached as
+// results (see ModelAnswer).
+type Entry struct {
+	Key        string `json:"key"`
+	Provenance string `json:"provenance"`
+
+	Params sim.Params `json:"params"`
+	// ResultDigest is DigestJSON over Stats: the bit-identity token.
+	// Two entries for one key always agree on it, whether the result
+	// was simulated this process or read back from disk.
+	ResultDigest string     `json:"result_digest"`
+	Stats        core.Stats `json:"stats"`
+
+	Latency          Float   `json:"latency_cycles"`
+	Accepted         Float   `json:"accepted_flits"`
+	Normalized       Float   `json:"normalized_throughput"`
+	FaultCount       int     `json:"fault_count,omitempty"`
+	SeedFaults       int     `json:"seed_faults,omitempty"`
+	RingNodes        int     `json:"ring_nodes,omitempty"`
+	Regions          int     `json:"regions,omitempty"`
+	UndeliveredAtEnd int     `json:"undelivered_at_end,omitempty"`
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
+}
+
+// NewEntry files a simulation result under its key.
+func NewEntry(key string, np sim.Params, res sim.Result) (*Entry, error) {
+	rd, err := metrics.DigestJSON(res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		Key:              key,
+		Provenance:       "simulated",
+		Params:           np,
+		ResultDigest:     rd,
+		Stats:            res.Stats,
+		Latency:          Float(res.Stats.AvgLatency()),
+		Accepted:         Float(res.Stats.Throughput()),
+		Normalized:       Float(res.NormalizedThroughput()),
+		FaultCount:       res.FaultCount,
+		SeedFaults:       res.SeedFaults,
+		RingNodes:        res.RingNodes,
+		Regions:          res.Regions,
+		UndeliveredAtEnd: res.UndeliveredAtEnd,
+		ElapsedSeconds:   res.Elapsed.Seconds(),
+	}, nil
+}
+
+// Result reconstructs a sim.Result from the entry for callers (sweep
+// cache hits) that consume results structurally. The fault model and
+// per-link telemetry are not stored, so Faults/Links are nil; every
+// statistic is exact.
+func (e *Entry) Result() sim.Result {
+	return sim.Result{
+		Params:           e.Params,
+		Stats:            e.Stats,
+		FaultCount:       e.FaultCount,
+		SeedFaults:       e.SeedFaults,
+		RingNodes:        e.RingNodes,
+		Regions:          e.Regions,
+		UndeliveredAtEnd: e.UndeliveredAtEnd,
+	}
+}
+
+// Store is the disk tier: one JSON file per digest under dir, written
+// atomically (temp file + rename) so a crashed or concurrent writer can
+// never leave a torn file behind — a reader sees the old bytes, the new
+// bytes, or no file. Corruption of any kind (truncation, bit rot, a
+// foreign file under our name) degrades to a cache miss: Get verifies
+// the decoded entry's key matches the file it came from.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a disk store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// path maps a digest to its file. Digests are "fnv1a:%016x"; the colon
+// is replaced for portability to filesystems that reserve it.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, strings.ReplaceAll(key, ":", "-")+".json")
+}
+
+// Get reads the entry for key. Misses and unreadable/corrupt files both
+// return (nil, nil, nil): the caller recomputes, and the next Put
+// overwrites the bad file. The raw bytes are returned alongside so the
+// memory tier can serve them without re-marshaling.
+func (s *Store) Get(key string) (*Entry, []byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		return nil, nil, nil // corrupt or foreign: treat as a miss
+	}
+	return &e, data, nil
+}
+
+// Put writes body (the marshaled entry) under key atomically.
+func (s *Store) Put(key string, body []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if err := os.Rename(name, s.path(key)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}
+
+// Has reports whether key is present on disk without reading the body.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}

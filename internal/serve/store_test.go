@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreRoundTrip: Put then Get returns the same entry and bytes.
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{Key: "fnv1a:00000000deadbeef", Provenance: "simulated", ResultDigest: "fnv1a:0000000000000001"}
+	body, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(e.Key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, raw, err := store.Get(e.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Key != e.Key || !bytes.Equal(raw, body) {
+		t.Fatalf("Get = %+v (raw %q)", got, raw)
+	}
+	if !store.Has(e.Key) {
+		t.Error("Has missed a stored key")
+	}
+	if _, _, err := store.Get("fnv1a:ffffffffffffffff"); err != nil {
+		t.Errorf("absent key errored: %v", err)
+	}
+}
+
+// TestStoreCorruptionIsAMiss: truncated JSON, garbage, and an entry
+// filed under the wrong key all degrade to a miss — never an error the
+// handler would turn into a 500.
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "fnv1a:00000000deadbeef"
+	e := &Entry{Key: key, Provenance: "simulated"}
+	body, _ := json.Marshal(e)
+	if err := store.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	path := store.path(key)
+
+	for name, corrupt := range map[string][]byte{
+		"truncated": body[:len(body)/2],
+		"garbage":   []byte("not json at all"),
+		"empty":     {},
+		"foreign":   []byte(`{"key":"fnv1a:0000000000000bad","provenance":"simulated"}`),
+	} {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := store.Get(key)
+		if err != nil || got != nil {
+			t.Errorf("%s file: Get = (%v, %v), want miss", name, got, err)
+		}
+	}
+
+	// A fresh Put repairs the slot.
+	if err := store.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := store.Get(key); got == nil {
+		t.Error("Put did not repair the corrupt slot")
+	}
+
+	// No temp droppings left behind.
+	matches, _ := filepath.Glob(filepath.Join(dir, "put-*.tmp"))
+	if len(matches) != 0 {
+		t.Errorf("temp files left behind: %v", matches)
+	}
+}
+
+// TestCorruptDiskRecomputes: end to end, a truncated cache file makes
+// the server resimulate and heal the file rather than 500.
+func TestCorruptDiskRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	p := quickParams()
+
+	s1, ts1 := newTestServer(t, Config{Dir: dir})
+	resp, cold := postRun(t, ts1.URL, p, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d", resp.StatusCode)
+	}
+	var entry Entry
+	if err := json.Unmarshal(cold, &entry); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Truncate the stored file mid-document.
+	path := filepath.Join(dir, "fnv1a-"+entry.Key[len("fnv1a:"):]+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("stored file not found at %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Dir: dir})
+	defer s2.Close()
+	resp, healed := postRun(t, ts2.URL, p, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrupt-store status %d, want 200 via recompute", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Cache"); h != "miss" {
+		t.Errorf("X-Cache = %q, want miss (recompute)", h)
+	}
+	var e2 Entry
+	if err := json.Unmarshal(healed, &e2); err != nil {
+		t.Fatal(err)
+	}
+	if e2.ResultDigest != entry.ResultDigest {
+		t.Errorf("recomputed digest %s != original %s (determinism broken)", e2.ResultDigest, entry.ResultDigest)
+	}
+	// The file must be healed on disk.
+	if got, _, _ := s2.cache.store.Get(entry.Key); got == nil {
+		t.Error("recompute did not repair the disk file")
+	}
+}
+
+// TestCacheLRUEviction: the memory tier respects its bound; evicted
+// entries survive on disk.
+func TestCacheLRUEviction(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(2, store, nil)
+	for i := 0; i < 3; i++ {
+		e := &Entry{Key: keyN(i), Provenance: "simulated"}
+		if _, err := c.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("memory entries = %d, want 2", c.Len())
+	}
+	// Key 0 was evicted from memory but must hit via disk.
+	_, _, ok := c.Get(keyN(0))
+	if !ok {
+		t.Fatal("evicted entry lost from disk tier")
+	}
+	_, diskHits, _ := c.Stats()
+	if diskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", diskHits)
+	}
+}
+
+func keyN(i int) string {
+	return "fnv1a:" + string(rune('a'+i)) + "000000000000000"
+}
+
+// TestFloatJSON: NaN round-trips as null; finite values verbatim.
+func TestFloatJSON(t *testing.T) {
+	b, err := json.Marshal(struct {
+		A Float `json:"a"`
+		B Float `json:"b"`
+	}{A: Float(1.5), B: Float(nan())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"a":1.5,"b":null}` {
+		t.Errorf("marshal = %s", b)
+	}
+	var out struct {
+		A Float `json:"a"`
+		B Float `json:"b"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if float64(out.A) != 1.5 {
+		t.Errorf("A = %v", out.A)
+	}
+	if out.B == out.B { // NaN != NaN
+		t.Errorf("B = %v, want NaN", out.B)
+	}
+}

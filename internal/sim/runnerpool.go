@@ -1,0 +1,86 @@
+package sim
+
+import "sync"
+
+// RunnerPool recycles Runners across short-lived borrowers — the serve
+// scheduler's worker fleet, request handlers — so a server answering
+// thousands of requests builds O(pool) networks, the way a sweep worker
+// owning one Runner does for O(workers).
+//
+// Checkout contract: Get hands the caller exclusive use of a Runner
+// (Runners are not concurrency-safe); the caller runs any number of
+// simulations on it and MUST either Put it back or Close it. No
+// explicit reset step exists or is needed — Runner.Run's reuse path IS
+// the reset: re-seeding the RNGs and Reset-ing the network restores the
+// exact fresh-construction state, so a pooled Runner's results are
+// bit-identical to a new Runner's (the runner golden tests lock this
+// in, and TestRunnerPoolBitIdentical covers the pooled path).
+//
+// The pool retains at most maxIdle returned Runners; extras are Closed
+// on Put. Get never blocks: an empty pool constructs a fresh Runner.
+type RunnerPool struct {
+	mu      sync.Mutex
+	idle    []*Runner
+	maxIdle int
+	closed  bool
+}
+
+// NewRunnerPool returns a pool retaining up to maxIdle idle Runners
+// (4 when maxIdle <= 0).
+func NewRunnerPool(maxIdle int) *RunnerPool {
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	return &RunnerPool{maxIdle: maxIdle}
+}
+
+// Get checks out a Runner for exclusive use. Return it with Put.
+func (p *RunnerPool) Get() *Runner {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		r := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return r
+	}
+	p.mu.Unlock()
+	return NewRunner()
+}
+
+// Put returns a Runner to the pool. Runners beyond the idle cap — or
+// returned after Close — are Closed instead of retained. The caller
+// must not use r afterwards.
+func (p *RunnerPool) Put(r *Runner) {
+	if r == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.maxIdle {
+		p.mu.Unlock()
+		r.Close()
+		return
+	}
+	p.idle = append(p.idle, r)
+	p.mu.Unlock()
+}
+
+// Idle reports how many Runners are currently parked in the pool.
+func (p *RunnerPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Close releases every idle Runner and marks the pool closed; Runners
+// checked out at the time are Closed by their borrowers' Put.
+func (p *RunnerPool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, r := range idle {
+		r.Close()
+	}
+}

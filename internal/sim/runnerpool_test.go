@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func poolParams() Params {
+	p := DefaultParams()
+	p.Width, p.Height = 6, 6
+	p.Rate = 0.002
+	p.MessageLength = 20
+	p.WarmupCycles = 200
+	p.MeasureCycles = 800
+	return p
+}
+
+func TestRunnerPoolReusesRunners(t *testing.T) {
+	pool := NewRunnerPool(2)
+	defer pool.Close()
+	r1 := pool.Get()
+	pool.Put(r1)
+	if pool.Idle() != 1 {
+		t.Fatalf("idle = %d after one Put", pool.Idle())
+	}
+	if r2 := pool.Get(); r2 != r1 {
+		t.Error("Get did not hand back the parked Runner")
+	} else {
+		pool.Put(r2)
+	}
+}
+
+func TestRunnerPoolIdleCap(t *testing.T) {
+	pool := NewRunnerPool(2)
+	defer pool.Close()
+	runners := []*Runner{pool.Get(), pool.Get(), pool.Get()}
+	for _, r := range runners {
+		pool.Put(r)
+	}
+	if pool.Idle() != 2 {
+		t.Fatalf("idle = %d, want cap 2", pool.Idle())
+	}
+}
+
+func TestRunnerPoolClosedPutCloses(t *testing.T) {
+	pool := NewRunnerPool(2)
+	r := pool.Get()
+	pool.Close()
+	pool.Put(r) // must Close r, not park it
+	if pool.Idle() != 0 {
+		t.Fatalf("idle = %d after Close", pool.Idle())
+	}
+}
+
+// TestRunnerPoolBitIdentical: a Runner that already ran other
+// configurations, returned through the pool and checked out again,
+// reproduces a fresh Runner's Stats bit for bit — the determinism
+// contract that makes pooled serving (and result caching) safe.
+func TestRunnerPoolBitIdentical(t *testing.T) {
+	p := poolParams()
+	fresh, err := NewRunner().Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewRunnerPool(1)
+	defer pool.Close()
+	r := pool.Get()
+	dirty := p
+	dirty.Algorithm = "NHop"
+	dirty.Faults = 3
+	dirty.Seed = 99
+	if _, err := r.Run(dirty); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(r)
+
+	r2 := pool.Get()
+	if r2 != r {
+		t.Fatal("pool built a new Runner with one idle")
+	}
+	pooled, err := r2.Run(p)
+	pool.Put(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Stats, pooled.Stats) {
+		t.Errorf("pooled Stats diverged from fresh Runner:\nfresh:  %+v\npooled: %+v", fresh.Stats, pooled.Stats)
+	}
+}

@@ -1,0 +1,44 @@
+package sweep
+
+import (
+	"context"
+
+	"wormmesh/internal/sim"
+)
+
+// Cache is a content-addressed result store a sweep may consult before
+// simulating a point and fill after. Implementations derive the key
+// from the Params themselves (see internal/serve), so bit-exact
+// determinism is the contract that makes a hit safe: equal normalized
+// Params always reproduce the same Stats. Lookup and Store are called
+// concurrently from worker goroutines and must be safe for that; a
+// Lookup miss is (zero Result, false).
+type Cache interface {
+	Lookup(p sim.Params) (sim.Result, bool)
+	Store(p sim.Params, r sim.Result)
+}
+
+// ProgressSink receives batch-progress lifecycle events. Start is
+// called once with the number of points that will actually execute —
+// for hybrid sweeps the simulated-cell count, not the full grid — so
+// ETAs extrapolate over work that exists. *metrics.Sweep satisfies it.
+type ProgressSink interface {
+	Start(total int)
+	Progress(done, total int)
+	Finish()
+}
+
+// RunCached is Run consulting a cache: points whose Params hit skip
+// simulation entirely (their Outcome carries the cached Result), and
+// fresh results are stored on the way out. A nil cache degrades to Run.
+// Cached points still count toward the progress callback.
+func RunCached(points []Point, workers int, progress func(done, total int), cache Cache) []Outcome {
+	return RunCachedContext(context.Background(), points, workers, progress, cache)
+}
+
+// RunCachedContext is RunCached with cancellation, following the
+// RunContext contract. Cache lookups are attempted even after ctx is
+// done — a hit is free — but no new simulations start.
+func RunCachedContext(ctx context.Context, points []Point, workers int, progress func(done, total int), cache Cache) []Outcome {
+	return runContext(ctx, points, workers, progress, cache)
+}

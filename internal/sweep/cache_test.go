@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"wormmesh/internal/metrics"
+	"wormmesh/internal/sim"
+)
+
+// mapCache is a test Cache keyed by the canonical params digest, with a
+// count of how many Lookup calls hit.
+type mapCache struct {
+	mu      sync.Mutex
+	entries map[string]sim.Result
+	hits    int
+	stores  int
+}
+
+func newMapCache() *mapCache { return &mapCache{entries: map[string]sim.Result{}} }
+
+func (c *mapCache) key(p sim.Params) string {
+	d, err := metrics.CanonicalDigest(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (c *mapCache) Lookup(p sim.Params) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[c.key(p)]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *mapCache) Store(p sim.Params, r sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stores++
+	c.entries[c.key(p)] = r
+}
+
+// TestRunCachedHitSkipsSimulation: a second pass over the same points
+// is answered entirely from the cache, bit-identical to the first.
+func TestRunCachedHitSkipsSimulation(t *testing.T) {
+	points := []Point{
+		{Key: "a", Params: quickParams("Duato", 0.001, 0)},
+		{Key: "b", Params: quickParams("NHop", 0.0015, 0)},
+	}
+	cache := newMapCache()
+	cold := RunCached(points, 2, nil, cache)
+	if err := FirstError(cold); err != nil {
+		t.Fatal(err)
+	}
+	if cache.stores != len(points) || cache.hits != 0 {
+		t.Fatalf("cold pass: stores=%d hits=%d", cache.stores, cache.hits)
+	}
+
+	var calls int
+	warm := RunCached(points, 2, func(done, total int) { calls++ }, cache)
+	if err := FirstError(warm); err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != len(points) {
+		t.Fatalf("warm pass hits = %d, want %d", cache.hits, len(points))
+	}
+	if cache.stores != len(points) {
+		t.Fatalf("warm pass re-stored (stores = %d)", cache.stores)
+	}
+	if calls != len(points) {
+		t.Errorf("cached points skipped progress: calls = %d", calls)
+	}
+	for i := range points {
+		if !reflect.DeepEqual(cold[i].Result.Stats, warm[i].Result.Stats) {
+			t.Errorf("point %q: cached Stats differ from simulated", points[i].Key)
+		}
+		cd, _ := metrics.DigestJSON(cold[i].Result.Stats)
+		wd, _ := metrics.DigestJSON(warm[i].Result.Stats)
+		if cd != wd {
+			t.Errorf("point %q: result digest %s != %s", points[i].Key, wd, cd)
+		}
+	}
+}
+
+// TestRunCachedNilCacheMatchesRun: a nil cache is exactly Run.
+func TestRunCachedNilCacheMatchesRun(t *testing.T) {
+	points := []Point{{Key: "a", Params: quickParams("Duato", 0.001, 0)}}
+	a := Run(points, 1, nil)
+	b := RunCached(points, 1, nil, nil)
+	if !reflect.DeepEqual(a[0].Result.Stats, b[0].Result.Stats) {
+		t.Error("nil-cache RunCached diverged from Run")
+	}
+}
+
+// recordSink records the ProgressSink lifecycle.
+type recordSink struct {
+	startTotal int
+	started    int
+	progress   int
+	finished   int
+	lastDone   int
+	lastTotal  int
+}
+
+func (s *recordSink) Start(total int) { s.started++; s.startTotal = total }
+func (s *recordSink) Progress(done, total int) {
+	s.progress++
+	s.lastDone, s.lastTotal = done, total
+}
+func (s *recordSink) Finish() { s.finished++ }
+
+// TestHybridMetricsCountSimulatedCells is the ETA-denominator fix: the
+// sink's Start total must be the simulated-cell count, strictly below
+// the full grid, so ETA = elapsed/done·(total−done) extrapolates over
+// cells that actually run.
+func TestHybridMetricsCountSimulatedCells(t *testing.T) {
+	base := hybridBase("Duato", 0, 0)
+	rates := kneeGrid(t, base)
+	sink := &recordSink{}
+	results, err := HybridSweep(
+		[]HybridCurve{{Key: "duato", Base: base, Rates: rates}},
+		HybridOptions{Workers: 2, Metrics: sink},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := results[0].Simulated
+	if simulated == 0 || simulated >= len(rates) {
+		t.Fatalf("degenerate hybrid split: %d of %d simulated", simulated, len(rates))
+	}
+	if sink.started != 1 || sink.finished != 1 {
+		t.Fatalf("sink lifecycle: started=%d finished=%d", sink.started, sink.finished)
+	}
+	if sink.startTotal != simulated {
+		t.Errorf("Start total = %d, want simulated count %d (not grid %d)",
+			sink.startTotal, simulated, len(rates))
+	}
+	if sink.progress != simulated || sink.lastTotal != simulated {
+		t.Errorf("progress calls = %d (last total %d), want %d",
+			sink.progress, sink.lastTotal, simulated)
+	}
+	if sink.lastDone > sink.lastTotal {
+		t.Errorf("done %d exceeded total %d", sink.lastDone, sink.lastTotal)
+	}
+}
+
+// TestHybridCacheReuse: a cached second hybrid sweep simulates nothing
+// and reproduces the first sweep's simulated points bit-identically.
+func TestHybridCacheReuse(t *testing.T) {
+	base := hybridBase("Duato", 0, 0)
+	rates := kneeGrid(t, base)
+	curves := []HybridCurve{{Key: "duato", Base: base, Rates: rates}}
+	cache := newMapCache()
+
+	first, err := HybridSweep(curves, HybridOptions{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesAfterFirst := cache.stores
+	if storesAfterFirst != first[0].Simulated {
+		t.Fatalf("first sweep stored %d, simulated %d", storesAfterFirst, first[0].Simulated)
+	}
+
+	second, err := HybridSweep(curves, HybridOptions{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.stores != storesAfterFirst {
+		t.Errorf("second sweep simulated %d new cells, want 0", cache.stores-storesAfterFirst)
+	}
+	if cache.hits != first[0].Simulated {
+		t.Errorf("second sweep hits = %d, want %d", cache.hits, first[0].Simulated)
+	}
+	for i, hp := range first[0].Points {
+		got := second[0].Points[i]
+		if got.Source != hp.Source || got.Rate != hp.Rate {
+			t.Fatalf("point %d provenance drifted: %v vs %v", i, got, hp)
+		}
+		if hp.Source == SourceSimulated && !reflect.DeepEqual(got.Result.Stats, hp.Result.Stats) {
+			t.Errorf("point %d cached Stats differ", i)
+		}
+	}
+}

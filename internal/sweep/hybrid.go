@@ -40,6 +40,14 @@ type HybridOptions struct {
 	BracketRadius float64
 	// Progress receives completed/total counts for the simulated batch.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives the batch lifecycle. Start is
+	// called with the simulated-cell count — not the full grid — so the
+	// published ETA extrapolates over the cells that actually run
+	// instead of overestimating by the model-filled fraction.
+	Metrics ProgressSink
+	// Cache, when non-nil, answers simulated cells without running them
+	// and files fresh results for the next sweep.
+	Cache Cache
 }
 
 // HybridPoint is one cell of a hybrid curve.
@@ -186,7 +194,21 @@ func HybridSweep(curves []HybridCurve, opt HybridOptions) ([]HybridCurveResult, 
 		}
 	}
 
-	outcomes := Run(points, opt.Workers, opt.Progress)
+	progress := opt.Progress
+	if opt.Metrics != nil {
+		opt.Metrics.Start(len(points))
+		user := opt.Progress
+		progress = func(done, total int) {
+			opt.Metrics.Progress(done, total)
+			if user != nil {
+				user(done, total)
+			}
+		}
+	}
+	outcomes := RunCached(points, opt.Workers, progress, opt.Cache)
+	if opt.Metrics != nil {
+		opt.Metrics.Finish()
+	}
 	if err := FirstError(outcomes); err != nil {
 		return nil, err
 	}

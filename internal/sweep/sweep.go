@@ -56,6 +56,12 @@ func Run(points []Point, workers int, progress func(done, total int)) []Outcome 
 // may arrive out of order when workers finish near-simultaneously. The
 // callback must not call back into the sweep.
 func RunContext(ctx context.Context, points []Point, workers int, progress func(done, total int)) []Outcome {
+	return runContext(ctx, points, workers, progress, nil)
+}
+
+// runContext is the shared worker-pool core behind RunContext and
+// RunCachedContext; cache may be nil.
+func runContext(ctx context.Context, points []Point, workers int, progress func(done, total int), cache Cache) []Outcome {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -70,19 +76,42 @@ func RunContext(ctx context.Context, points []Point, workers int, progress func(
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := sim.NewRunner()
-			defer runner.Close()
+			var runner *sim.Runner
+			defer func() {
+				if runner != nil {
+					runner.Close()
+				}
+			}()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(points) {
 					return
 				}
+				if cache != nil {
+					if res, ok := cache.Lookup(points[i].Params); ok {
+						out[i] = Outcome{Point: points[i], Result: res}
+						d := int(atomic.AddInt64(&done, 1))
+						if progress != nil {
+							progressMu.Lock()
+							progress(d, len(points))
+							progressMu.Unlock()
+						}
+						continue
+					}
+				}
 				if err := ctx.Err(); err != nil {
 					out[i] = Outcome{Point: points[i], Err: err}
 					continue
 				}
+				if runner == nil {
+					// Lazily built so an all-hit batch constructs no network.
+					runner = sim.NewRunner()
+				}
 				res, err := runner.Run(points[i].Params)
 				out[i] = Outcome{Point: points[i], Result: res, Err: err}
+				if cache != nil && err == nil {
+					cache.Store(points[i].Params, res)
+				}
 				d := int(atomic.AddInt64(&done, 1))
 				if progress != nil {
 					progressMu.Lock()
