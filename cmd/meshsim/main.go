@@ -13,13 +13,16 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"wormmesh"
+	"wormmesh/internal/core"
 	"wormmesh/internal/metrics"
 	"wormmesh/internal/prof"
 	"wormmesh/internal/report"
 	"wormmesh/internal/serve"
 	"wormmesh/internal/sweep"
+	"wormmesh/internal/trace"
 )
 
 func main() {
@@ -27,7 +30,7 @@ func main() {
 	var total int64
 	var list, heat, traceFlits, latBreakdown, predict bool
 	var windows int64
-	var traceFile, postmortemFile, metricsAddr, manifestFile, linkmapFile string
+	var traceFile, postmortemFile, metricsAddr, manifestFile, linkmapFile, chromeFile string
 	var engineWorkers, reps, flightrecEvents int
 	var cpuProfile, memProfile, cacheDir string
 	flag.StringVar(&p.Algorithm, "alg", p.Algorithm, "routing algorithm (see -list)")
@@ -54,6 +57,7 @@ func main() {
 	flag.BoolVar(&traceFlits, "trace-flits", false, "include per-flit hops in the trace")
 	flag.StringVar(&postmortemFile, "postmortem", "", "write a deadlock post-mortem (wait-for graph, blocked chains, recent events) to this file at each global watchdog firing (with -reps > 1, first replication only)")
 	flag.IntVar(&flightrecEvents, "flightrec", 0, "flight recorder ring capacity in events (0 = off unless -postmortem is set)")
+	flag.StringVar(&chromeFile, "chrometrace", "", "write the run's engine events as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing; ring capacity from -flightrec; single run only)")
 	flag.StringVar(&metricsAddr, "metrics-addr", "", "serve live Prometheus metrics on this address (e.g. :9090; endpoints /metrics and /debug/vars)")
 	flag.StringVar(&manifestFile, "manifest", "", "write a JSON run manifest (params, seeds, wall time, result digest) to this file")
 	flag.IntVar(&engineWorkers, "engine-workers", 0, "use the deterministic parallel engine with this many workers")
@@ -108,8 +112,8 @@ func main() {
 	// many. Reject the combination up front (like -trace documents its
 	// first-replication-only behavior, but these flags would silently
 	// report an arbitrary replication).
-	if reps > 1 && (linkmapFile != "" || latBreakdown) {
-		fmt.Fprintln(os.Stderr, "meshsim: -linkmap and -latbreakdown report a single run; drop them or use -reps 1")
+	if reps > 1 && (linkmapFile != "" || latBreakdown || chromeFile != "") {
+		fmt.Fprintln(os.Stderr, "meshsim: -linkmap, -latbreakdown and -chrometrace report a single run; drop them or use -reps 1")
 		os.Exit(2)
 	}
 	if linkmapFile != "" {
@@ -137,6 +141,15 @@ func main() {
 		p.PostmortemWriter = f
 	}
 	p.FlightRecorderEvents = flightrecEvents
+	var chromeRec *core.FlightRecorder
+	if chromeFile != "" {
+		capacity := flightrecEvents
+		if capacity <= 0 {
+			capacity = core.DefaultFlightRecorderEvents
+		}
+		chromeRec = core.NewFlightRecorder(capacity)
+		p.FlightRecorder = chromeRec
+	}
 
 	var sweepMetrics *metrics.Sweep
 	if metricsAddr != "" {
@@ -194,6 +207,14 @@ func main() {
 	}
 	st := res.Stats
 	writeManifest(manifest, manifestFile, st)
+	if chromeRec != nil {
+		if err := writeChromeTrace(chromeFile, p, res, chromeRec); err != nil {
+			fmt.Fprintln(os.Stderr, "meshsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "meshsim: wrote %s (%d engine events; open in ui.perfetto.dev)\n",
+			chromeFile, chromeRec.Len())
+	}
 
 	fmt.Printf("%v, %s, %s traffic, rate %g msg/node/cycle, %d-flit messages, %d VCs\n",
 		topo, p.Algorithm, p.Pattern, p.Rate, p.MessageLength, p.Config.NumVCs)
@@ -371,6 +392,40 @@ func runReplications(p wormmesh.Params, reps int, sm *metrics.Sweep, manifest *m
 		fmt.Fprintln(os.Stderr, "meshsim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeChromeTrace renders the run's flight-recorder history as Chrome
+// trace-event JSON: one service-side span for the whole run (wall
+// clock) carrying every engine event on the cycle timeline, exactly the
+// file GET /traces/{id}.json serves for a meshserve job.
+func writeChromeTrace(path string, p wormmesh.Params, res wormmesh.Result, rec *core.FlightRecorder) error {
+	end := time.Now()
+	tr := trace.New(16)
+	root := tr.StartAt(fmt.Sprintf("meshsim %s rate %g", p.Algorithm, p.Rate),
+		trace.Context{}, end.Add(-res.Elapsed))
+	root.Set("algorithm", p.Algorithm)
+	root.Set("rate", p.Rate)
+	root.Set("cycles", p.WarmupCycles+p.MeasureCycles)
+	evs := rec.Events()
+	out := make([]trace.EngineEvent, len(evs))
+	for i, e := range evs {
+		out[i] = trace.EngineEvent{
+			Cycle: e.Cycle, Kind: e.Kind, Msg: e.Msg,
+			Src: e.Src, Dst: e.Dst, Node: e.Node,
+			Dir: e.Dir, VC: e.VC, Flit: e.Flit, Cause: e.Cause,
+		}
+	}
+	root.AttachEngine(out)
+	root.EndAt(end)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Collect(root.TraceID())); err != nil {
+		f.Close()
+		return fmt.Errorf("chrometrace: %w", err)
+	}
+	return f.Close()
 }
 
 // writeManifest finalizes and writes the run manifest when -manifest

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wormmesh/internal/topology"
+	"wormmesh/internal/trace"
 )
 
 // BenchmarkStepIdle measures the per-cycle cost of an empty network
@@ -87,13 +88,22 @@ func BenchmarkStepLowLoad(b *testing.B) {
 // observation the sweeps can now leave on; the telemetry variant runs
 // with Config.ChannelTelemetry, pricing the per-link congestion
 // counters (each budget is <= 10% over plain, still at zero allocs/op
-// — diff the set with cmd/benchdiff).
+// — diff the set with cmd/benchdiff). The spans variant prices the
+// serve layer's engine bridge: the same recorder ring, decoded into a
+// trace span every ring-length of cycles — the amortized cost of the
+// span-scoped engine view /traces serves.
 func BenchmarkStepLoaded(b *testing.B) {
 	for _, variant := range []struct {
 		name      string
 		flightRe  bool
 		telemetry bool
-	}{{"plain", false, false}, {"flightrec", true, false}, {"telemetry", false, true}} {
+		spans     bool
+	}{
+		{"plain", false, false, false},
+		{"flightrec", true, false, false},
+		{"telemetry", false, true, false},
+		{"spans", true, false, true},
+	} {
 		b.Run(variant.name, func(b *testing.B) {
 			mesh := topology.New(10, 10)
 			cfg := DefaultConfig()
@@ -103,8 +113,14 @@ func BenchmarkStepLoaded(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var rec *FlightRecorder
 			if variant.flightRe {
-				n.SetFlightRecorder(NewFlightRecorder(4096))
+				rec = NewFlightRecorder(4096)
+				n.SetFlightRecorder(rec)
+			}
+			var tracer *trace.Tracer
+			if variant.spans {
+				tracer = trace.New(64)
 			}
 			rng := rand.New(rand.NewSource(2))
 			id := int64(0)
@@ -123,10 +139,33 @@ func BenchmarkStepLoaded(b *testing.B) {
 					}
 				}
 				n.Step()
+				if variant.spans && i%4096 == 4095 {
+					span := tracer.Start("engine.window", trace.Context{})
+					span.AttachEngine(toEngineEvents(rec.Events()))
+					span.End()
+				}
 			}
 			b.ReportMetric(float64(n.Snapshot().DeliveredFlits)/float64(b.N), "flits/cycle")
 		})
 	}
+}
+
+// toEngineEvents mirrors the serve scheduler's conversion from the
+// engine's TraceEvent to the trace package's dependency-free mirror —
+// the exact copy the spans benchmark variant prices.
+func toEngineEvents(evs []TraceEvent) []trace.EngineEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]trace.EngineEvent, len(evs))
+	for i, e := range evs {
+		out[i] = trace.EngineEvent{
+			Cycle: e.Cycle, Kind: e.Kind, Msg: e.Msg,
+			Src: e.Src, Dst: e.Dst, Node: e.Node,
+			Dir: e.Dir, VC: e.VC, Flit: e.Flit, Cause: e.Cause,
+		}
+	}
+	return out
 }
 
 // BenchmarkStepLoadedTorus is BenchmarkStepLoaded's plain workload on

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "", "test")
+	cases := []struct {
+		v    float64
+		want int // expected bucket index
+	}{
+		{1e-9, 0},               // far below the first boundary: clamps low
+		{math.Ldexp(1, -20), 0}, // exactly the first boundary: le is inclusive
+		{math.Ldexp(1, -19), 1}, // exact power of two lands on its own boundary
+		{0.001, 11},             // 1ms is just above 2^-10s, so le=2^-9
+		{1.0, 20},               // 1s = 2^0 ≤ le 2^0
+		{1.5, 21},               // just past 1s
+		{1e9, histBuckets - 1},  // overflow clamps into +Inf bucket
+		{-5, 0},                 // negative clamps low, not a crash
+		{math.NaN(), 0},         // NaN clamps low
+	}
+	for _, c := range cases {
+		before := h.Bucket(c.want)
+		h.Observe(c.v)
+		if h.Bucket(c.want) != before+1 {
+			t.Errorf("Observe(%g): bucket %d not incremented", c.v, c.want)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	// Sum excludes the unusable observations (negative, NaN).
+	wantSum := 1e-9 + math.Ldexp(1, -20) + math.Ldexp(1, -19) + 0.001 + 1.0 + 1.5 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("conc_seconds", "", "test")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-1000) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+}
+
+func TestLabeledSeriesExposition(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewLabeledCounter("http_requests_total", `route="run"`, "Requests by route.")
+	b := r.NewLabeledCounter("http_requests_total", `route="sweep"`, "Requests by route.")
+	a.Add(3)
+	b.Add(5)
+	h := r.NewHistogram("req_seconds", `route="run"`, "Latency.")
+	h.Observe(0.5)
+	h.Observe(2.0)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# HELP http_requests_total") != 1 ||
+		strings.Count(out, "# TYPE http_requests_total counter") != 1 {
+		t.Fatalf("HELP/TYPE not grouped once per name:\n%s", out)
+	}
+	for _, want := range []string{
+		`http_requests_total{route="run"} 3`,
+		`http_requests_total{route="sweep"} 5`,
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{route="run",le="0.5"} 1`,
+		`req_seconds_bucket{route="run",le="+Inf"} 2`,
+		`req_seconds_sum{route="run"} 2.5`,
+		`req_seconds_count{route="run"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative: the le="2" bucket (covers the 2.0 observation) counts both.
+	if !strings.Contains(out, `req_seconds_bucket{route="run",le="2"} 2`) {
+		t.Errorf("cumulative le=2 bucket wrong:\n%s", out)
+	}
+	// Labeled lookup via series key.
+	if got := r.Get(`http_requests_total{route="run"}`); got != Metric(a) {
+		t.Fatalf("Get by series key = %v", got)
+	}
+}
+
+func TestDuplicateLabeledSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewLabeledCounter("dup_total", `k="v"`, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate labeled series did not panic")
+		}
+	}()
+	r.NewLabeledCounter("dup_total", `k="v"`, "x")
+}
+
+func TestObserveHTTP(t *testing.T) {
+	r := NewRegistry()
+	s := NewServer(r)
+	s.ObserveHTTP("run", 200, 0.01)
+	s.ObserveHTTP("run", 500, 0.02)
+	s.ObserveHTTP("no-such-route", 404, 0.03)
+	if got := s.HTTPRequests["run"].Get(); got != 2 {
+		t.Fatalf("run requests = %d", got)
+	}
+	if got := s.HTTPErrors["run"].Get(); got != 1 {
+		t.Fatalf("run errors = %d", got)
+	}
+	if got := s.HTTPRequests["other"].Get(); got != 1 {
+		t.Fatalf("other requests = %d", got)
+	}
+	if got := s.HTTPErrors["other"].Get(); got != 0 {
+		t.Fatalf("other errors = %d (4xx must not count)", got)
+	}
+	if got := s.HTTPSeconds["run"].Count(); got != 2 {
+		t.Fatalf("run duration observations = %d", got)
+	}
+}

@@ -26,8 +26,12 @@ func benchParams() sim.Params {
 }
 
 func newBenchServer(b *testing.B) (*Server, *httptest.Server) {
+	return newBenchServerWith(b, Config{Workers: 2})
+}
+
+func newBenchServerWith(b *testing.B, cfg Config) (*Server, *httptest.Server) {
 	b.Helper()
-	s, err := New(Config{Workers: 2})
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -36,12 +40,11 @@ func newBenchServer(b *testing.B) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-// BenchmarkServeWarmHit is the headline number: one full HTTP round
-// trip for a cache-resident cell — handshake, key normalization and
-// digest, LRU lookup, response write. The tentpole target is a median
-// under 100µs.
-func BenchmarkServeWarmHit(b *testing.B) {
-	_, ts := newBenchServer(b)
+// warmHitLoop drives one full HTTP round trip per iteration for a
+// cache-resident cell — handshake, key normalization and digest, LRU
+// lookup, response write.
+func warmHitLoop(b *testing.B, ts *httptest.Server) {
+	b.Helper()
 	p := benchParams()
 	body, _ := json.Marshal(runRequest{Params: p, Wait: true})
 	warm, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
@@ -64,6 +67,30 @@ func BenchmarkServeWarmHit(b *testing.B) {
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
+	}
+}
+
+// BenchmarkServeWarmHit is the headline number, as a traced/untraced
+// pair: traced is the default configuration (every iteration opens a
+// root span, records normalize and lookup children, and files them in
+// the tracer's ring), untraced disables the span layer and the engine
+// bridge — the baseline that prices observability. The dominant traced
+// cost is not per-span work but the GC re-scanning the long-lived
+// completed-span ring, so the delta is bounded by ring capacity, not
+// request rate. Diff each variant like-for-like across digests with
+// cmd/benchdiff.
+func BenchmarkServeWarmHit(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"traced", Config{Workers: 2}},
+		{"untraced", Config{Workers: 2, TraceSpans: -1, EngineEvents: -1}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			_, ts := newBenchServerWith(b, variant.cfg)
+			warmHitLoop(b, ts)
+		})
 	}
 }
 

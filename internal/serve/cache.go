@@ -5,8 +5,16 @@ import (
 	"encoding/json"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wormmesh/internal/metrics"
+)
+
+// Cache tiers, as reported by GetTagged and tagged onto spans,
+// X-Cache headers and the lookup-latency histogram labels.
+const (
+	TierMemory = "memory"
+	TierDisk   = "disk"
 )
 
 // Cache is the two-tier result cache: an in-memory LRU of decoded
@@ -62,6 +70,22 @@ func OpenDiskCache(dir string, mem int) (*Cache, error) {
 // Get returns the entry and its marshaled body, or ok=false on a miss.
 // Memory hits are allocation-free; disk hits are promoted.
 func (c *Cache) Get(key string) (*Entry, []byte, bool) {
+	e, body, _, ok := c.GetTagged(key)
+	return e, body, ok
+}
+
+// GetTagged is Get plus provenance: tier reports which tier answered
+// ("memory" or "disk", "" on a miss) so handlers can tag spans and
+// response headers, and the per-tier lookup-latency histograms get
+// their observations. Lookup timing is taken only when metrics are
+// attached — a metric-less cache (CLIs, benchmarks) keeps the warm
+// path at a map lookup plus a list splice, no clock reads, zero
+// allocations.
+func (c *Cache) GetTagged(key string) (*Entry, []byte, string, bool) {
+	var start time.Time
+	if c.met != nil {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -70,8 +94,9 @@ func (c *Cache) Get(key string) (*Entry, []byte, bool) {
 		c.hits.Add(1)
 		if c.met != nil {
 			c.met.CacheHits.Inc()
+			c.met.LookupMemSeconds.Observe(time.Since(start).Seconds())
 		}
-		return it.entry, it.body, true
+		return it.entry, it.body, TierMemory, true
 	}
 	c.mu.Unlock()
 
@@ -83,15 +108,16 @@ func (c *Cache) Get(key string) (*Entry, []byte, bool) {
 			if c.met != nil {
 				c.met.CacheHits.Inc()
 				c.met.DiskHits.Inc()
+				c.met.LookupDiskSeconds.Observe(time.Since(start).Seconds())
 			}
-			return e, body, true
+			return e, body, TierDisk, true
 		}
 	}
 	c.misses.Add(1)
 	if c.met != nil {
 		c.met.CacheMisses.Inc()
 	}
-	return nil, nil, false
+	return nil, nil, "", false
 }
 
 // Has reports presence (memory or disk) without touching the hit/miss

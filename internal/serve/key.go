@@ -53,6 +53,7 @@ func Normalize(p sim.Params) (sim.Params, error) {
 	p.TraceFlits = false
 	p.PostmortemWriter = nil
 	p.FlightRecorderEvents = 0
+	p.FlightRecorder = nil
 	p.Metrics = nil
 	p.MetricsInterval = 0
 	p.WindowCycles = 0

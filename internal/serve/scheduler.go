@@ -3,12 +3,15 @@ package serve
 import (
 	"container/heap"
 	"errors"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
 
+	"wormmesh/internal/core"
 	"wormmesh/internal/metrics"
 	"wormmesh/internal/sim"
+	"wormmesh/internal/trace"
 )
 
 // ErrQueueFull is returned by Submit when backpressure rejects the
@@ -51,6 +54,13 @@ type Job struct {
 
 	seq   int64 // FIFO tiebreak within a priority
 	index int   // heap position; -1 once dequeued
+
+	// trace is the submitting request's span context: the parent under
+	// which the worker backfills queue.wait/run/store.write spans. The
+	// first submitter owns the job, so joiners' stage spans land under
+	// that request's trace (joiners record a singleflight.join instant
+	// of their own instead).
+	trace trace.Context
 
 	mu      sync.Mutex
 	state   JobState
@@ -122,6 +132,15 @@ type Scheduler struct {
 	// block executions without paying for real runs.
 	run func(*sim.Runner, sim.Params) (sim.Result, error)
 
+	// Observability, filled in by Server.New right after construction
+	// (before any Submit, so workers — which only read these while
+	// holding a job — always see the final values). tracer nil disables
+	// span backfill; engineEvents 0 disables the per-job flight
+	// recorder; logger is never nil (discard by default).
+	tracer       *trace.Tracer
+	engineEvents int
+	logger       *slog.Logger
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	queue      jobQueue
@@ -160,6 +179,7 @@ func NewScheduler(cache *Cache, workers, maxQueue int, pool *sim.RunnerPool, met
 		run:     func(r *sim.Runner, p sim.Params) (sim.Result, error) { return r.Run(p) },
 		jobs:    make(map[string]*Job),
 		retired: make(map[string]*Job),
+		logger:  slog.New(slog.DiscardHandler),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
@@ -173,8 +193,10 @@ func NewScheduler(cache *Cache, workers, maxQueue int, pool *sim.RunnerPool, met
 // If an identical job is queued or running, that job is returned with
 // joined=true and nothing is enqueued — the singleflight guarantee that
 // N concurrent misses on one key cost one simulation. A full queue
-// returns ErrQueueFull.
-func (s *Scheduler) Submit(key string, np sim.Params, priority int) (*Job, bool, error) {
+// returns ErrQueueFull. tc is the submitting request's trace context;
+// the worker backfills the job's queue.wait/run/store.write spans under
+// it (pass the zero Context for untraced submissions).
+func (s *Scheduler) Submit(key string, np sim.Params, priority int, tc trace.Context) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -199,6 +221,7 @@ func (s *Scheduler) Submit(key string, np sim.Params, priority int) (*Job, bool,
 		Priority: priority,
 		Created:  time.Now(),
 		seq:      s.seq,
+		trace:    tc,
 		done:     make(chan struct{}),
 	}
 	s.jobs[key] = j
@@ -227,6 +250,22 @@ func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// InFlight returns how many jobs are queued or running — the number a
+// graceful drain waits on, and what /readyz reports.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Ready reports whether the scheduler is accepting submissions (it
+// stops at Close); /readyz treats a closed scheduler as not ready.
+func (s *Scheduler) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // RetryAfterSeconds prices a 429: the estimated time for the current
@@ -262,31 +301,95 @@ func (s *Scheduler) worker() {
 			return
 		}
 		j := heap.Pop(&s.queue).(*Job)
+		depth := len(s.queue)
 		if s.met != nil {
-			s.met.QueueDepth.Set(int64(len(s.queue)))
+			s.met.QueueDepth.Set(int64(depth))
 			s.met.Running.Add(1)
 		}
 		s.mu.Unlock()
 
+		now := time.Now()
 		j.mu.Lock()
 		j.state = JobRunning
-		j.started = time.Now()
+		j.started = now
 		j.mu.Unlock()
 
+		// Backfill the queue-wait span — submission to pickup — under
+		// the submitting request, now that both endpoints are known.
+		traced := s.tracer != nil && j.trace.Valid()
+		if traced {
+			qw := s.tracer.StartAt("queue.wait", j.trace, j.Created)
+			qw.Set("queue_depth", depth)
+			qw.EndAt(now)
+		}
+		wait := now.Sub(j.Created)
+		if s.met != nil {
+			s.met.QueueWaitSeconds.Observe(wait.Seconds())
+		}
+		s.logger.Info("job start",
+			"key", j.Key, "trace_id", j.trace.Trace.String(),
+			"algorithm", j.Params.Algorithm, "rate", j.Params.Rate,
+			"queue_wait_s", wait.Seconds(), "queue_depth", depth)
+
+		var runSpan *trace.Span
+		if traced {
+			runSpan = s.tracer.StartAt("run", j.trace, now)
+			runSpan.Set("key", j.Key)
+			runSpan.Set("algorithm", j.Params.Algorithm)
+			runSpan.Set("rate", j.Params.Rate)
+		}
+		// The engine bridge: the job runs a COPY of its normalized
+		// Params carrying a private flight recorder, so the recorded
+		// run stays bit-identical to the unrecorded one (observers
+		// never touch Stats or RNG) and — critically — NewEntry below
+		// files the CLEAN j.Params, keeping the cache-key contract
+		// (Normalize strips FlightRecorder) intact.
+		rp := j.Params
+		var rec *core.FlightRecorder
+		if runSpan != nil && s.engineEvents > 0 {
+			rec = core.NewFlightRecorder(s.engineEvents)
+			rp.FlightRecorder = rec
+		}
 		runner := s.pool.Get()
-		res, err := s.run(runner, j.Params)
+		res, err := s.run(runner, rp)
 		s.pool.Put(runner)
+		if s.met != nil {
+			s.met.RunnersWarm.Set(int64(s.pool.Idle()))
+			s.met.RunSeconds.Observe(time.Since(now).Seconds())
+		}
+		if rec != nil {
+			runSpan.Set("engine_events", rec.Total())
+			runSpan.AttachEngine(toEngineEvents(rec.Events()))
+		}
+		if err != nil {
+			runSpan.Set("error", err.Error())
+		}
+		runSpan.End()
 
 		var entry *Entry
 		var body []byte
 		if err == nil {
+			var sw *trace.Span
+			if traced {
+				sw = s.tracer.Start("store.write", j.trace)
+			}
 			entry, err = NewEntry(j.Key, j.Params, res)
-		}
-		if err == nil {
-			body, err = s.cache.Put(entry)
+			if err == nil {
+				body, err = s.cache.Put(entry)
+			}
+			sw.End()
 		}
 
 		elapsed := time.Since(j.started).Seconds()
+		if err != nil {
+			s.logger.Error("job failed",
+				"key", j.Key, "trace_id", j.trace.Trace.String(),
+				"elapsed_s", elapsed, "error", err)
+		} else {
+			s.logger.Info("job done",
+				"key", j.Key, "trace_id", j.trace.Trace.String(),
+				"elapsed_s", elapsed, "result_digest", entry.ResultDigest)
+		}
 		j.mu.Lock()
 		if err != nil {
 			j.state = JobFailed
@@ -317,6 +420,25 @@ func (s *Scheduler) worker() {
 		}
 		s.mu.Unlock()
 	}
+}
+
+// toEngineEvents converts the engine's decoded flight-recorder events
+// into the trace layer's mirror struct. The copy exists because
+// internal/trace must stay engine-import-free (core's own benchmarks
+// import trace); the field sets match one to one.
+func toEngineEvents(evs []core.TraceEvent) []trace.EngineEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]trace.EngineEvent, len(evs))
+	for i, e := range evs {
+		out[i] = trace.EngineEvent{
+			Cycle: e.Cycle, Kind: e.Kind, Msg: e.Msg,
+			Src: e.Src, Dst: e.Dst, Node: e.Node,
+			Dir: e.Dir, VC: e.VC, Flit: e.Flit, Cause: e.Cause,
+		}
+	}
+	return out
 }
 
 // retire files a failed job for later status queries (caller holds mu).

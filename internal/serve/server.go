@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -11,9 +12,11 @@ import (
 	"time"
 
 	"wormmesh/internal/analytic"
+	"wormmesh/internal/core"
 	"wormmesh/internal/metrics"
 	"wormmesh/internal/sim"
 	"wormmesh/internal/sweep"
+	"wormmesh/internal/trace"
 )
 
 // Config tunes a Server.
@@ -31,13 +34,26 @@ type Config struct {
 	MaxRunners int
 	// Registry, when non-nil, receives the serve counter set.
 	Registry *metrics.Registry
+	// Logger, when non-nil, receives the structured access and
+	// job-lifecycle logs; nil discards them.
+	Logger *slog.Logger
+	// TraceSpans bounds the tracer's completed-span ring
+	// (trace.DefaultCapacity when 0); negative disables tracing.
+	TraceSpans int
+	// EngineEvents sizes each job's span-scoped engine flight recorder
+	// (core.DefaultFlightRecorderEvents when 0); negative disables the
+	// engine bridge while keeping service spans.
+	EngineEvents int
 }
 
 // Server wires cache, scheduler and surrogate into an http.Handler.
 type Server struct {
-	cache *Cache
-	sched *Scheduler
-	met   *metrics.Server
+	cache   *Cache
+	sched   *Scheduler
+	met     *metrics.Server
+	tracer  *trace.Tracer // nil = tracing disabled
+	logger  *slog.Logger  // never nil (discard by default)
+	started time.Time
 
 	modelMu sync.Mutex
 	models  map[string]cachedModel // key: config-class digest
@@ -100,32 +116,71 @@ func New(cfg Config) (*Server, error) {
 		maxRunners = workers
 	}
 	pool := sim.NewRunnerPool(maxRunners)
-	s := &Server{
-		cache:  cache,
-		sched:  NewScheduler(cache, workers, cfg.QueueDepth, pool, met),
-		met:    met,
-		models: make(map[string]cachedModel),
-		sweeps: make(map[string]*sweepJob),
-		mux:    http.NewServeMux(),
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
+	var tracer *trace.Tracer
+	if cfg.TraceSpans >= 0 {
+		capacity := cfg.TraceSpans
+		if capacity == 0 {
+			capacity = trace.DefaultCapacity
+		}
+		tracer = trace.New(capacity)
+	}
+	engineEvents := cfg.EngineEvents
+	if engineEvents == 0 {
+		engineEvents = core.DefaultFlightRecorderEvents
+	}
+	if engineEvents < 0 {
+		engineEvents = 0
+	}
+	s := &Server{
+		cache:   cache,
+		sched:   NewScheduler(cache, workers, cfg.QueueDepth, pool, met),
+		met:     met,
+		tracer:  tracer,
+		logger:  logger,
+		started: time.Now(),
+		models:  make(map[string]cachedModel),
+		sweeps:  make(map[string]*sweepJob),
+		mux:     http.NewServeMux(),
+	}
+	// Same-package wiring, before any Submit can reach a worker.
+	s.sched.tracer = tracer
+	s.sched.engineEvents = engineEvents
+	s.sched.logger = logger
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/jobs/", s.handleJob)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
+	s.mux.HandleFunc("/traces/", s.handleTrace)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	// Catch-all: unknown paths get the same JSON error envelope as
+	// every other error in the service.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, r, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
 	return s, nil
 }
 
-// Handler returns the server's HTTP mux.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the endpoint mux behind
+// the observability middleware (root span, RED metrics, access log).
+func (s *Server) Handler() http.Handler { return s.observe(s.mux) }
+
+// Tracer exposes the span ring (for CLIs embedding the server and for
+// tests); nil when tracing is disabled.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Cache exposes the result cache (for CLIs embedding the server).
 func (s *Server) Cache() *Cache { return s.cache }
 
 // Close drains the worker fleet.
 func (s *Server) Close() { s.sched.Close() }
+
+// InFlight reports jobs queued or running — what a graceful drain
+// waits on.
+func (s *Server) InFlight() int { return s.sched.InFlight() }
 
 // ModelAnswer is the surrogate's provisional reply to a cache miss:
 // tagged provenance "model" so clients can tell an analytic estimate
@@ -155,54 +210,80 @@ type runAccepted struct {
 	Model     *ModelAnswer `json:"model,omitempty"`
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError writes the service's single error envelope:
+// {"error": "...", "trace_id": "..."} — every failure path, any
+// endpoint, carries the trace ID so a client error report points
+// straight at its spans.
+func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	env := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if span := spanFrom(r); span != nil {
+		env["trace_id"] = span.TraceID().String()
+	}
+	json.NewEncoder(w).Encode(env)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	span := spanFrom(r)
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		httpError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" {
 		req.Wait = true
 	}
+	ns := span.Child("normalize")
 	key, np, err := Key(req.Params)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		ns.Set("error", err.Error())
+		ns.End()
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ns.Set("key", key)
+	ns.End()
 	if s.met != nil {
 		s.met.Requests.Inc()
 	}
-	if _, body, ok := s.cache.Get(key); ok {
+	ls := span.Child("cache.lookup")
+	_, body, tier, ok := s.cache.GetTagged(key)
+	if ok {
+		ls.Set("tier", tier)
+	}
+	ls.End()
+	if ok {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("X-Cache-Tier", tier)
 		w.Write(body)
 		return
 	}
-	job, _, err := s.sched.Submit(key, np, req.Priority)
+	job, joined, err := s.sched.Submit(key, np, req.Priority, span.Context())
 	if err == ErrQueueFull {
 		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
-		httpError(w, http.StatusTooManyRequests, "queue full, retry later")
+		httpError(w, r, http.StatusTooManyRequests, "queue full, retry later")
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, r, http.StatusInternalServerError, "%v", err)
 		return
+	}
+	if joined {
+		// This request rides an earlier identical submission; its
+		// stage spans live under that request's trace.
+		span.Instant("singleflight.join", trace.Attr{Key: "key", Value: key})
 	}
 	if req.Wait {
 		<-job.Done()
 		entry, body, err := job.Outcome()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "simulation failed: %v", err)
+			httpError(w, r, http.StatusInternalServerError, "simulation failed: %v", err)
 			return
 		}
 		_ = entry
@@ -211,11 +292,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		w.Write(body)
 		return
 	}
+	ms := span.Child("model.answer")
+	model := s.modelAnswer(np)
+	ms.Set("applicable", model != nil)
+	ms.End()
 	resp := runAccepted{
 		Status:    "pending",
 		Key:       key,
 		StatusURL: "/jobs/" + key,
-		Model:     s.modelAnswer(np),
+		Model:     model,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -317,13 +402,14 @@ type sweepResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	span := spanFrom(r)
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		httpError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req sweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" {
@@ -336,12 +422,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if req.Base.Rate > 0 {
 			req.Rates = []float64{req.Base.Rate}
 		} else {
-			httpError(w, http.StatusBadRequest, "no rates given")
+			httpError(w, r, http.StatusBadRequest, "no rates given")
 			return
 		}
 	}
 
 	// Expand the grid: one content-addressed cell per algorithm × rate.
+	es := span.Child("expand")
 	var plans []cellPlan
 	for _, alg := range req.Algorithms {
 		for _, rate := range req.Rates {
@@ -352,7 +439,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			p.Rate = rate
 			key, np, err := Key(p)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "cell %s@%g: %v", alg, rate, err)
+				es.End()
+				httpError(w, r, http.StatusBadRequest, "cell %s@%g: %v", alg, rate, err)
 				return
 			}
 			plans = append(plans, cellPlan{
@@ -361,16 +449,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	es.Set("cells", len(plans))
+	es.End()
 	keys := make([]string, len(plans))
 	for i, pl := range plans {
 		keys[i] = pl.cell.Key
 	}
 	id, err := metrics.DigestJSON(keys)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	id = strings.ReplaceAll(id, ":", "-")
+	span.Set("sweep_id", id)
 
 	// Schedule every cold cell; cached cells answer immediately.
 	resp := sweepResponse{ID: id, StatusURL: "/jobs/" + id, Total: len(plans)}
@@ -379,7 +470,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if s.met != nil {
 			s.met.Requests.Inc()
 		}
-		if entry, _, ok := s.cache.Get(pl.cell.Key); ok {
+		cs := span.Child("cell")
+		cs.Set("key", pl.cell.Key)
+		cs.Set("algorithm", pl.cell.Algorithm)
+		cs.Set("rate", pl.cell.Rate)
+		if entry, _, tier, ok := s.cache.GetTagged(pl.cell.Key); ok {
+			cs.Set("tier", tier)
+			cs.End()
 			resp.Cells = append(resp.Cells, sweepCellStatus{
 				Algorithm: pl.cell.Algorithm, Rate: pl.cell.Rate, Key: pl.cell.Key,
 				Provenance: entry.Provenance, Result: entry,
@@ -387,15 +484,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			resp.Done++
 			continue
 		}
-		job, _, err := s.sched.Submit(pl.cell.Key, pl.np, req.Priority)
+		job, joined, err := s.sched.Submit(pl.cell.Key, pl.np, req.Priority, span.Context())
 		if err == ErrQueueFull {
+			cs.Set("error", "queue full")
+			cs.End()
 			w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
-			httpError(w, http.StatusTooManyRequests, "queue full after %d cells, retry later", i)
+			httpError(w, r, http.StatusTooManyRequests, "queue full after %d cells, retry later", i)
 			return
 		}
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "%v", err)
+			cs.End()
+			httpError(w, r, http.StatusInternalServerError, "%v", err)
 			return
+		}
+		if joined {
+			cs.Instant("singleflight.join")
 		}
 		pl.job = job
 		st := sweepCellStatus{
@@ -409,6 +512,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			st.Provenance = m.Provenance
 			st.Model = m
 		}
+		cs.Set("provenance", st.Provenance)
+		cs.End()
 		resp.Cells = append(resp.Cells, st)
 	}
 
@@ -426,7 +531,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			<-plans[i].job.Done()
 			entry, _, err := plans[i].job.Outcome()
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, "cell %s: %v", plans[i].cell.Key, err)
+				httpError(w, r, http.StatusInternalServerError, "cell %s: %v", plans[i].cell.Key, err)
 				return
 			}
 			resp.Cells[i] = sweepCellStatus{
@@ -530,5 +635,5 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(st)
 		return
 	}
-	httpError(w, http.StatusNotFound, "no such job %q", id)
+	httpError(w, r, http.StatusNotFound, "no such job %q", id)
 }

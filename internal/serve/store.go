@@ -176,6 +176,25 @@ func (s *Store) Put(key string, body []byte) error {
 	return nil
 }
 
+// Probe verifies the store directory is still writable — the readiness
+// check behind /readyz. It creates and removes a temp file; a full or
+// read-only disk fails here before it fails a real Put.
+func (s *Store) Probe() error {
+	tmp, err := os.CreateTemp(s.dir, "probe-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if err := os.Remove(name); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}
+
 // Has reports whether key is present on disk without reading the body.
 func (s *Store) Has(key string) bool {
 	_, err := os.Stat(s.path(key))

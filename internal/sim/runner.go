@@ -258,7 +258,10 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 	// Observability. Recording and diagnosis are strictly read-only
 	// (no engine mutation, no RNG draws), so none of this changes the
 	// run's statistics — the flightrec golden test locks that in.
-	if p.FlightRecorderEvents > 0 {
+	if p.FlightRecorder != nil {
+		p.FlightRecorder.Reset()
+		net.SetFlightRecorder(p.FlightRecorder)
+	} else if p.FlightRecorderEvents > 0 {
 		net.SetFlightRecorder(core.NewFlightRecorder(p.FlightRecorderEvents))
 	} else if p.PostmortemWriter != nil {
 		net.SetFlightRecorder(core.NewFlightRecorder(0)) // default capacity

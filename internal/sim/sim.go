@@ -64,6 +64,13 @@ type Params struct {
 	// unless PostmortemWriter is set, which installs one at the
 	// default capacity (core.DefaultFlightRecorderEvents).
 	FlightRecorderEvents int
+	// FlightRecorder, when non-nil, installs this specific recorder
+	// for the run instead of building one — the serve layer's engine
+	// bridge hands each job its own ring and decodes it into trace
+	// spans after the run. Takes precedence over FlightRecorderEvents.
+	// Like every observer it never changes Stats and is excluded from
+	// JSON manifests.
+	FlightRecorder *core.FlightRecorder `json:"-"`
 
 	// Metrics, when non-nil, receives live engine telemetry every
 	// MetricsInterval cycles (default 1024) plus once at run end.

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chromeDoc mirrors the exported document shape for verification.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	tr := New(64)
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	root := tr.StartAt("HTTP POST /run", Context{}, t0)
+	run := tr.StartAt("run", root.Context(), t0.Add(time.Millisecond))
+	run.Set("algorithm", "Duato")
+	run.AttachEngine([]EngineEvent{
+		{Cycle: 0, Kind: "inject", Msg: 1, Src: 0, Dst: 5},
+		{Cycle: 2, Kind: "route", Msg: 1, Src: 0, Dst: 5, Node: 1, Dir: "E", VC: 3},
+		{Cycle: 3, Kind: "flit", Msg: 1, Src: 0, Dst: 5, Node: 1, Dir: "E", Flit: 1},
+		{Cycle: 9, Kind: "deliver", Msg: 1, Src: 0, Dst: 5},
+		{Cycle: 4, Kind: "inject", Msg: 2, Src: 3, Dst: 7},
+		{Cycle: 11, Kind: "kill", Msg: 2, Src: 3, Dst: 7, Cause: "stall"},
+		{Cycle: 11, Kind: "watchdog"},
+	})
+	run.EndAt(t0.Add(40 * time.Millisecond))
+	root.EndAt(t0.Add(41 * time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Collect(root.TraceID())); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var serviceSlices, engineSlices, instants, metas int
+	var rootTs, rootDur float64
+	lifetimes := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			metas++
+		case e.Ph == "X" && e.Pid == chromePidService:
+			serviceSlices++
+			if e.Name == "HTTP POST /run" {
+				rootTs, rootDur = e.Ts, e.Dur
+			}
+		case e.Ph == "X" && e.Pid == chromePidEngine:
+			engineSlices++
+			lifetimes[e.Name] = true
+		case e.Ph == "i":
+			instants++
+		default:
+			t.Errorf("unexpected event %+v", e)
+		}
+	}
+	if serviceSlices != 2 {
+		t.Errorf("service slices = %d, want 2", serviceSlices)
+	}
+	// Two messages, one lifetime slice each; the victimless watchdog
+	// must not fabricate a message track.
+	if engineSlices != 2 || !lifetimes["msg 1: 0->5"] || !lifetimes["msg 2: 3->7"] {
+		t.Errorf("engine lifetimes = %v", lifetimes)
+	}
+	if instants != 7 {
+		t.Errorf("instants = %d, want 7 (every engine event)", instants)
+	}
+	// Wall clock is rebased: the earliest span starts at ts 0.
+	if rootTs != 0 {
+		t.Errorf("root ts = %g, want 0 after rebase", rootTs)
+	}
+	if rootDur != 41000 {
+		t.Errorf("root dur = %g us, want 41000", rootDur)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	// Process metadata is always present; no span events.
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			t.Fatalf("unexpected event in empty trace: %+v", e)
+		}
+	}
+}
