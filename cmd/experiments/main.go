@@ -11,6 +11,7 @@
 //	experiments [flags] adaptivity    # routing freedom per decision
 //	experiments [flags] scale         # larger meshes on the parallel engine
 //	experiments [flags] hotspot       # on-ring vs off-ring blocked-cycle maps
+//	experiments [flags] warmup        # fixed vs MSER-detected warm-up truncation
 //	experiments [flags] topology      # mesh vs torus backends, torus-enabled roster
 //
 // Each target prints an ASCII chart plus the underlying data table;
@@ -377,6 +378,32 @@ func main() {
 		}
 		must(res.Table().Write(os.Stdout))
 		saveCSV("hotspot", res.Table())
+		fmt.Println()
+	}
+	if want["warmup"] {
+		alg := "Duato-Nbc"
+		if len(algorithms) > 0 {
+			alg = algorithms[0]
+		}
+		res, err := experiments.Warmup(opt, alg, 5, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warm-up sensitivity: fixed truncation ladder vs MSER detection (%s, %d faults)\n", res.Algorithm, res.Faults)
+		must(res.Table().Write(os.Stdout))
+		saveCSV("warmup", res.Table())
+		if manifest != nil {
+			detected := map[string]any{}
+			for _, row := range res.Rows {
+				if row.Variant == "mser" {
+					detected[fmt.Sprintf("rate_%g", row.Rate)] = row.Effective
+				}
+			}
+			if manifest.Notes == nil {
+				manifest.Notes = map[string]any{}
+			}
+			manifest.Notes["warmup_detected_truncation"] = detected
+		}
 		fmt.Println()
 	}
 	if want["topology"] {

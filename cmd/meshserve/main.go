@@ -14,6 +14,7 @@
 //	POST /run    {"params":{...},"wait":true}  one simulation cell
 //	POST /sweep  {"base":{...},"algorithms":[...],"rates":[...]}
 //	GET  /jobs/{key|sweep-id}                  job/sweep progress
+//	GET  /jobs/{key}/live                      SSE window-telemetry stream
 //	GET  /traces/{id}                          span tree for a request
 //	GET  /traces/{id}.json                     Chrome trace JSON (Perfetto)
 //	GET  /metrics, /debug/vars, /healthz, /readyz
@@ -45,6 +46,7 @@ import (
 func main() {
 	var addr, cacheDir, logFormat, pprofAddr string
 	var mem, workers, queue, maxRunners, traceSpans, engineEvents int
+	var windowCycles int64
 	flag.StringVar(&addr, "addr", ":8080", "listen address (use 127.0.0.1:0 for a kernel-assigned port)")
 	flag.StringVar(&cacheDir, "cache", "", "disk store directory for cached results (empty = memory only)")
 	flag.IntVar(&mem, "mem", 0, "in-memory cache entries (0 = 4096)")
@@ -53,6 +55,7 @@ func main() {
 	flag.IntVar(&maxRunners, "max-runners", 0, "warm Runners kept between jobs (0 = workers)")
 	flag.IntVar(&traceSpans, "trace-spans", 0, "completed-span ring capacity (0 = 8192, negative = tracing off)")
 	flag.IntVar(&engineEvents, "engine-events", 0, "per-job engine flight-recorder capacity (0 = 4096, negative = engine bridge off)")
+	flag.Int64Var(&windowCycles, "window-cycles", 0, "live window-sampler width in cycles for /jobs/{key}/live (0 = 512, negative = window telemetry off)")
 	flag.StringVar(&logFormat, "log-format", "text", "log format: text|json")
 	flag.StringVar(&pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
@@ -80,6 +83,7 @@ func main() {
 		Logger:       logger,
 		TraceSpans:   traceSpans,
 		EngineEvents: engineEvents,
+		WindowCycles: windowCycles,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)

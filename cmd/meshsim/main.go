@@ -28,7 +28,7 @@ import (
 func main() {
 	p := wormmesh.DefaultParams()
 	var total int64
-	var list, heat, traceFlits, latBreakdown, predict bool
+	var list, heat, traceFlits, latBreakdown, predict, live bool
 	var windows int64
 	var traceFile, postmortemFile, metricsAddr, manifestFile, linkmapFile, chromeFile string
 	var engineWorkers, reps, flightrecEvents int
@@ -53,6 +53,10 @@ func main() {
 	flag.StringVar(&linkmapFile, "linkmap", "", "enable per-link telemetry, write the per-link counter CSV to this file and print directional congestion maps (single run only)")
 	flag.BoolVar(&latBreakdown, "latbreakdown", false, "print the latency-anatomy table (per-component means, shares, percentiles; single run only)")
 	flag.Int64Var(&windows, "windows", 0, "collect time-series windows of this many cycles")
+	flag.BoolVar(&live, "live", false, "render a live terminal dashboard while the run executes (sparklines + link congestion; single run only)")
+	flag.StringVar(&p.WarmupMode, "warmup-mode", "", "warm-up truncation: fixed (default) or mser (detect steady state, cap at -warmup)")
+	flag.Float64Var(&p.StopRelPrecision, "stop-rel", 0, "stop measuring once the 95% CI half-width on latency is within this fraction of the mean (0 = run all cycles)")
+	flag.Int64Var(&p.SteadyWindow, "steady-window", 0, "batch width in cycles for -warmup-mode mser and -stop-rel (0 = 500)")
 	flag.StringVar(&traceFile, "trace", "", "write the event stream as JSON lines to this file (with -reps > 1, only the first replication is traced)")
 	flag.BoolVar(&traceFlits, "trace-flits", false, "include per-flit hops in the trace")
 	flag.StringVar(&postmortemFile, "postmortem", "", "write a deadlock post-mortem (wait-for graph, blocked chains, recent events) to this file at each global watchdog firing (with -reps > 1, first replication only)")
@@ -112,12 +116,19 @@ func main() {
 	// many. Reject the combination up front (like -trace documents its
 	// first-replication-only behavior, but these flags would silently
 	// report an arbitrary replication).
-	if reps > 1 && (linkmapFile != "" || latBreakdown || chromeFile != "") {
-		fmt.Fprintln(os.Stderr, "meshsim: -linkmap, -latbreakdown and -chrometrace report a single run; drop them or use -reps 1")
+	if reps > 1 && (linkmapFile != "" || latBreakdown || chromeFile != "" || live) {
+		fmt.Fprintln(os.Stderr, "meshsim: -linkmap, -latbreakdown, -chrometrace and -live report a single run; drop them or use -reps 1")
 		os.Exit(2)
 	}
 	if linkmapFile != "" {
 		p.Config.ChannelTelemetry = true
+	}
+	// A Chrome export without a window series has no counter tracks;
+	// default the width so -chrometrace alone yields the load curves
+	// (the stdout time-series table stays tied to an explicit -windows).
+	windowsAsked := windows > 0
+	if chromeFile != "" && windows == 0 {
+		windows = core.DefaultWindowCycles
 	}
 	p.WindowCycles = windows
 	p.EngineWorkers = engineWorkers
@@ -192,11 +203,15 @@ func main() {
 
 	var res wormmesh.Result
 	cached := false
-	if cache != nil && !heat {
+	if cache != nil && !heat && !live {
 		res, cached = cache.Lookup(p)
 	}
 	if !cached {
-		res, err = wormmesh.Run(p)
+		if live {
+			res, err = runLive(p, windows)
+		} else {
+			res, err = wormmesh.Run(p)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "meshsim:", err)
 			os.Exit(1)
@@ -206,6 +221,10 @@ func main() {
 		}
 	}
 	st := res.Stats
+	if manifest != nil {
+		manifest.EffectiveWarmupCycles = st.EffectiveWarmup
+		manifest.LatencyCIHalfWidth = st.LatencyCIHalf
+	}
 	writeManifest(manifest, manifestFile, st)
 	if chromeRec != nil {
 		if err := writeChromeTrace(chromeFile, p, res, chromeRec); err != nil {
@@ -223,12 +242,23 @@ func main() {
 			res.SeedFaults, res.FaultCount-res.SeedFaults, res.Regions, res.RingNodes)
 	}
 	if cached {
-		fmt.Printf("measured %d cycles after %d warm-up (cached result, no simulation)\n\n",
+		fmt.Printf("measured %d cycles after %d warm-up (cached result, no simulation)\n",
 			p.MeasureCycles, p.WarmupCycles)
 	} else {
-		fmt.Printf("measured %d cycles after %d warm-up (%.2fs wall)\n\n",
+		fmt.Printf("measured %d cycles after %d warm-up (%.2fs wall)\n",
 			p.MeasureCycles, p.WarmupCycles, res.Elapsed.Seconds())
 	}
+	// Under adaptive warm-up or the stopping rule the planned cycle
+	// counts above are ceilings; report what actually happened.
+	if p.WarmupMode == "mser" || p.StopRelPrecision > 0 {
+		fmt.Printf("steady-state: effective warm-up %d cycles, measured %d cycles",
+			st.EffectiveWarmup, st.Cycles)
+		if st.LatencyCIHalf > 0 {
+			fmt.Printf(", latency 95%% CI half-width %.2f cycles", st.LatencyCIHalf)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
 
 	t := report.NewTable("metric", "value")
 	t.AddRow("generated messages", st.Generated)
@@ -265,7 +295,7 @@ func main() {
 	}
 	fmt.Println(b.String())
 
-	if windows > 0 {
+	if windowsAsked {
 		fmt.Println("\ntime series (per window):")
 		for _, w := range res.Windows {
 			fmt.Printf("  %v thr=%.4f\n", w, w.Throughput(st.HealthyNodes))
@@ -416,6 +446,22 @@ func writeChromeTrace(path string, p wormmesh.Params, res wormmesh.Result, rec *
 		}
 	}
 	root.AttachEngine(out)
+	// Window telemetry (-windows) becomes Perfetto counter tracks above
+	// the per-message slices, on the same cycle timeline.
+	if len(res.Windows) > 0 {
+		healthy := res.Stats.HealthyNodes
+		pts := make([]trace.WindowPoint, len(res.Windows))
+		for i, w := range res.Windows {
+			pts[i] = trace.WindowPoint{
+				Seq: int64(i), Start: w.Start, End: w.End,
+				Generated: w.Generated, Delivered: w.Delivered,
+				DeliveredFlits: w.Flits, Killed: w.Killed,
+				InFlight:   w.InFlight,
+				AvgLatency: w.AvgLatency, Throughput: w.Throughput(healthy),
+			}
+		}
+		root.AttachWindows(pts)
+	}
 	root.EndAt(end)
 	f, err := os.Create(path)
 	if err != nil {

@@ -91,18 +91,23 @@ func BenchmarkStepLowLoad(b *testing.B) {
 // — diff the set with cmd/benchdiff). The spans variant prices the
 // serve layer's engine bridge: the same recorder ring, decoded into a
 // trace span every ring-length of cycles — the amortized cost of the
-// span-scoped engine view /traces serves.
+// span-scoped engine view /traces serves. The sampler variant prices
+// the time-resolved WindowSampler ticked every cycle (512-cycle
+// windows), the observer the live SSE stream and -live dashboard ride
+// on — same ≤10% budget over plain.
 func BenchmarkStepLoaded(b *testing.B) {
 	for _, variant := range []struct {
 		name      string
 		flightRe  bool
 		telemetry bool
 		spans     bool
+		sampler   bool
 	}{
-		{"plain", false, false, false},
-		{"flightrec", true, false, false},
-		{"telemetry", false, true, false},
-		{"spans", true, false, true},
+		{"plain", false, false, false, false},
+		{"flightrec", true, false, false, false},
+		{"telemetry", false, true, false, false},
+		{"spans", true, false, true, false},
+		{"sampler", false, false, false, true},
 	} {
 		b.Run(variant.name, func(b *testing.B) {
 			mesh := topology.New(10, 10)
@@ -122,6 +127,11 @@ func BenchmarkStepLoaded(b *testing.B) {
 			if variant.spans {
 				tracer = trace.New(64)
 			}
+			var sampler *WindowSampler
+			if variant.sampler {
+				sampler = NewWindowSampler(512, 256)
+				sampler.Start(n, 0)
+			}
 			rng := rand.New(rand.NewSource(2))
 			id := int64(0)
 			b.ReportAllocs()
@@ -139,6 +149,9 @@ func BenchmarkStepLoaded(b *testing.B) {
 					}
 				}
 				n.Step()
+				if sampler != nil {
+					sampler.Tick(n)
+				}
 				if variant.spans && i%4096 == 4095 {
 					span := tracer.Start("engine.window", trace.Context{})
 					span.AttachEngine(toEngineEvents(rec.Events()))

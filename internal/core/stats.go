@@ -57,6 +57,17 @@ type Stats struct {
 	// NodeCrossings[node] counts flits that traversed that node's
 	// crossbar inside the window.
 	NodeCrossings []int64
+
+	// EffectiveWarmup is the number of cycles actually discarded before
+	// this measurement window. The sim layer sets it: equal to the
+	// configured WarmupCycles on the fixed path, or the detected
+	// truncation point when MSER-style warm-up detection is enabled.
+	// Zero for windows cut directly via ResetStats.
+	EffectiveWarmup int64
+	// LatencyCIHalf is the 95% batch-means confidence half-width of the
+	// mean latency, in cycles — set by the sim layer only when a
+	// relative-precision stopping rule ran (Params.StopRelPrecision).
+	LatencyCIHalf float64
 }
 
 func (s *Stats) init(numVCs, nodes int) {

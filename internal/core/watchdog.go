@@ -200,6 +200,11 @@ type LiveCounters struct {
 	KilledStall    int64
 	KilledLivelock int64
 	DeadlockEvents int64
+	// LatencySum/LatencyCount mirror the Stats latency accumulators so
+	// interval samplers (WindowSampler, steady-state detection) can
+	// compute window-mean latency from deltas without a Snapshot.
+	LatencySum   int64
+	LatencyCount int64
 }
 
 // LiveCounters returns the current scalar counters (measurement window
@@ -216,6 +221,8 @@ func (n *Network) LiveCounters() LiveCounters {
 		KilledStall:    n.stats.KilledStall,
 		KilledLivelock: n.stats.KilledLivelock,
 		DeadlockEvents: n.stats.DeadlockEvents,
+		LatencySum:     n.stats.LatencySum,
+		LatencyCount:   n.stats.LatencyCount,
 	}
 }
 

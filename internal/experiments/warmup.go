@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormmesh/internal/report"
+	"wormmesh/internal/sim"
+	"wormmesh/internal/sweep"
+)
+
+// WarmupRow is one cell of the warm-up sensitivity study: one offered
+// load measured under one truncation policy.
+type WarmupRow struct {
+	Rate    float64
+	Variant string // "fixed-<fraction>" or "mser"
+	// Budget is the warm-up ceiling the run was given; Effective is what
+	// it actually discarded (equal for fixed variants, the detected
+	// truncation point for mser).
+	Budget     int64
+	Effective  int64
+	Latency    float64
+	Throughput float64
+	// LatencyBiasPct is the latency deviation from the same rate's
+	// full-budget fixed reference, in percent — the initialization bias
+	// that truncating less warm-up leaves in the measurement.
+	LatencyBiasPct float64
+}
+
+// WarmupResult is the full study: per (rate × policy) rows over one
+// algorithm and fault case.
+type WarmupResult struct {
+	Algorithm string
+	Faults    int
+	Rows      []WarmupRow
+}
+
+// DefaultWarmupFractions are the fixed-truncation ladder of the study,
+// as fractions of the configured warm-up budget. 1 is the reference
+// every bias is measured against.
+var DefaultWarmupFractions = []float64{0, 0.25, 1}
+
+// Warmup quantifies warm-up sensitivity across the saturation knee:
+// for each offered load it measures the same cell under a ladder of
+// fixed truncations (including none) and under MSER detection, then
+// reports each variant's latency bias against the full-budget fixed
+// reference. Two questions get numeric answers: how much bias does
+// skipping warm-up leave at each load, and does the detected truncation
+// point reach the reference's measurement unbiased while discarding
+// fewer cycles.
+func Warmup(o Options, algorithm string, faults int, kneeFractions []float64) (*WarmupResult, error) {
+	if algorithm == "" {
+		algorithm = "Duato-Nbc"
+	}
+	if kneeFractions == nil {
+		kneeFractions = []float64{0.5, 0.8, 1.0, 1.2}
+	}
+	knee := o.KneeRate()
+	var points []sweep.Point
+	var rows []WarmupRow
+	add := func(rate float64, variant string, mut func(*sim.Params)) {
+		p := o.baseParams()
+		p.Algorithm = algorithm
+		p.Faults = faults
+		p.Rate = rate
+		mut(&p)
+		points = append(points, sweep.Point{
+			Key:    fmt.Sprintf("%s@%g/%s", algorithm, rate, variant),
+			Params: p,
+		})
+		rows = append(rows, WarmupRow{Rate: rate, Variant: variant, Budget: p.WarmupCycles})
+	}
+	for _, kf := range kneeFractions {
+		rate := kf * knee
+		for _, frac := range DefaultWarmupFractions {
+			frac := frac
+			add(rate, fmt.Sprintf("fixed-%g", frac), func(p *sim.Params) {
+				p.WarmupCycles = int64(frac * float64(o.WarmupCycles))
+			})
+		}
+		add(rate, "mser", func(p *sim.Params) {
+			p.WarmupMode = "mser"
+			// Scale the batch width to the budget so detection has the
+			// ~20 batches it needs regardless of -quick vs paper scale
+			// (at the paper's 10 000-cycle budget this is the default 500).
+			p.SteadyWindow = o.WarmupCycles / 20
+			if p.SteadyWindow < 50 {
+				p.SteadyWindow = 50
+			}
+		})
+	}
+	o.logf("warmup: %d runs (%s, %d faults, %d loads × %d policies)",
+		len(points), algorithm, faults, len(kneeFractions), len(DefaultWarmupFractions)+1)
+	outcomes := o.runSweep(points)
+	if err := sweep.FirstError(outcomes); err != nil {
+		return nil, err
+	}
+	res := &WarmupResult{Algorithm: algorithm, Faults: faults, Rows: rows}
+	for i, out := range outcomes {
+		st := out.Result.Stats
+		row := &res.Rows[i]
+		row.Effective = st.EffectiveWarmup
+		row.Latency = st.AvgLatency()
+		row.Throughput = st.Throughput()
+	}
+	// Bias against each rate's full-budget fixed reference.
+	perRate := len(DefaultWarmupFractions) + 1
+	refVariant := fmt.Sprintf("fixed-%g", DefaultWarmupFractions[len(DefaultWarmupFractions)-1])
+	for base := 0; base < len(res.Rows); base += perRate {
+		var ref float64
+		for i := base; i < base+perRate; i++ {
+			if res.Rows[i].Variant == refVariant {
+				ref = res.Rows[i].Latency
+			}
+		}
+		for i := base; i < base+perRate; i++ {
+			if ref > 0 {
+				res.Rows[i].LatencyBiasPct = 100 * (res.Rows[i].Latency - ref) / ref
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the study data.
+func (r *WarmupResult) Table() *report.Table {
+	t := report.NewTable("rate", "policy", "warmup_budget", "effective_warmup",
+		"latency_cycles", "latency_bias%", "throughput")
+	for _, row := range r.Rows {
+		t.AddRow(row.Rate, row.Variant, row.Budget, row.Effective,
+			row.Latency, row.LatencyBiasPct, row.Throughput)
+	}
+	return t
+}

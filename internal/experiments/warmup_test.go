@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWarmupStudy runs the warm-up sensitivity study at CI scale and
+// checks its structural contract: a full policy ladder per load, zero
+// bias at the reference by construction, fixed variants discarding
+// exactly their budget, and the MSER variant never exceeding its.
+func TestWarmupStudy(t *testing.T) {
+	o := Quick()
+	o.FaultSets = 1
+	res, err := Warmup(o, "Duato", 0, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRate := len(DefaultWarmupFractions) + 1
+	if len(res.Rows) != 2*perRate {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), 2*perRate)
+	}
+	for _, row := range res.Rows {
+		if row.Latency <= 0 {
+			t.Errorf("%s@%g: latency %g not positive", row.Variant, row.Rate, row.Latency)
+		}
+		switch {
+		case row.Variant == "mser":
+			if row.Effective > row.Budget {
+				t.Errorf("mser@%g: effective warm-up %d exceeds budget %d", row.Rate, row.Effective, row.Budget)
+			}
+		case strings.HasPrefix(row.Variant, "fixed-"):
+			if row.Effective != row.Budget {
+				t.Errorf("%s@%g: effective %d != budget %d", row.Variant, row.Rate, row.Effective, row.Budget)
+			}
+		default:
+			t.Errorf("unknown variant %q", row.Variant)
+		}
+		if row.Variant == "fixed-1" && row.LatencyBiasPct != 0 {
+			t.Errorf("reference variant bias = %g%%, want 0", row.LatencyBiasPct)
+		}
+	}
+	tab := res.Table()
+	if tab == nil {
+		t.Fatal("nil table")
+	}
+}

@@ -36,6 +36,15 @@ type Manifest struct {
 	// ResultDigest is DigestJSON over the driver's result payload —
 	// fast equality, not cryptographic integrity.
 	ResultDigest string `json:"result_digest,omitempty"`
+	// EffectiveWarmupCycles is how many warm-up cycles the run actually
+	// discarded — the detected truncation point under adaptive warm-up
+	// ("mser"), the fixed WarmupCycles otherwise. Zero when the driver
+	// did not run a measured simulation.
+	EffectiveWarmupCycles int64 `json:"effective_warmup_cycles,omitempty"`
+	// LatencyCIHalfWidth is the 95% batch-means confidence half-width
+	// on mean latency at the moment the run stopped; set only when the
+	// relative-precision stopping rule was active.
+	LatencyCIHalfWidth float64 `json:"latency_ci_half_width,omitempty"`
 	// Notes carries driver-specific annotations, such as the per-cell
 	// simulated/model provenance of a hybrid sweep.
 	Notes map[string]any `json:"notes,omitempty"`

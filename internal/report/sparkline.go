@@ -1,0 +1,80 @@
+package report
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkRamp orders the Unicode block elements from empty to full — the
+// conventional eight-level sparkline alphabet.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width one-line chart: each column
+// is one value scaled into the eight block-element levels, with the
+// scale taken over the finite values present (an all-zero or empty
+// series renders as the lowest level). NaN values render as a space.
+// When len(values) exceeds width, the series is downsampled by taking
+// the mean of each column's bucket, so the line always shows the whole
+// series; when it fits, one rune per value is emitted with no padding.
+// A non-positive width means "one column per value".
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(values) {
+		width = len(values)
+	}
+	cols := make([]float64, width)
+	for i := range cols {
+		// Bucket [lo, hi) of the input maps to column i.
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum, n := 0.0, 0
+		for _, v := range values[lo:hi] {
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			cols[i] = math.NaN()
+		} else {
+			cols[i] = sum / float64(n)
+		}
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune(' ')
+		case max <= min: // flat (or single-value) series
+			b.WriteRune(sparkRamp[0])
+		default:
+			level := int((v - min) / (max - min) * float64(len(sparkRamp)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(sparkRamp) {
+				level = len(sparkRamp) - 1
+			}
+			b.WriteRune(sparkRamp[level])
+		}
+	}
+	return b.String()
+}

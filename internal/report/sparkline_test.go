@@ -1,0 +1,57 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if s := Sparkline(nil, 10); s != "" {
+		t.Errorf("empty series = %q, want empty", s)
+	}
+	// A monotone ramp spans the whole alphabet, lowest to highest.
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if ramp != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", ramp)
+	}
+	// Flat series: all lowest level, one rune per value.
+	flat := Sparkline([]float64{3, 3, 3}, 0)
+	if flat != "▁▁▁" {
+		t.Errorf("flat = %q", flat)
+	}
+	// NaN renders as a gap without poisoning the scale.
+	gap := Sparkline([]float64{0, math.NaN(), 7}, 0)
+	if []rune(gap)[1] != ' ' {
+		t.Errorf("NaN column = %q", gap)
+	}
+	if []rune(gap)[0] != '▁' || []rune(gap)[2] != '█' {
+		t.Errorf("scale around NaN = %q", gap)
+	}
+}
+
+func TestSparklineDownsample(t *testing.T) {
+	// 100 values into 10 columns: each column is its bucket's mean, so a
+	// linear ramp still spans the alphabet monotonically.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 10)
+	runes := []rune(s)
+	if len(runes) != 10 {
+		t.Fatalf("width = %d, want 10", len(runes))
+	}
+	for i := 1; i < len(runes); i++ {
+		if strings.IndexRune(string(sparkRamp), runes[i]) < strings.IndexRune(string(sparkRamp), runes[i-1]) {
+			t.Errorf("downsampled ramp not monotone: %q", s)
+		}
+	}
+	if runes[0] != sparkRamp[0] || runes[9] != sparkRamp[len(sparkRamp)-1] {
+		t.Errorf("ramp ends = %q", s)
+	}
+	// Fewer values than width: no stretching, one column per value.
+	if got := Sparkline([]float64{1, 2}, 10); len([]rune(got)) != 2 {
+		t.Errorf("short series = %q, want 2 columns", got)
+	}
+}

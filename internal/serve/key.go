@@ -57,6 +57,7 @@ func Normalize(p sim.Params) (sim.Params, error) {
 	p.Metrics = nil
 	p.MetricsInterval = 0
 	p.WindowCycles = 0
+	p.Sampler = nil
 
 	if p.EngineWorkers >= 1 {
 		p.EngineWorkers = 1
@@ -84,6 +85,26 @@ func Normalize(p sim.Params) (sim.Params, error) {
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
+	}
+
+	// Steady-state handling is NOT an observer: adaptive warm-up and the
+	// stopping rule change the measurement window, hence Stats, so the
+	// fields stay in the key — but inert spellings collapse to the
+	// canonical fixed request so they don't split the cache.
+	switch p.WarmupMode {
+	case "", "fixed":
+		p.WarmupMode = ""
+	case "mser":
+	default:
+		return p, fmt.Errorf("serve: unknown warmup mode %q", p.WarmupMode)
+	}
+	if p.StopRelPrecision < 0 {
+		return p, fmt.Errorf("serve: stop precision %g negative", p.StopRelPrecision)
+	}
+	if p.WarmupMode == "" && p.StopRelPrecision == 0 {
+		p.SteadyWindow = 0 // no detector runs; the batch width is inert
+	} else if p.SteadyWindow <= 0 {
+		p.SteadyWindow = sim.DefaultSteadyWindow
 	}
 
 	if p.FaultNodes != nil {

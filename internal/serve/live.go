@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"wormmesh/internal/core"
+)
+
+// liveMeta is the first SSE event on /jobs/{key}/live: the fixed frame
+// every window in the stream is interpreted against.
+type liveMeta struct {
+	Key          string `json:"key"`
+	Status       string `json:"status"`
+	WindowCycles int64  `json:"window_cycles"`
+	HealthyNodes int    `json:"healthy_nodes"`
+	TotalCycles  int64  `json:"total_cycles"`
+}
+
+// liveDone is the terminal SSE event: the job's outcome, after every
+// retained window has been flushed to the client.
+type liveDone struct {
+	Status string `json:"status"`
+	Key    string `json:"key"`
+	Error  string `json:"error,omitempty"`
+}
+
+// livePollInterval paces the window poll while the job runs. Windows
+// close every WindowCycles engine cycles — far faster than this — so
+// each poll typically drains a batch.
+const livePollInterval = 100 * time.Millisecond
+
+// handleJobLive streams a running job's window series as Server-Sent
+// Events: one "meta" event, then a "window" event per WindowSnapshot
+// (replayed from seq 0, so a late subscriber sees the full history the
+// ring still holds), then a terminal "done" event. A job that already
+// left the scheduler answers with "done" immediately — the series
+// itself is gone, but the result is one GET /jobs/{key} away.
+func (s *Server) handleJobLive(w http.ResponseWriter, r *http.Request, key string) {
+	if r.Method != http.MethodGet {
+		httpError(w, r, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, r, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	job := s.sched.Job(key)
+	if job == nil {
+		if !s.cache.Has(key) {
+			httpError(w, r, http.StatusNotFound, "no such job %q", key)
+			return
+		}
+		// Completed before anyone subscribed: the sampler is gone with
+		// the job, so the stream is just its epitaph.
+		sseHeaders(w)
+		sseEvent(w, "done", liveDone{Status: "done", Key: key})
+		flusher.Flush()
+		return
+	}
+	sseHeaders(w)
+
+	var (
+		sampler  *core.WindowSampler
+		after    int64 // replay from the beginning of the ring
+		metaSent bool
+	)
+	ticker := time.NewTicker(livePollInterval)
+	defer ticker.Stop()
+	for {
+		if sampler == nil {
+			sampler = job.Sampler() // appears when the job starts running
+		}
+		if sampler != nil {
+			if !metaSent {
+				m := sampler.Meta()
+				sseEvent(w, "meta", liveMeta{
+					Key: key, Status: job.State().String(),
+					WindowCycles: m.WindowCycles, HealthyNodes: m.HealthyNodes,
+					TotalCycles: m.TotalCycles,
+				})
+				metaSent = true
+			}
+			for _, snap := range sampler.Since(after) {
+				sseEvent(w, "window", snap)
+				after = snap.Seq + 1 // Since is inclusive of `after`
+			}
+			flusher.Flush()
+		}
+		select {
+		case <-job.Done():
+			// Drain windows appended between the last poll and Flush.
+			if sampler == nil {
+				sampler = job.Sampler() // job finished between polls
+			}
+			if sampler != nil {
+				for _, snap := range sampler.Since(after) {
+					sseEvent(w, "window", snap)
+					after = snap.Seq + 1 // Since is inclusive of `after`
+				}
+			}
+			done := liveDone{Status: job.State().String(), Key: key}
+			if _, _, err := job.Outcome(); err != nil {
+				done.Error = err.Error()
+			}
+			sseEvent(w, "done", done)
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// sseHeaders commits the response as an event stream.
+func sseHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+}
+
+// sseEvent writes one named SSE event with a JSON data line.
+func sseEvent(w http.ResponseWriter, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write([]byte("event: " + event + "\ndata: "))
+	w.Write(b)
+	w.Write([]byte("\n\n"))
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wormmesh/internal/core"
+	"wormmesh/internal/sim"
+)
+
+// sseEvents reads a complete SSE stream into (event, data) pairs.
+func sseEvents(t *testing.T, r *bufio.Reader) [][2]string {
+	t.Helper()
+	var events [][2]string
+	var name string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return events // stream closed by the server
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events = append(events, [2]string{name, strings.TrimPrefix(line, "data: ")})
+			if name == "done" {
+				return events
+			}
+		}
+	}
+}
+
+// TestLiveSSEStream: the end-to-end contract of GET /jobs/{key}/live.
+// A run is held open at its final instant (the simulation has executed,
+// the worker is blocked before completing the job), so the stream must
+// replay the complete window series deterministically: one meta event,
+// every window in order, then the terminal done event once the job is
+// released. The same series count is cross-checked against the cycle
+// arithmetic: 1000 cycles at window 100 is exactly 10 windows.
+func TestLiveSSEStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, WindowCycles: 100})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// An early test failure must still unblock the held worker, or the
+	// Cleanup's s.Close() deadlocks waiting for it.
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	inner := s.sched.run
+	s.sched.run = func(r *sim.Runner, p sim.Params) (sim.Result, error) {
+		res, err := inner(r, p)
+		close(started) // simulation done, full series in the ring
+		<-release      // hold the job in JobRunning for the stream
+		return res, err
+	}
+
+	p := quickParams() // 200 warmup + 800 measure = 1000 cycles
+	resp, body := postRun(t, ts.URL, p, false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /run status %d: %s", resp.StatusCode, body)
+	}
+	var acc runAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// While the job is held open, /jobs/{key} must report sampler
+	// progress — the measured cycle counter, not just the EWMA guess.
+	stResp, err := http.Get(ts.URL + "/jobs/" + acc.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st runStatus
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	if st.Status != "running" {
+		t.Fatalf("held job status = %q, want running", st.Status)
+	}
+	if st.Cycle != 1000 || st.TotalCycles != 1000 {
+		t.Errorf("sampler progress = %d/%d cycles, want 1000/1000", st.Cycle, st.TotalCycles)
+	}
+
+	live, err := http.Get(ts.URL + "/jobs/" + acc.Key + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Body.Close()
+	if ct := live.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("live Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(live.Body)
+
+	// Read the meta event first, then release the job so the stream can
+	// terminate; the handler must still deliver every retained window
+	// before the done event.
+	var events [][2]string
+	events = append(events, sseReadOne(t, br))
+	close(release)
+	events = append(events, sseEvents(t, br)...)
+
+	if events[0][0] != "meta" {
+		t.Fatalf("first event = %q, want meta", events[0][0])
+	}
+	var meta liveMeta
+	if err := json.Unmarshal([]byte(events[0][1]), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.WindowCycles != 100 || meta.TotalCycles != 1000 {
+		t.Errorf("meta = %+v, want window 100 total 1000", meta)
+	}
+	if meta.HealthyNodes != 36 {
+		t.Errorf("meta healthy nodes = %d, want 36", meta.HealthyNodes)
+	}
+
+	var windows []core.WindowSnapshot
+	for _, ev := range events[1:] {
+		if ev[0] != "window" {
+			continue
+		}
+		var snap core.WindowSnapshot
+		if err := json.Unmarshal([]byte(ev[1]), &snap); err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, snap)
+	}
+	if len(windows) != 10 {
+		t.Fatalf("streamed %d windows, want 10 (1000 cycles / window 100)", len(windows))
+	}
+	for i, w := range windows {
+		if w.Seq != int64(i) {
+			t.Errorf("window %d seq = %d, want %d", i, w.Seq, i)
+		}
+		if w.End-w.Start != 100 {
+			t.Errorf("window %d spans [%d,%d), want width 100", i, w.Start, w.End)
+		}
+	}
+	if last := windows[len(windows)-1]; last.End != 1000 {
+		t.Errorf("last window ends at %d, want 1000", last.End)
+	}
+
+	lastEv := events[len(events)-1]
+	if lastEv[0] != "done" {
+		t.Fatalf("final event = %q, want done", lastEv[0])
+	}
+	var done liveDone
+	if err := json.Unmarshal([]byte(lastEv[1]), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != "done" || done.Error != "" {
+		t.Errorf("done event = %+v", done)
+	}
+
+	// A subscriber arriving after the job left the scheduler gets an
+	// immediate done event from the cache, not a 404 and not a hang.
+	late, err := http.Get(ts.URL + "/jobs/" + acc.Key + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Body.Close()
+	lateEvents := sseEvents(t, bufio.NewReader(late.Body))
+	if len(lateEvents) != 1 || lateEvents[0][0] != "done" {
+		t.Fatalf("late subscriber events = %v, want a single done", lateEvents)
+	}
+
+	// And a key nobody ever submitted is a 404.
+	missing, err := http.Get(ts.URL + "/jobs/sha256-nope/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key live status = %d, want 404", missing.StatusCode)
+	}
+}
+
+// sseReadOne reads exactly one SSE event (name, data) from the stream.
+func sseReadOne(t *testing.T, r *bufio.Reader) [2]string {
+	t.Helper()
+	var name string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			return [2]string{name, strings.TrimPrefix(line, "data: ")}
+		}
+	}
+}

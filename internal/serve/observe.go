@@ -70,6 +70,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards http.Flusher through the wrapper so streaming
+// handlers (the SSE live stream) can push partial responses.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // observe wraps the mux: root span per request (child of an incoming
 // Traceparent, if any), X-Trace-Id/Traceparent response headers, RED
 // observation and one structured access-log line per request.

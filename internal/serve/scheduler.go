@@ -65,6 +65,7 @@ type Job struct {
 	mu      sync.Mutex
 	state   JobState
 	started time.Time
+	sampler *core.WindowSampler // non-nil once running, when enabled
 	entry   *Entry
 	body    []byte
 	err     error
@@ -86,6 +87,17 @@ func (j *Job) Outcome() (*Entry, []byte, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.entry, j.body, j.err
+}
+
+// Sampler returns the job's window sampler: non-nil from the moment
+// the job starts running (when the scheduler has window telemetry
+// enabled), and retained after completion so late readers can replay
+// the whole series. Safe to read concurrently with the run — the
+// sampler is its own synchronization domain.
+func (j *Job) Sampler() *core.WindowSampler {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sampler
 }
 
 // jobQueue is a max-heap on Priority, FIFO (by seq) within a priority.
@@ -139,6 +151,7 @@ type Scheduler struct {
 	// recorder; logger is never nil (discard by default).
 	tracer       *trace.Tracer
 	engineEvents int
+	windowCycles int64 // per-job WindowSampler window; 0 disables
 	logger       *slog.Logger
 
 	mu         sync.Mutex
@@ -350,6 +363,19 @@ func (s *Scheduler) worker() {
 			rec = core.NewFlightRecorder(s.engineEvents)
 			rp.FlightRecorder = rec
 		}
+		// The window bridge works the same way: a private sampler rides
+		// the copied Params so /jobs/{key}/live can stream the run's
+		// time-resolved series while it executes, without entering the
+		// cache key (Normalize strips Sampler).
+		var sampler *core.WindowSampler
+		if s.windowCycles > 0 {
+			capacity := int((rp.WarmupCycles+rp.MeasureCycles)/s.windowCycles) + 2
+			sampler = core.NewWindowSampler(s.windowCycles, capacity)
+			rp.Sampler = sampler
+			j.mu.Lock()
+			j.sampler = sampler
+			j.mu.Unlock()
+		}
 		runner := s.pool.Get()
 		res, err := s.run(runner, rp)
 		s.pool.Put(runner)
@@ -360,6 +386,10 @@ func (s *Scheduler) worker() {
 		if rec != nil {
 			runSpan.Set("engine_events", rec.Total())
 			runSpan.AttachEngine(toEngineEvents(rec.Events()))
+		}
+		if sampler != nil && runSpan != nil {
+			runSpan.Set("windows", sampler.Seq())
+			runSpan.AttachWindows(toWindowPoints(sampler))
 		}
 		if err != nil {
 			runSpan.Set("error", err.Error())
@@ -436,6 +466,30 @@ func toEngineEvents(evs []core.TraceEvent) []trace.EngineEvent {
 			Cycle: e.Cycle, Kind: e.Kind, Msg: e.Msg,
 			Src: e.Src, Dst: e.Dst, Node: e.Node,
 			Dir: e.Dir, VC: e.VC, Flit: e.Flit, Cause: e.Cause,
+		}
+	}
+	return out
+}
+
+// toWindowPoints converts a sampler's retained series into the trace
+// layer's dependency-free mirror (same rationale as toEngineEvents),
+// deriving each window's normalized throughput from the sampler's
+// healthy-node count.
+func toWindowPoints(s *core.WindowSampler) []trace.WindowPoint {
+	snaps := s.Since(0)
+	if len(snaps) == 0 {
+		return nil
+	}
+	healthy := s.Meta().HealthyNodes
+	out := make([]trace.WindowPoint, len(snaps))
+	for i := range snaps {
+		w := &snaps[i]
+		out[i] = trace.WindowPoint{
+			Seq: w.Seq, Start: w.Start, End: w.End,
+			Generated: w.Generated, Delivered: w.Delivered,
+			DeliveredFlits: w.DeliveredFlits, Killed: w.Killed,
+			InFlight: w.InFlight, BlockedLinks: w.BlockedLinks,
+			AvgLatency: w.AvgLatency, Throughput: w.Throughput(healthy),
 		}
 	}
 	return out

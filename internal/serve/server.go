@@ -44,6 +44,11 @@ type Config struct {
 	// (core.DefaultFlightRecorderEvents when 0); negative disables the
 	// engine bridge while keeping service spans.
 	EngineEvents int
+	// WindowCycles sets the width of each job's live window sampler in
+	// cycles (core.DefaultWindowCycles when 0) — the time-resolved
+	// series behind GET /jobs/{id}/live, the run-span counter tracks
+	// and the measured per-run ETA. Negative disables window sampling.
+	WindowCycles int64
 }
 
 // Server wires cache, scheduler and surrogate into an http.Handler.
@@ -146,9 +151,17 @@ func New(cfg Config) (*Server, error) {
 		sweeps:  make(map[string]*sweepJob),
 		mux:     http.NewServeMux(),
 	}
+	windowCycles := cfg.WindowCycles
+	if windowCycles == 0 {
+		windowCycles = core.DefaultWindowCycles
+	}
+	if windowCycles < 0 {
+		windowCycles = 0
+	}
 	// Same-package wiring, before any Submit can reach a worker.
 	s.sched.tracer = tracer
 	s.sched.engineEvents = engineEvents
+	s.sched.windowCycles = windowCycles
 	s.sched.logger = logger
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
@@ -581,6 +594,37 @@ type runStatus struct {
 	Result         *Entry `json:"result,omitempty"`
 	Error          string `json:"error,omitempty"`
 	ElapsedSeconds Float  `json:"elapsed_seconds,omitempty"`
+	// Progress from the job's window sampler, present while running
+	// with window telemetry on: the last completed window's cycle, the
+	// run's planned total, and an ETA extrapolated from the measured
+	// wall rate of the window series — not the scheduler's coarse
+	// duration EWMA.
+	Cycle       int64 `json:"cycle,omitempty"`
+	TotalCycles int64 `json:"total_cycles,omitempty"`
+	EtaSeconds  Float `json:"eta_seconds,omitempty"`
+}
+
+// samplerProgress fills st's progress fields from a running job's
+// window series: cycles-per-nanosecond measured over the sampled span
+// prices the remaining cycles.
+func samplerProgress(job *Job, st *runStatus) {
+	smp := job.Sampler()
+	if smp == nil {
+		return
+	}
+	last, ok := smp.Latest()
+	if !ok {
+		return
+	}
+	meta := smp.Meta()
+	st.Cycle = last.End
+	st.TotalCycles = meta.TotalCycles
+	progressed := last.End - meta.StartCycle
+	elapsed := last.WallNanos - meta.WallStart
+	if progressed > 0 && elapsed > 0 && meta.TotalCycles > last.End {
+		nsPerCycle := float64(elapsed) / float64(progressed)
+		st.EtaSeconds = Float(float64(meta.TotalCycles-last.End) * nsPerCycle / 1e9)
+	}
 }
 
 // handleJob reports progress for a run key or a sweep ID — the per-job
@@ -588,6 +632,10 @@ type runStatus struct {
 // over the cells that belong to this job.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if key, ok := strings.CutSuffix(id, "/live"); ok {
+		s.handleJobLive(w, r, key)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 
 	s.sweepMu.Lock()
@@ -632,6 +680,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			st.ElapsedSeconds = Float(time.Since(job.started).Seconds())
 		}
 		job.mu.Unlock()
+		samplerProgress(job, &st)
 		json.NewEncoder(w).Encode(st)
 		return
 	}

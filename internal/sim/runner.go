@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -301,23 +302,70 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 	// network's arena: steady-state cycles then allocate nothing.
 	src.Alloc = net.AcquireMessage
 
-	total := p.WarmupCycles + p.MeasureCycles
+	switch p.WarmupMode {
+	case "", "fixed", "mser":
+	default:
+		return Result{}, fmt.Errorf("sim: unknown WarmupMode %q (want \"\", \"fixed\" or \"mser\")", p.WarmupMode)
+	}
+	steadyWin := p.SteadyWindow
+	if steadyWin <= 0 {
+		steadyWin = DefaultSteadyWindow
+	}
+	sampler := p.Sampler
+	if sampler != nil {
+		sampler.Start(net, p.WarmupCycles+p.MeasureCycles)
+	}
+	// The loop runs in two phases — warm-up, then measurement behind a
+	// ResetStats cut — with per-cycle work identical to the historical
+	// single loop, so the fixed path stays bit-exact. The steady-state
+	// detectors only observe live counters (read-only, RNG-free) and
+	// only ever SHORTEN a phase, so an adaptive run replays the exact
+	// trajectory of a fixed run of the resulting length.
 	var windows *windowCollector
-	for cycle := int64(0); cycle < total; cycle++ {
-		if cycle == p.WarmupCycles {
-			net.ResetStats()
-			if p.WindowCycles > 0 {
-				windows = newWindowCollector(net, p.WindowCycles)
-			}
-		}
+	cycle := int64(0)
+	step := func() {
 		src.Tick(cycle, net.Offer)
 		net.Step()
+		if sampler != nil {
+			sampler.Tick(net)
+		}
 		if windows != nil {
 			windows.tick()
 		}
 		if met != nil && cycle%metricsInterval == 0 {
 			met.Sample(net)
 		}
+		cycle++
+	}
+	var det *warmupDetector
+	if p.WarmupMode == "mser" && p.WarmupCycles > 0 && p.MeasureCycles > 0 {
+		det = newWarmupDetector(net, steadyWin)
+	}
+	for cycle < p.WarmupCycles {
+		step()
+		if det != nil && det.observe(net) {
+			break
+		}
+	}
+	effWarmup := cycle
+	var stopper *ciStopper
+	if p.MeasureCycles > 0 {
+		net.ResetStats()
+		if p.WindowCycles > 0 {
+			windows = newWindowCollector(net, p.WindowCycles)
+		}
+		if p.StopRelPrecision > 0 {
+			stopper = newCIStopper(net, steadyWin, p.StopRelPrecision)
+		}
+		for end := cycle + p.MeasureCycles; cycle < end; {
+			step()
+			if stopper != nil && stopper.observe(net) {
+				break
+			}
+		}
+	}
+	if sampler != nil {
+		sampler.Flush(net)
 	}
 	if met != nil {
 		met.Sample(net)
@@ -334,6 +382,12 @@ func (r *Runner) RunWithFaults(p Params, f *fault.Model) (Result, error) {
 		Elapsed:          time.Since(start),
 		UndeliveredAtEnd: net.InFlight(),
 		Links:            net.LinkSnapshot(),
+	}
+	if p.MeasureCycles > 0 {
+		res.Stats.EffectiveWarmup = effWarmup
+	}
+	if stopper != nil && !math.IsNaN(stopper.half) {
+		res.Stats.LatencyCIHalf = stopper.half
 	}
 	if windows != nil {
 		res.Windows = windows.windows

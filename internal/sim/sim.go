@@ -37,6 +37,32 @@ type Params struct {
 	// WindowCycles, when non-zero, additionally collects per-window
 	// time series during the measurement phase (Result.Windows).
 	WindowCycles int64
+
+	// WarmupMode selects how the warm-up truncation point is chosen.
+	// "" or "fixed" discards exactly WarmupCycles (the bit-exact
+	// default). "mser" runs sequential MSER-style detection over
+	// SteadyWindow-cycle batches of mean latency and cuts the
+	// measurement window at the detected cycle; WarmupCycles then acts
+	// as the cap — if no steady state is detected by then, the run
+	// falls back to the fixed cut. The cycle actually discarded is
+	// reported in Stats.EffectiveWarmup either way. Detection observes
+	// live counters only (read-only, RNG-free), so an "mser" run is
+	// bit-identical to a fixed run with WarmupCycles set to the
+	// detected value.
+	WarmupMode string
+	// SteadyWindow is the batch width in cycles for both steady-state
+	// detectors (warm-up MSER batches and the stopping rule's CI
+	// batches). Zero means DefaultSteadyWindow.
+	SteadyWindow int64
+	// StopRelPrecision, when > 0, enables the relative-precision
+	// stopping rule: measurement ends early once the 95% batch-means
+	// confidence half-width of mean latency falls below this fraction
+	// of the mean (e.g. 0.05 for ±5%). MeasureCycles caps the
+	// measurement either way. The achieved half-width is reported in
+	// Stats.LatencyCIHalf. Note that stopping early changes Stats (the
+	// window is shorter), so unlike pure observers this field is part
+	// of a run's identity.
+	StopRelPrecision float64
 	// EngineWorkers >= 1 switches the engine to the deterministic
 	// parallel request–grant mode with that many workers, useful for
 	// meshes much larger than the paper's. Results are reproducible
@@ -77,6 +103,14 @@ type Params struct {
 	// Sampling is read-only and RNG-free, so results are unchanged.
 	Metrics         *metrics.Sim `json:"-"`
 	MetricsInterval int64
+
+	// Sampler, when non-nil, is the time-resolved telemetry observer:
+	// the runner Starts it against the network and Ticks it every
+	// cycle, so window snapshots stream into its ring for live readers
+	// (SSE, dashboards) while the run executes. Like every observer it
+	// is read-only and RNG-free — Stats are bit-identical with or
+	// without it — and excluded from JSON manifests.
+	Sampler *core.WindowSampler `json:"-"`
 
 	// Faults is the number of randomly failed nodes. FaultNodes, when
 	// non-nil, overrides random generation with an explicit pattern

@@ -91,6 +91,7 @@ func WriteChrome(w io.Writer, spans []SpanData) error {
 			Pid: chromePidService, Tid: tid, Args: args,
 		})
 		writeEngineEvents(enc, s.Engine)
+		writeWindowSeries(enc, s.Windows)
 	}
 	enc.close()
 	if enc.err != nil {
@@ -169,6 +170,34 @@ func writeEngineEvents(enc *chromeEncoder, events []EngineEvent) {
 			Name: name, Ph: "i", S: "t",
 			Ts:  float64(e.Cycle),
 			Pid: chromePidEngine, Tid: e.Msg, Args: args,
+		})
+	}
+}
+
+// writeWindowSeries renders a span's window telemetry as Perfetto
+// counter tracks ("ph":"C") on the engine's cycle timeline, so the
+// run's throughput/latency/backlog trajectory sits directly above the
+// per-message slices writeEngineEvents emits. Each counter event is
+// stamped at the cycle its window closed; Perfetto draws the series as
+// a step plot per track.
+func writeWindowSeries(enc *chromeEncoder, windows []WindowPoint) {
+	for i := range windows {
+		w := &windows[i]
+		ts := float64(w.End)
+		enc.event(chromeEvent{
+			Name: "window throughput", Ph: "C",
+			Ts: ts, Pid: chromePidEngine,
+			Args: map[string]any{"flits/node/cycle": w.Throughput},
+		})
+		enc.event(chromeEvent{
+			Name: "window latency", Ph: "C",
+			Ts: ts, Pid: chromePidEngine,
+			Args: map[string]any{"cycles": w.AvgLatency},
+		})
+		enc.event(chromeEvent{
+			Name: "window backlog", Ph: "C",
+			Ts: ts, Pid: chromePidEngine,
+			Args: map[string]any{"in_flight": w.InFlight, "blocked_links": w.BlockedLinks},
 		})
 	}
 }

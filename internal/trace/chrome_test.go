@@ -108,3 +108,67 @@ func TestWriteChromeEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteChromeWindowCounters round-trips an attached window series
+// through the exporter: every window must come back as one counter
+// event ("ph":"C") per track on the engine timeline, stamped at the
+// cycle the window closed, with the values intact.
+func TestWriteChromeWindowCounters(t *testing.T) {
+	tr := New(16)
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	root := tr.StartAt("run", Context{}, t0)
+	windows := []WindowPoint{
+		{Seq: 0, Start: 0, End: 512, Delivered: 40, DeliveredFlits: 1280,
+			InFlight: 9, BlockedLinks: 3, AvgLatency: 74.5, Throughput: 0.025},
+		{Seq: 1, Start: 512, End: 1024, Delivered: 44, DeliveredFlits: 1408,
+			InFlight: 7, BlockedLinks: 1, AvgLatency: 70.25, Throughput: 0.0275},
+	}
+	root.AttachWindows(windows)
+	root.EndAt(t0.Add(time.Second))
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Collect(root.TraceID())); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	type sample struct {
+		ts   float64
+		args map[string]any
+	}
+	counters := map[string][]sample{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "C" {
+			continue
+		}
+		if ev.Pid != 2 {
+			t.Errorf("counter %q on pid %d, want the engine process (2)", ev.Name, ev.Pid)
+		}
+		counters[ev.Name] = append(counters[ev.Name], sample{ev.Ts, ev.Args})
+	}
+	for _, name := range []string{"window throughput", "window latency", "window backlog"} {
+		got := counters[name]
+		if len(got) != len(windows) {
+			t.Fatalf("counter %q has %d samples, want %d", name, len(got), len(windows))
+		}
+		for i, s := range got {
+			if s.ts != float64(windows[i].End) {
+				t.Errorf("counter %q sample %d at ts %v, want cycle %d", name, i, s.ts, windows[i].End)
+			}
+		}
+	}
+	if v := counters["window throughput"][1].args["flits/node/cycle"]; v != 0.0275 {
+		t.Errorf("throughput sample = %v, want 0.0275", v)
+	}
+	if v := counters["window latency"][0].args["cycles"]; v != 74.5 {
+		t.Errorf("latency sample = %v, want 74.5", v)
+	}
+	if v := counters["window backlog"][0].args["in_flight"]; v != 9.0 {
+		t.Errorf("backlog sample = %v, want 9", v)
+	}
+	if v := counters["window backlog"][1].args["blocked_links"]; v != 1.0 {
+		t.Errorf("blocked sample = %v, want 1", v)
+	}
+}

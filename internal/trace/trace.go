@@ -133,6 +133,10 @@ type SpanData struct {
 	// Engine holds decoded engine events bridged onto this span (the
 	// span-scoped flight recorder's dump); nil for pure service spans.
 	Engine []EngineEvent
+	// Windows holds the run's time-resolved telemetry series (the
+	// WindowSampler's snapshots, mirrored dependency-free); the Chrome
+	// exporter renders them as counter tracks on the cycle timeline.
+	Windows []WindowPoint
 }
 
 // Duration returns End−Start (zero for instants).
@@ -188,6 +192,16 @@ func (s *Span) AttachEngine(events []EngineEvent) {
 		return
 	}
 	s.data.Engine = events
+}
+
+// AttachWindows hands a run's window telemetry series to the span; the
+// Chrome exporter renders it as counter tracks ("ph":"C") on the
+// engine's cycle timeline.
+func (s *Span) AttachWindows(windows []WindowPoint) {
+	if s == nil {
+		return
+	}
+	s.data.Windows = windows
 }
 
 // Child starts a child span beginning now.
